@@ -1,0 +1,318 @@
+// Package flatstore's root benchmarks mirror the paper's tables and
+// figures as testing.B benchmarks: each BenchmarkFigNN drives the same
+// simulator configuration as the corresponding `flatstore-bench` command
+// and reports the simulated throughput as the custom metric
+// "virtual-Mops" (b.N scales the measured request count; wall-clock ns/op
+// reflects this 1-CPU host and is not the reproduction target — the
+// virtual metric is).
+package flatstore
+
+import (
+	"fmt"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+	"flatstore/internal/sim"
+	"flatstore/internal/workload"
+)
+
+const benchKeys = 192_000_000
+
+func benchParams(b *testing.B, valueSize int) sim.Params {
+	ops := b.N
+	if ops < 5_000 {
+		ops = 5_000
+	}
+	return sim.Params{
+		Cores: 26, Clients: 288, ClientBatch: 8, Ops: ops,
+		Preload:      30_000,
+		PreloadValue: func(uint64) int { return valueSize },
+		ArenaChunks:  256,
+	}
+}
+
+func reportFlat(b *testing.B, p sim.Params, cfg core.Config, src sim.Source) {
+	b.Helper()
+	if cfg.GroupSize == 0 && p.Cores > 13 {
+		cfg.GroupSize = (p.Cores + 1) / 2 // one HB group per socket
+	}
+	r, err := sim.FlatRun(b.Name(), p, cfg, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.Mops, "virtual-Mops")
+	b.ReportMetric(r.AvgBatch, "entries/batch")
+}
+
+func reportBase(b *testing.B, bl sim.Baseline, p sim.Params, src sim.Source) {
+	b.Helper()
+	r, err := sim.BaselineRun(bl, p, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(r.Mops, "virtual-Mops")
+}
+
+// --- Figure 1: device microbenchmarks ---
+
+func BenchmarkFig1aRawWrites64B(b *testing.B) {
+	r := sim.RawWrites(20, 64, false, max(b.N, 20_000), sim.DefaultModel())
+	b.ReportMetric(r.Mops, "virtual-Mops")
+}
+
+func BenchmarkFig1bSeq256B(b *testing.B) {
+	r := sim.RawWrites(16, 256, true, max(b.N, 20_000), sim.DefaultModel())
+	b.ReportMetric(r.GBps, "virtual-GBps")
+}
+
+func BenchmarkFig1bRnd256B(b *testing.B) {
+	r := sim.RawWrites(16, 256, false, max(b.N, 20_000), sim.DefaultModel())
+	b.ReportMetric(r.GBps, "virtual-GBps")
+}
+
+func BenchmarkFig1cLatencies(b *testing.B) {
+	var seq, rnd, inplace int64
+	for i := 0; i < b.N; i++ {
+		seq, rnd, inplace = sim.WriteLatencies(sim.DefaultModel())
+	}
+	b.ReportMetric(float64(seq), "seq-ns")
+	b.ReportMetric(float64(rnd), "rnd-ns")
+	b.ReportMetric(float64(inplace), "inplace-ns")
+}
+
+// --- Figure 7: FlatStore-H vs hash baselines ---
+
+func fig7Sizes() []int { return []int{8, 64, 256} }
+
+func BenchmarkFig7FlatStoreH(b *testing.B) {
+	for _, vs := range fig7Sizes() {
+		b.Run(fmt.Sprintf("v%d", vs), func(b *testing.B) {
+			reportFlat(b, benchParams(b, vs),
+				core.Config{Mode: batch.ModePipelinedHB},
+				workload.YCSB(1, benchKeys, 0, vs, 0))
+		})
+	}
+}
+
+func BenchmarkFig7CCEH(b *testing.B) {
+	for _, vs := range fig7Sizes() {
+		b.Run(fmt.Sprintf("v%d", vs), func(b *testing.B) {
+			reportBase(b, sim.CCEH, benchParams(b, vs), workload.YCSB(1, benchKeys, 0, vs, 0))
+		})
+	}
+}
+
+func BenchmarkFig7LevelHashing(b *testing.B) {
+	for _, vs := range fig7Sizes() {
+		b.Run(fmt.Sprintf("v%d", vs), func(b *testing.B) {
+			reportBase(b, sim.LevelHash, benchParams(b, vs), workload.YCSB(1, benchKeys, 0, vs, 0))
+		})
+	}
+}
+
+func BenchmarkFig7SkewFlatStoreH(b *testing.B) {
+	reportFlat(b, benchParams(b, 8),
+		core.Config{Mode: batch.ModePipelinedHB},
+		workload.YCSB(1, benchKeys, 0.99, 8, 0))
+}
+
+// --- Figure 8: FlatStore-M vs tree baselines ---
+
+func BenchmarkFig8FlatStoreM(b *testing.B) {
+	reportFlat(b, benchParams(b, 8),
+		core.Config{Mode: batch.ModePipelinedHB, Index: core.IndexMasstree},
+		workload.YCSB(1, benchKeys, 0, 8, 0))
+}
+
+func BenchmarkFig8FlatStoreFF(b *testing.B) {
+	p := benchParams(b, 8)
+	p.Model = sim.DefaultModel()
+	p.Model.TreeIdxNS = p.Model.TreeFFIdxNS
+	reportFlat(b, p,
+		core.Config{Mode: batch.ModePipelinedHB, Index: core.IndexMasstree},
+		workload.YCSB(1, benchKeys, 0, 8, 0))
+}
+
+func BenchmarkFig8FPTree(b *testing.B) {
+	reportBase(b, sim.FPTree, benchParams(b, 8), workload.YCSB(1, benchKeys, 0, 8, 0))
+}
+
+func BenchmarkFig8FastFair(b *testing.B) {
+	reportBase(b, sim.FastFair, benchParams(b, 8), workload.YCSB(1, benchKeys, 0, 8, 0))
+}
+
+// --- Figure 9: Facebook ETC production workload ---
+
+func etcParams(b *testing.B) sim.Params {
+	const etcKeys = 150_000
+	p := benchParams(b, 8)
+	p.Preload = etcKeys
+	gen := workload.NewETC(7, etcKeys, 0)
+	p.PreloadValue = gen.SizeOf
+	p.ArenaChunks = 256
+	return p
+}
+
+func BenchmarkFig9ETC(b *testing.B) {
+	for _, mix := range []struct {
+		name string
+		get  float64
+	}{{"100put", 0}, {"50-50", 0.5}, {"5-95", 0.95}} {
+		b.Run("FlatStore-H/"+mix.name, func(b *testing.B) {
+			reportFlat(b, etcParams(b),
+				core.Config{Mode: batch.ModePipelinedHB},
+				workload.NewETC(1, 150_000, mix.get))
+		})
+		b.Run("CCEH/"+mix.name, func(b *testing.B) {
+			reportBase(b, sim.CCEH, etcParams(b), workload.NewETC(1, 150_000, mix.get))
+		})
+	}
+}
+
+// --- Figure 10: multicore scalability ---
+
+func BenchmarkFig10Scalability(b *testing.B) {
+	for _, n := range []int{1, 4, 8, 16, 26} {
+		b.Run(fmt.Sprintf("cores%d", n), func(b *testing.B) {
+			p := benchParams(b, 64)
+			p.Cores = n
+			reportFlat(b, p,
+				core.Config{Mode: batch.ModePipelinedHB},
+				workload.YCSB(1, benchKeys, 0, 64, 0))
+		})
+	}
+}
+
+// --- Figure 11: optimization ablation ---
+
+func BenchmarkFig11Ablation(b *testing.B) {
+	for _, m := range []batch.Mode{batch.ModeNone, batch.ModeNaiveHB, batch.ModePipelinedHB} {
+		b.Run(m.String(), func(b *testing.B) {
+			reportFlat(b, benchParams(b, 8),
+				core.Config{Mode: m},
+				workload.YCSB(1, benchKeys, 0, 8, 0))
+		})
+	}
+}
+
+// --- Figure 12: pipelined HB vs vertical batching ---
+
+func BenchmarkFig12VerticalVsPipelined(b *testing.B) {
+	for _, m := range []batch.Mode{batch.ModeVertical, batch.ModePipelinedHB} {
+		b.Run(m.String(), func(b *testing.B) {
+			p := benchParams(b, 64)
+			r, err := sim.FlatRun(b.Name(), p, core.Config{Mode: m}, workload.YCSB(1, benchKeys, 0, 64, 0))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(r.Mops, "virtual-Mops")
+			b.ReportMetric(float64(r.P50NS)/1000, "virtual-p50-us")
+		})
+	}
+}
+
+// --- Figure 13: GC overhead ---
+
+func BenchmarkFig13GC(b *testing.B) {
+	const etcKeys = 100_000
+	p := sim.Params{
+		Cores: 2, Clients: 64, ClientBatch: 8,
+		Ops:     max(b.N, 200_000),
+		Preload: etcKeys, ArenaChunks: 96, GC: true, WindowNS: 5_000_000,
+	}
+	gen := workload.NewETC(7, etcKeys, 0)
+	p.PreloadValue = gen.SizeOf
+	r, err := sim.FlatRun(b.Name(), p, core.Config{
+		Mode: batch.ModePipelinedHB,
+		GC:   core.GCConfig{DeadRatio: 0.5, MinFreeChunks: 8},
+	}, workload.NewETC(1, etcKeys, 0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cleaned := 0
+	for _, w := range r.Timeline {
+		cleaned += w.Cleaned
+	}
+	b.ReportMetric(r.Mops, "virtual-Mops")
+	b.ReportMetric(float64(cleaned), "chunks-cleaned")
+}
+
+// --- §3.5 recovery and the real (wall-clock) engine ---
+
+func BenchmarkRecoveryReplay(b *testing.B) {
+	st, err := core.New(core.Config{Cores: 4, Mode: batch.ModePipelinedHB, ArenaChunks: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const items = 100_000
+	gen := workload.New(workload.Config{Seed: 1, Keys: items, ValueSize: 64})
+	for key := uint64(0); key < items; key++ {
+		c := st.Core(st.CoreOf(key))
+		c.Submit(rpcPutReq(key, gen.Value(64)), 0)
+		c.TryLead()
+		c.DrainCompleted()
+		c.TakeResponses()
+		c.Flusher().FlushEvents()
+	}
+	crashed := st.Arena().Crash()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena := crashed.Crash() // fresh copy each iteration
+		re, err := core.Open(core.Config{Cores: 4, Mode: batch.ModePipelinedHB, ArenaChunks: 64, Arena: arena})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if re.Len() != items {
+			b.Fatalf("recovered %d/%d", re.Len(), items)
+		}
+	}
+	b.ReportMetric(float64(items)*float64(b.N)/b.Elapsed().Seconds(), "items/s")
+}
+
+// BenchmarkEnginePutWallClock measures the real concurrent engine on this
+// host (absolute numbers reflect the 1-CPU test machine, not the paper's
+// platform).
+func BenchmarkEnginePutWallClock(b *testing.B) {
+	st, err := core.New(core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 128,
+		GC: core.GCConfig{Enabled: true}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.Run()
+	defer st.Stop()
+	cl := st.Connect()
+	val := []byte("12345678")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put(uint64(i%1_000_000), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineGetWallClock(b *testing.B) {
+	st, err := core.New(core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.Run()
+	defer st.Stop()
+	cl := st.Connect()
+	for k := uint64(0); k < 100_000; k++ {
+		cl.Put(k, []byte("12345678"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := cl.Get(uint64(i % 100_000)); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

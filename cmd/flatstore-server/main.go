@@ -1,0 +1,144 @@
+// Command flatstore-server runs a FlatStore node as a network service:
+// the engine over the TCP transport, with the PM arena persisted to a
+// file image. On startup an existing image is recovered (crash replay or
+// checkpoint fast path, whichever the image's shutdown flag selects); on
+// SIGINT/SIGTERM the store closes cleanly (checkpoint + bitmaps + clean
+// flag) and saves the image, so the next start is fast.
+//
+//	flatstore-server -addr :7399 -data /var/lib/flatstore.img -cores 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+	"flatstore/internal/pmem"
+	"flatstore/internal/tcp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7399", "listen address")
+	data := flag.String("data", "", "arena image file (empty: volatile)")
+	cores := flag.Int("cores", 4, "server cores")
+	chunks := flag.Int("chunks", 64, "arena size in 4MB chunks (new stores)")
+	ordered := flag.Bool("ordered", false, "FlatStore-M: ordered index with scans")
+	gc := flag.Bool("gc", true, "run the log cleaners")
+	ckptEvery := flag.Duration("checkpoint", 0, "periodic runtime checkpoint interval (0: off)")
+	flag.Parse()
+
+	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery time.Duration) error {
+	idx := core.IndexHash
+	if ordered {
+		idx = core.IndexMasstree
+	}
+	cfg := core.Config{
+		Cores: cores, Mode: batch.ModePipelinedHB, Index: idx,
+		ArenaChunks: chunks, GC: core.GCConfig{Enabled: gc},
+	}
+
+	var st *core.Store
+	if data != "" {
+		if fh, err := os.Open(data); err == nil {
+			arena, rerr := pmem.ReadArena(fh)
+			fh.Close()
+			if rerr != nil {
+				return fmt.Errorf("loading %s: %w", data, rerr)
+			}
+			start := time.Now()
+			st, rerr = core.Open(core.Config{Mode: cfg.Mode, Index: idx,
+				GC: cfg.GC, Arena: arena})
+			if rerr != nil {
+				return fmt.Errorf("recovering %s: %w", data, rerr)
+			}
+			fmt.Printf("recovered %d keys from %s in %v\n",
+				st.Len(), data, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if st == nil {
+		var err error
+		st, err = core.New(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created new store (%d cores, %d MB arena, %s)\n",
+			cores, chunks*4, idx)
+	}
+	st.Run()
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := tcp.NewServer(st)
+	fmt.Printf("serving on %s\n", lis.Addr())
+
+	stopCkpt := make(chan struct{})
+	if ckptEvery > 0 {
+		go func() {
+			tick := time.NewTicker(ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					if err := st.Checkpoint(); err != nil {
+						fmt.Fprintln(os.Stderr, "checkpoint:", err)
+					}
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	select {
+	case s := <-sig:
+		fmt.Printf("\n%v: shutting down\n", s)
+	case err := <-serveErr:
+		if err != nil {
+			return err
+		}
+	}
+	close(stopCkpt)
+	srv.Close()
+	st.Stop()
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("clean shutdown: %w", err)
+	}
+	if data != "" {
+		tmp := data + ".tmp"
+		fh, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := st.Arena().WriteTo(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		if err := fh.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, data); err != nil {
+			return err
+		}
+		fmt.Printf("image saved to %s\n", data)
+	}
+	return nil
+}

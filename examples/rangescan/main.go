@@ -1,0 +1,75 @@
+// rangescan demonstrates FlatStore-M (§4.2): the engine assembled with
+// the shared Masstree-role ordered index, which adds range scans on top
+// of the same persistent OpLog. The example models a time-series of
+// sensor readings keyed by (sensor id | timestamp) and scans windows.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+// key packs a sensor id and a timestamp so that one sensor's readings are
+// contiguous in key order.
+func key(sensor uint16, ts uint32) uint64 {
+	return uint64(sensor)<<48 | uint64(ts)
+}
+
+func main() {
+	st, err := core.New(core.Config{
+		Cores:       4,
+		Mode:        batch.ModePipelinedHB,
+		Index:       core.IndexMasstree, // FlatStore-M: ordered index
+		ArenaChunks: 32,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.Run()
+	defer st.Stop()
+	cl := st.Connect()
+
+	// 3 sensors × 1000 readings each.
+	for sensor := uint16(1); sensor <= 3; sensor++ {
+		for ts := uint32(0); ts < 1000; ts++ {
+			val := make([]byte, 8)
+			binary.LittleEndian.PutUint64(val, uint64(sensor)*1_000_000+uint64(ts))
+			if err := cl.Put(key(sensor, ts), val); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("ingested %d readings across 3 sensors\n", st.Len())
+
+	// Scan sensor 2's readings in the window [100, 109].
+	pairs, err := cl.Scan(key(2, 100), key(2, 109), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor 2, ts 100..109 -> %d readings:\n", len(pairs))
+	for _, p := range pairs {
+		fmt.Printf("  ts=%d value=%d\n", uint32(p.Key), binary.LittleEndian.Uint64(p.Value))
+	}
+
+	// A bounded scan: first 5 readings of sensor 3.
+	pairs, err = cl.Scan(key(3, 0), key(3, 999), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor 3, first %d readings by key order:\n", len(pairs))
+	for _, p := range pairs {
+		fmt.Printf("  ts=%d\n", uint32(p.Key))
+	}
+
+	// Scans observe only acknowledged (durable) data: overwrite a key
+	// and scan again.
+	if err := cl.Put(key(2, 105), []byte("updated!")); err != nil {
+		log.Fatal(err)
+	}
+	pairs, _ = cl.Scan(key(2, 105), key(2, 105), 0)
+	fmt.Printf("after update: ts=105 -> %q\n", pairs[0].Value)
+}

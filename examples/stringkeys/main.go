@@ -1,0 +1,56 @@
+// stringkeys demonstrates the bigkey wrapper: FlatStore with arbitrary
+// byte-string keys (the §3.2 "larger keys out of the OpLog" extension).
+// The full key is stored inside the persistent record, so string-keyed
+// data survives crashes like everything else.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/bigkey"
+	"flatstore/internal/core"
+)
+
+func main() {
+	st, err := core.New(core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st.Run()
+	kv := bigkey.Wrap(st)
+
+	users := map[string]string{
+		"user:alice@example.com": `{"plan":"pro","since":2019}`,
+		"user:bob@example.com":   `{"plan":"free","since":2023}`,
+		"session:8f4e2a":         "alice",
+	}
+	for k, v := range users {
+		if err := kv.Put([]byte(k), []byte(v)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	v, ok, _ := kv.Get([]byte("user:alice@example.com"))
+	fmt.Printf("alice -> %s (found=%v)\n", v, ok)
+
+	if ok, _ := kv.Delete([]byte("session:8f4e2a")); ok {
+		fmt.Println("session deleted")
+	}
+
+	// String-keyed data is as crash-safe as the engine underneath.
+	st.Stop()
+	re, err := core.Open(core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 32,
+		Arena: st.Arena().Crash()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	re.Run()
+	defer re.Stop()
+	kv2 := bigkey.Wrap(re)
+	v, ok, _ = kv2.Get([]byte("user:bob@example.com"))
+	fmt.Printf("after crash: bob -> %s (found=%v)\n", v, ok)
+	if _, ok, _ := kv2.Get([]byte("session:8f4e2a")); !ok {
+		fmt.Println("after crash: deleted session stayed deleted")
+	}
+}

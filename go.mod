@@ -1,0 +1,3 @@
+module flatstore
+
+go 1.22

@@ -1,0 +1,9 @@
+package flatstore
+
+import "flatstore/internal/rpc"
+
+// rpcPutReq builds a Put request for the recovery benchmark's direct
+// engine driving.
+func rpcPutReq(key uint64, val []byte) rpc.Request {
+	return rpc.Request{ID: 1, Op: rpc.OpPut, Key: key, Value: val}
+}

@@ -1,0 +1,232 @@
+package alloc
+
+import "flatstore/internal/pmem"
+
+// BeginRecovery prepares the allocator for post-crash reconstruction: it
+// reads the persisted chunk headers (class cuts and huge spans survive a
+// crash because they are flushed when written), zeroes every bitmap, and
+// empties the free pool. The caller then invokes RecoverMark for each
+// valid pointer discovered in the OpLog and finally FinishRecovery.
+func (al *Allocator) BeginRecovery() {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	al.free = al.free[:0]
+	mem := al.arena.Mem()
+	for i := 0; i < al.n; i++ {
+		off := al.chunkOff(i)
+		magic := al.arena.ReadUint64(off)
+		switch magic & magicMask {
+		case magicClass & magicMask:
+			cs := int(magic &^ magicMask)
+			class := classIndex(cs)
+			if class < 0 || ClassSize(class) != cs {
+				// Corrupt or torn header; treat as free.
+				al.chunks[i] = chunkState{class: -1, owner: -1}
+				continue
+			}
+			capacity := (pmem.ChunkSize - headerReserve) / cs
+			al.chunks[i] = chunkState{class: class, owner: -1, capacity: capacity}
+			bm := (capacity + 7) / 8
+			for j := off + 64; j < off+64+bm; j++ {
+				mem[j] = 0
+			}
+		case magicHuge & magicMask:
+			// A huge span: remember its extent and skip the member
+			// chunks, whose leading bytes are payload, not headers.
+			n := int(magic &^ magicMask)
+			if n <= 0 || i+n > al.n {
+				al.chunks[i] = chunkState{class: -1, owner: -1}
+				continue
+			}
+			al.chunks[i] = chunkState{class: -1, owner: -1, hugeLen: n}
+			for j := i + 1; j < i+n; j++ {
+				al.chunks[j] = chunkState{class: -1, owner: -1}
+			}
+			i += n - 1
+		default:
+			al.chunks[i] = chunkState{class: -1, owner: -1}
+		}
+	}
+}
+
+// RecoverMark re-marks the block at off (allocated with the given size) as
+// live. It derives the chunk and slot exactly as described in §3.2: the
+// chunk base is off &^ (ChunkSize-1) and the slot follows from the
+// persisted class size.
+func (al *Allocator) RecoverMark(off int64, size int) {
+	if classIndex(size) < 0 {
+		al.recoverMarkHuge(off)
+		return
+	}
+	ci := al.chunkIndex(off)
+	st := &al.chunks[ci]
+	if st.class < 0 {
+		// The pointer references a chunk whose header says it is not
+		// cut — possible only for stale log entries; ignore.
+		return
+	}
+	cs := ClassSize(st.class)
+	base := al.chunkOff(ci)
+	slot := (int(off) - base - headerReserve) / cs
+	if slot < 0 || slot >= st.capacity {
+		return
+	}
+	mem := al.arena.Mem()
+	byteIdx := base + 64 + slot/8
+	mask := byte(1 << (slot % 8))
+	if mem[byteIdx]&mask != 0 {
+		return // already marked (duplicate log entries are fine)
+	}
+	mem[byteIdx] |= mask
+	st.used++
+}
+
+// RecoverMarkRawChunk re-marks a whole chunk as in use by a raw-chunk
+// owner (the OpLog's segments). Call between BeginRecovery and
+// FinishRecovery, or before RecoverFromCleanShutdown.
+func (al *Allocator) RecoverMarkRawChunk(off int64) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	i := al.chunkIndex(off)
+	al.chunks[i] = chunkState{class: -1, owner: -2, used: 1}
+}
+
+func (al *Allocator) recoverMarkHuge(off int64) {
+	start := al.chunkIndex(off - headerReserve)
+	st := &al.chunks[start]
+	if st.hugeLen <= 0 {
+		return // not a huge span recorded by BeginRecovery
+	}
+	for j := start; j < start+st.hugeLen; j++ {
+		al.chunks[j].used = 1
+	}
+}
+
+// FinishRecovery rebuilds the free pool and redistributes partially-filled
+// chunks to cores. Chunks that were cut but hold no live blocks are
+// released (their persisted class is cleared).
+func (al *Allocator) FinishRecovery() {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	f := al.arena.NewFlusher()
+	defer f.FlushEvents()
+	next := 0 // round-robin core assignment for partial chunks
+	for i := 0; i < al.n; i++ {
+		st := &al.chunks[i]
+		switch {
+		case st.hugeLen > 0 && st.used == 0:
+			// Dead huge span: release every member chunk.
+			f.PersistUint64(al.chunkOff(i), magicFree)
+			n := st.hugeLen
+			for j := i; j < i+n; j++ {
+				al.chunks[j] = chunkState{class: -1, owner: -1}
+				al.free = append(al.free, j)
+			}
+			i += n - 1
+		case st.hugeLen > 0:
+			// Live huge span: keep, assign an owner, skip members.
+			core := next % len(al.cores)
+			next++
+			for j := i; j < i+st.hugeLen; j++ {
+				al.chunks[j].owner = core
+			}
+			i += st.hugeLen - 1
+		case st.class >= 0 && st.used == 0:
+			f.PersistUint64(al.chunkOff(i), magicFree)
+			*st = chunkState{class: -1, owner: -1}
+			al.free = append(al.free, i)
+		case st.class >= 0:
+			core := next % len(al.cores)
+			next++
+			st.owner = core
+			ca := al.cores[core]
+			if ca.partial[st.class] < 0 && st.used < st.capacity {
+				ca.partial[st.class] = i
+			}
+		case st.owner == -1 && st.used == 0:
+			al.free = append(al.free, i)
+		}
+	}
+}
+
+// FlushBitmaps persists every in-use chunk's header and bitmap — the
+// normal-shutdown path (§3.5), after which recovery can load bitmaps
+// directly instead of replaying the log.
+func (al *Allocator) FlushBitmaps(f *pmem.Flusher) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	for i, st := range al.chunks {
+		if st.class < 0 {
+			continue
+		}
+		cs := ClassSize(st.class)
+		blocks := (pmem.ChunkSize - headerReserve) / cs
+		f.Flush(al.chunkOff(i), 64+(blocks+7)/8)
+	}
+	f.Fence()
+}
+
+// RecoverFromCleanShutdown rebuilds DRAM state by trusting the persisted
+// bitmaps (valid only after FlushBitmaps + a clean shutdown flag).
+func (al *Allocator) RecoverFromCleanShutdown() {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	f := al.arena.NewFlusher()
+	defer f.FlushEvents()
+	al.free = al.free[:0]
+	mem := al.arena.Mem()
+	next := 0
+	for i := 0; i < al.n; i++ {
+		if al.chunks[i].owner == -2 {
+			continue // raw log chunk re-marked by RecoverMarkRawChunk
+		}
+		off := al.chunkOff(i)
+		magic := al.arena.ReadUint64(off)
+		switch magic & magicMask {
+		case magicClass & magicMask:
+			cs := int(magic &^ magicMask)
+			class := classIndex(cs)
+			if class < 0 || ClassSize(class) != cs {
+				al.chunks[i] = chunkState{class: -1, owner: -1}
+				al.free = append(al.free, i)
+				continue
+			}
+			capacity := (pmem.ChunkSize - headerReserve) / cs
+			used := 0
+			for s := 0; s < capacity; s++ {
+				if mem[off+64+s/8]&(1<<(s%8)) != 0 {
+					used++
+				}
+			}
+			if used == 0 {
+				f.PersistUint64(off, magicFree)
+				al.chunks[i] = chunkState{class: -1, owner: -1}
+				al.free = append(al.free, i)
+				continue
+			}
+			core := next % len(al.cores)
+			next++
+			al.chunks[i] = chunkState{class: class, owner: core, used: used, capacity: capacity}
+			if used < capacity && al.cores[core].partial[class] < 0 {
+				al.cores[core].partial[class] = i
+			}
+		case magicHuge & magicMask:
+			n := int(magic &^ magicMask)
+			if n <= 0 || i+n > al.n {
+				al.chunks[i] = chunkState{class: -1, owner: -1}
+				al.free = append(al.free, i)
+				continue
+			}
+			core := next % len(al.cores)
+			next++
+			al.chunks[i] = chunkState{class: -1, owner: core, used: 1, hugeLen: n}
+			for j := i + 1; j < i+n; j++ {
+				al.chunks[j] = chunkState{class: -1, owner: core, used: 1}
+			}
+			i += n - 1
+		default:
+			al.chunks[i] = chunkState{class: -1, owner: -1}
+			al.free = append(al.free, i)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package batch implements the coordination layer of FlatStore's
+// horizontal batching (§3.3): per-core pending pools that a leader core
+// steals from, and the per-group lock whose hold time distinguishes naive
+// from pipelined HB.
+//
+// A Put is split into three phases. The l-persist phase (record
+// allocation and persistence) and the volatile phase (index update,
+// client reply) stay on the owning core; only the g-persist phase — the
+// batched flush of log entries — is centralized on whichever core wins
+// the group lock. Under pipelined HB the leader drops the lock right
+// after collecting the entries, so the next batch forms while the current
+// one is still flushing; under naive HB the lock is held across the
+// flush. Vertical batching is the degenerate group of size one (the
+// paper notes this equivalence in §5.4).
+package batch
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flatstore/internal/oplog"
+)
+
+// Mode selects the persistence strategy (the Figure 11 ablation axis).
+type Mode int
+
+const (
+	// ModeNone appends and flushes every log entry individually (the
+	// "Base" configuration of Figure 11).
+	ModeNone Mode = iota
+	// ModeVertical batches only a core's own requests (group size 1).
+	ModeVertical
+	// ModeNaiveHB steals entries group-wide but holds the group lock
+	// until the batch is durable.
+	ModeNaiveHB
+	// ModePipelinedHB steals group-wide and releases the lock right
+	// after collection, overlapping adjacent batches.
+	ModePipelinedHB
+)
+
+// String names the mode for reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeVertical:
+		return "vertical"
+	case ModeNaiveHB:
+		return "naive-hb"
+	case ModePipelinedHB:
+		return "pipelined-hb"
+	}
+	return "unknown"
+}
+
+// PendingOp is one to-be-persisted log entry travelling from its owning
+// core through a leader's batch and back.
+type PendingOp struct {
+	Entry *oplog.Entry
+	// Off is the entry's durable log offset, set by the leader before
+	// Done is published.
+	Off int64
+	// Owner is the publishing core's id (the simulator groups batch
+	// completions by owner).
+	Owner int
+	// Ctx carries the owning core's request context (opaque here).
+	Ctx any
+
+	done atomic.Bool
+}
+
+// MarkDone publishes completion (leader side, after the flush).
+func (p *PendingOp) MarkDone() { p.done.Store(true) }
+
+// Done reports whether the entry is durable (owner side).
+func (p *PendingOp) Done() bool { return p.done.Load() }
+
+// pool is one core's pending-entry mailbox. The owner publishes; leaders
+// (serialized by the group lock) collect.
+type pool struct {
+	mu  sync.Mutex
+	ops []*PendingOp
+}
+
+func (p *pool) publish(op *PendingOp) {
+	p.mu.Lock()
+	p.ops = append(p.ops, op)
+	p.mu.Unlock()
+}
+
+func (p *pool) collect(into []*PendingOp) []*PendingOp {
+	p.mu.Lock()
+	into = append(into, p.ops...)
+	p.ops = p.ops[:0]
+	p.mu.Unlock()
+	return into
+}
+
+func (p *pool) empty() bool {
+	p.mu.Lock()
+	e := len(p.ops) == 0
+	p.mu.Unlock()
+	return e
+}
+
+// Group is one HB group: the cores that steal from each other.
+type Group struct {
+	mode  Mode
+	pools []*pool
+	lock  atomic.Bool // the §3.3 "global lock", scoped per group
+
+	// Stats.
+	batches atomic.Uint64
+	stolen  atomic.Uint64
+	leads   atomic.Uint64
+}
+
+// NewGroup creates a group of n member cores.
+func NewGroup(mode Mode, n int) *Group {
+	g := &Group{mode: mode, pools: make([]*pool, n)}
+	for i := range g.pools {
+		g.pools[i] = &pool{}
+	}
+	return g
+}
+
+// Mode returns the group's batching mode.
+func (g *Group) Mode() Mode { return g.mode }
+
+// Size returns the number of member cores.
+func (g *Group) Size() int { return len(g.pools) }
+
+// Publish adds an entry to member's pending pool (end of l-persist).
+func (g *Group) Publish(member int, op *PendingOp) {
+	g.pools[member].publish(op)
+}
+
+// HasPending reports whether member has unpersisted published entries.
+func (g *Group) HasPending(member int) bool {
+	return !g.pools[member].empty()
+}
+
+// AnyPending reports whether any member has unpersisted published
+// entries. Idle cores use it to volunteer as leaders — the paper's
+// observation that "non-busy cores have higher opportunity to become the
+// leader, and help the busy cores flush" (§5.1) depends on this.
+func (g *Group) AnyPending() bool {
+	for _, p := range g.pools {
+		if !p.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// TryLead attempts to acquire the group lock. The winner must call
+// Collect and eventually Unlock.
+func (g *Group) TryLead() bool {
+	if g.lock.CompareAndSwap(false, true) {
+		g.leads.Add(1)
+		return true
+	}
+	return false
+}
+
+// Collect steals every published entry in the group (leader only). The
+// leader's own entries are included — it "steals from itself" too.
+func (g *Group) Collect(leader int) []*PendingOp {
+	var ops []*PendingOp
+	for i, p := range g.pools {
+		before := len(ops)
+		ops = p.collect(ops)
+		if i != leader {
+			g.stolen.Add(uint64(len(ops) - before))
+		}
+	}
+	if len(ops) > 0 {
+		g.batches.Add(1)
+	}
+	return ops
+}
+
+// Unlock releases the group lock.
+func (g *Group) Unlock() { g.lock.Store(false) }
+
+// GroupStats summarizes a group's batching behaviour.
+type GroupStats struct {
+	Batches uint64 // non-empty collections
+	Stolen  uint64 // entries persisted by a non-owning core
+	Leads   uint64 // successful lock acquisitions
+}
+
+// Stats snapshots the group counters.
+func (g *Group) Stats() GroupStats {
+	return GroupStats{
+		Batches: g.batches.Load(),
+		Stolen:  g.stolen.Load(),
+		Leads:   g.leads.Load(),
+	}
+}

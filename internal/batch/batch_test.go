@@ -1,0 +1,141 @@
+package batch
+
+import (
+	"sync"
+	"testing"
+
+	"flatstore/internal/oplog"
+)
+
+func op(key uint64) *PendingOp {
+	return &PendingOp{Entry: &oplog.Entry{Op: oplog.OpPut, Key: key, Ptr: 256}}
+}
+
+func TestModeString(t *testing.T) {
+	want := map[Mode]string{
+		ModeNone: "none", ModeVertical: "vertical",
+		ModeNaiveHB: "naive-hb", ModePipelinedHB: "pipelined-hb",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestPublishCollect(t *testing.T) {
+	g := NewGroup(ModePipelinedHB, 3)
+	g.Publish(0, op(1))
+	g.Publish(1, op(2))
+	g.Publish(1, op(3))
+	if !g.TryLead() {
+		t.Fatal("lock should be free")
+	}
+	ops := g.Collect(2)
+	g.Unlock()
+	if len(ops) != 3 {
+		t.Fatalf("collected %d, want 3", len(ops))
+	}
+	st := g.Stats()
+	if st.Stolen != 3 { // leader 2 owns none of them
+		t.Errorf("stolen = %d, want 3", st.Stolen)
+	}
+	if st.Batches != 1 || st.Leads != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Pools are drained.
+	if g.HasPending(0) || g.HasPending(1) {
+		t.Error("pools not drained")
+	}
+}
+
+func TestOwnEntriesNotCountedStolen(t *testing.T) {
+	g := NewGroup(ModePipelinedHB, 2)
+	g.Publish(0, op(1))
+	g.TryLead()
+	g.Collect(0)
+	g.Unlock()
+	if st := g.Stats(); st.Stolen != 0 {
+		t.Errorf("stolen = %d for own entry", st.Stolen)
+	}
+}
+
+func TestLockExcludes(t *testing.T) {
+	g := NewGroup(ModeNaiveHB, 2)
+	if !g.TryLead() {
+		t.Fatal("first TryLead failed")
+	}
+	if g.TryLead() {
+		t.Fatal("second TryLead succeeded while held")
+	}
+	g.Unlock()
+	if !g.TryLead() {
+		t.Fatal("TryLead failed after unlock")
+	}
+	g.Unlock()
+}
+
+func TestDoneFlag(t *testing.T) {
+	o := op(1)
+	if o.Done() {
+		t.Fatal("fresh op already done")
+	}
+	o.Off = 4096
+	o.MarkDone()
+	if !o.Done() {
+		t.Fatal("MarkDone not visible")
+	}
+}
+
+func TestEmptyCollectNotCountedAsBatch(t *testing.T) {
+	g := NewGroup(ModePipelinedHB, 2)
+	g.TryLead()
+	if ops := g.Collect(0); len(ops) != 0 {
+		t.Fatal("collected from empty pools")
+	}
+	g.Unlock()
+	if g.Stats().Batches != 0 {
+		t.Error("empty collection counted as batch")
+	}
+}
+
+func TestConcurrentPublishAndSteal(t *testing.T) {
+	g := NewGroup(ModePipelinedHB, 4)
+	const per = 2000
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	collected := map[uint64]bool{}
+	for m := 0; m < 4; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Publish(m, op(uint64(m*per+i)))
+				if g.TryLead() {
+					ops := g.Collect(m)
+					g.Unlock()
+					mu.Lock()
+					for _, o := range ops {
+						if collected[o.Entry.Key] {
+							t.Errorf("entry %d collected twice", o.Entry.Key)
+						}
+						collected[o.Entry.Key] = true
+					}
+					mu.Unlock()
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	// Final sweep.
+	g.TryLead()
+	mu.Lock()
+	for _, o := range g.Collect(0) {
+		collected[o.Entry.Key] = true
+	}
+	mu.Unlock()
+	g.Unlock()
+	if len(collected) != 4*per {
+		t.Fatalf("collected %d unique entries, want %d", len(collected), 4*per)
+	}
+}

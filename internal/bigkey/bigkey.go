@@ -1,0 +1,223 @@
+// Package bigkey extends FlatStore to arbitrary byte-string keys. The
+// paper's engine fixes keys at 8 bytes but notes that "FlatStore can
+// place the keys out of the OpLog to support larger keys, as we do with
+// the values" (§3.2) — which is exactly what this wrapper does: the full
+// key travels inside the stored record (so it is persistent and survives
+// recovery), while the engine is addressed by a 64-bit hash of the key,
+// with bounded open-addressing probes to resolve hash collisions.
+//
+// Records are encoded as [klen u32][key][value]. Deleting a key leaves a
+// bridge record (klen = 2^32-1) so probe chains through the deleted slot
+// stay intact; bridges are reused by later inserts and reclaimed when the
+// chain end shrinks past them.
+//
+// Concurrency: operations on the same byte-string key serialize through
+// the engine's per-core conflict machinery (same hash → same slots →
+// same cores). Two *different* keys whose probe windows overlap may race
+// on a first-insert; the loser's record survives under its next probe
+// slot, so no write is lost unless more than maxProbes distinct keys
+// collide on one slot window (ErrTooManyCollisions).
+package bigkey
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flatstore/internal/core"
+)
+
+// maxProbes bounds the open-addressing chain per slot window.
+const maxProbes = 16
+
+// bridgeKlen marks a deleted slot that keeps its probe chain connected.
+const bridgeKlen = ^uint32(0)
+
+// ErrTooManyCollisions reports an exhausted probe window — practically
+// unreachable below billions of keys with a 64-bit hash.
+var ErrTooManyCollisions = errors.New("bigkey: too many hash collisions")
+
+// Store wraps a FlatStore node with byte-string keys.
+type Store struct {
+	cl *core.Client
+}
+
+// Wrap attaches to a running store.
+func Wrap(st *core.Store) *Store {
+	return &Store{cl: st.Connect()}
+}
+
+// hash is 64-bit FNV-1a.
+func hash(key []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// slot derives the i-th probe slot for a hash. It is a variable so tests
+// can inject a tiny slot space and exercise collision chains, which are
+// unreachable by construction with 64-bit hashing.
+var slot = func(h uint64, i int) uint64 {
+	x := h + uint64(i)*0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	return x ^ x>>32
+}
+
+// encode builds the on-PM record.
+func encode(key, value []byte) []byte {
+	buf := make([]byte, 4+len(key)+len(value))
+	binary.LittleEndian.PutUint32(buf, uint32(len(key)))
+	copy(buf[4:], key)
+	copy(buf[4+len(key):], value)
+	return buf
+}
+
+// decode splits a record; ok=false for bridges.
+func decode(rec []byte) (key, value []byte, ok bool) {
+	if len(rec) < 4 {
+		return nil, nil, false
+	}
+	klen := binary.LittleEndian.Uint32(rec)
+	if klen == bridgeKlen || int(klen) > len(rec)-4 {
+		return nil, nil, false
+	}
+	return rec[4 : 4+klen], rec[4+klen:], true
+}
+
+var bridge = binary.LittleEndian.AppendUint32(nil, bridgeKlen)
+
+// Put stores key → value.
+func (s *Store) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("bigkey: empty key")
+	}
+	h := hash(key)
+	firstFree := -1
+	for i := 0; i < maxProbes; i++ {
+		rec, present, err := s.cl.Get(slot(h, i))
+		if err != nil {
+			return err
+		}
+		if !present {
+			// End of chain: insert here, or into an earlier bridge.
+			target := i
+			if firstFree >= 0 {
+				target = firstFree
+			}
+			return s.cl.Put(slot(h, target), encode(key, value))
+		}
+		k, _, ok := decode(rec)
+		if !ok {
+			if firstFree < 0 {
+				firstFree = i // reusable bridge
+			}
+			continue
+		}
+		if bytes.Equal(k, key) {
+			return s.cl.Put(slot(h, i), encode(key, value))
+		}
+	}
+	if firstFree >= 0 {
+		return s.cl.Put(slot(h, firstFree), encode(key, value))
+	}
+	return ErrTooManyCollisions
+}
+
+// Get fetches the value for key.
+func (s *Store) Get(key []byte) (value []byte, present bool, err error) {
+	h := hash(key)
+	for i := 0; i < maxProbes; i++ {
+		rec, ok, err := s.cl.Get(slot(h, i))
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil // end of chain
+		}
+		k, v, valid := decode(rec)
+		if valid && bytes.Equal(k, key) {
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Delete removes key, leaving a bridge if the probe chain continues past
+// the slot (and truncating trailing bridges when it does not).
+func (s *Store) Delete(key []byte) (present bool, err error) {
+	h := hash(key)
+	for i := 0; i < maxProbes; i++ {
+		rec, ok, err := s.cl.Get(slot(h, i))
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+		k, _, valid := decode(rec)
+		if !valid || !bytes.Equal(k, key) {
+			continue
+		}
+		// Is there a live record after this slot?
+		tail := false
+		for j := i + 1; j < maxProbes; j++ {
+			rec2, ok2, err := s.cl.Get(slot(h, j))
+			if err != nil {
+				return false, err
+			}
+			if !ok2 {
+				break
+			}
+			if _, _, valid2 := decode(rec2); valid2 {
+				tail = true
+				break
+			}
+		}
+		if tail {
+			// Keep the chain connected.
+			return true, s.cl.Put(slot(h, i), bridge)
+		}
+		// Chain ends here: remove the slot and any trailing bridges
+		// (before and after it).
+		if _, err := s.cl.Delete(slot(h, i)); err != nil {
+			return false, err
+		}
+		for j := i + 1; j < maxProbes; j++ {
+			rec2, ok2, err := s.cl.Get(slot(h, j))
+			if err != nil {
+				return true, err
+			}
+			if !ok2 {
+				break
+			}
+			if _, _, valid2 := decode(rec2); valid2 {
+				break // unreachable given tail==false; defensive
+			}
+			if _, err := s.cl.Delete(slot(h, j)); err != nil {
+				return true, err
+			}
+		}
+		for j := i - 1; j >= 0; j-- {
+			rec2, ok2, err := s.cl.Get(slot(h, j))
+			if err != nil {
+				return true, err
+			}
+			if !ok2 {
+				break
+			}
+			if _, _, valid2 := decode(rec2); valid2 {
+				break
+			}
+			if _, err := s.cl.Delete(slot(h, j)); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,206 @@
+package bigkey
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+func newStore(t *testing.T) (*core.Store, *Store) {
+	t.Helper()
+	st, err := core.New(core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	t.Cleanup(st.Stop)
+	return st, Wrap(st)
+}
+
+func TestStringKeysBasic(t *testing.T) {
+	_, s := newStore(t)
+	if err := s.Put([]byte("user:alice"), []byte("1984")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("user:bob"), []byte("1337")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s.Get([]byte("user:alice"))
+	if !ok || string(v) != "1984" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if _, ok, _ := s.Get([]byte("user:carol")); ok {
+		t.Fatal("missing key found")
+	}
+	// Update.
+	s.Put([]byte("user:alice"), []byte("2001"))
+	v, _, _ = s.Get([]byte("user:alice"))
+	if string(v) != "2001" {
+		t.Fatalf("update lost: %q", v)
+	}
+	// Delete.
+	if ok, _ := s.Delete([]byte("user:alice")); !ok {
+		t.Fatal("delete missed")
+	}
+	if _, ok, _ := s.Get([]byte("user:alice")); ok {
+		t.Fatal("deleted key found")
+	}
+	if ok, _ := s.Delete([]byte("user:alice")); ok {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestLongKeysAndValues(t *testing.T) {
+	_, s := newStore(t)
+	key := bytes.Repeat([]byte("k"), 4096)
+	val := bytes.Repeat([]byte("v"), 8192)
+	if err := s.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := s.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("long key/value roundtrip failed")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	_, s := newStore(t)
+	if err := s.Put(nil, []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestManyKeysVsModel(t *testing.T) {
+	_, s := newStore(t)
+	rng := rand.New(rand.NewSource(4))
+	model := map[string][]byte{}
+	for i := 0; i < 3000; i++ {
+		key := []byte(fmt.Sprintf("key-%d", rng.Intn(700)))
+		switch rng.Intn(4) {
+		case 0, 1:
+			val := make([]byte, 1+rng.Intn(300))
+			rng.Read(val)
+			if err := s.Put(key, val); err != nil {
+				t.Fatal(err)
+			}
+			model[string(key)] = val
+		case 2:
+			got, ok, _ := s.Get(key)
+			want, wok := model[string(key)]
+			if ok != wok || (ok && !bytes.Equal(got, want)) {
+				t.Fatalf("op %d: Get(%s) mismatch", i, key)
+			}
+		case 3:
+			ok, _ := s.Delete(key)
+			if _, wok := model[string(key)]; ok != wok {
+				t.Fatalf("op %d: Delete(%s) = %v", i, key, ok)
+			}
+			delete(model, string(key))
+		}
+	}
+	for k, want := range model {
+		got, ok, _ := s.Get([]byte(k))
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("final: key %s mismatch", k)
+		}
+	}
+}
+
+// TestProbeChainWithDeletesInMiddle injects a 1-slot-wide first probe so
+// every key collides, exercising chains and bridges (white-box: 64-bit
+// hashing makes organic collisions unreachable).
+func TestProbeChainWithDeletesInMiddle(t *testing.T) {
+	orig := slot
+	slot = func(h uint64, i int) uint64 { return 7 + uint64(i) }
+	defer func() { slot = orig }()
+	_, s := newStore(t)
+	ks := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	for i, k := range ks {
+		if err := s.Put(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete the middle of the chain; the tail must stay reachable via
+	// the bridge.
+	if ok, _ := s.Delete(ks[1]); !ok {
+		t.Fatal("middle delete failed")
+	}
+	if v, ok, _ := s.Get(ks[2]); !ok || v[0] != 2 {
+		t.Fatal("chain broken past deleted slot")
+	}
+	// Re-insert reuses the bridge.
+	if err := s.Put(ks[1], []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := s.Get(ks[1]); !ok || v[0] != 9 {
+		t.Fatal("bridge reuse failed")
+	}
+	// Deleting the chain tail truncates trailing bridges: delete the
+	// last two, then the first key must still be reachable and a fresh
+	// key must insert at the freed depth.
+	if ok, _ := s.Delete(ks[2]); !ok {
+		t.Fatal("tail delete failed")
+	}
+	if ok, _ := s.Delete(ks[1]); !ok {
+		t.Fatal("second delete failed")
+	}
+	if v, ok, _ := s.Get(ks[0]); !ok || v[0] != 0 {
+		t.Fatal("chain head lost after truncation")
+	}
+}
+
+func TestProbeWindowExhaustion(t *testing.T) {
+	orig := slot
+	slot = func(h uint64, i int) uint64 { return 100 + uint64(i) }
+	defer func() { slot = orig }()
+	_, s := newStore(t)
+	for i := 0; i < maxProbes; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("x%d", i)), []byte("v")); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := s.Put([]byte("overflow"), []byte("v")); err != ErrTooManyCollisions {
+		t.Fatalf("err = %v, want ErrTooManyCollisions", err)
+	}
+	// All existing keys remain reachable.
+	for i := 0; i < maxProbes; i++ {
+		if _, ok, _ := s.Get([]byte(fmt.Sprintf("x%d", i))); !ok {
+			t.Fatalf("key x%d lost", i)
+		}
+	}
+}
+
+func TestSurvivesCrash(t *testing.T) {
+	st, s := newStore(t)
+	for i := 0; i < 500; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete([]byte("k7"))
+	st.Stop()
+	re, err := core.Open(core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 32, Arena: st.Arena().Crash()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Run()
+	defer re.Stop()
+	s2 := Wrap(re)
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%d", i)
+		v, ok, _ := s2.Get([]byte(k))
+		if i == 7 {
+			if ok {
+				t.Fatal("deleted big key resurrected")
+			}
+			continue
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %s lost after crash: %q %v", k, v, ok)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+
+	"flatstore/internal/rpc"
+)
+
+// Client is a synchronous convenience wrapper over a FlatRPC connection:
+// it routes each request to the owning server core by key hash (as the
+// paper's clients do) and waits for the response. For throughput-oriented
+// asynchronous batching, use Raw to reach the underlying rpc.Client.
+type Client struct {
+	st *Store
+	c  *rpc.Client
+}
+
+// ErrServer reports a server-side failure (e.g. out of PM space).
+var ErrServer = errors.New("flatstore: server error")
+
+// Raw exposes the underlying transport client for asynchronous use.
+func (cl *Client) Raw() *rpc.Client { return cl.c }
+
+// call sends one request to the owning core and spins for its response.
+func (cl *Client) call(core int, req rpc.Request) rpc.Response {
+	for !cl.c.Send(core, req) {
+		runtime.Gosched()
+	}
+	for {
+		if rs := cl.c.Poll(1); len(rs) == 1 {
+			return rs[0]
+		}
+		runtime.Gosched()
+	}
+}
+
+// Put stores a key-value pair, returning after it is durable.
+func (cl *Client) Put(key uint64, value []byte) error {
+	resp := cl.call(cl.st.CoreOf(key), rpc.Request{Op: rpc.OpPut, Key: key, Value: value})
+	if resp.Status != rpc.StatusOK {
+		return ErrServer
+	}
+	return nil
+}
+
+// Get fetches a value; ok reports presence.
+func (cl *Client) Get(key uint64) (value []byte, ok bool, err error) {
+	resp := cl.call(cl.st.CoreOf(key), rpc.Request{Op: rpc.OpGet, Key: key})
+	switch resp.Status {
+	case rpc.StatusOK:
+		return resp.Value, true, nil
+	case rpc.StatusNotFound:
+		return nil, false, nil
+	}
+	return nil, false, ErrServer
+}
+
+// Delete removes a key; ok reports whether it existed.
+func (cl *Client) Delete(key uint64) (ok bool, err error) {
+	resp := cl.call(cl.st.CoreOf(key), rpc.Request{Op: rpc.OpDelete, Key: key})
+	switch resp.Status {
+	case rpc.StatusOK:
+		return true, nil
+	case rpc.StatusNotFound:
+		return false, nil
+	}
+	return false, ErrServer
+}
+
+// Scan returns up to limit pairs with keys in [lo, hi], ascending.
+// Requires FlatStore-M (an ordered index); FlatStore-H returns ErrServer.
+// The scan is served by one core; any core can walk the shared tree.
+func (cl *Client) Scan(lo, hi uint64, limit int) ([]rpc.Pair, error) {
+	resp := cl.call(cl.st.CoreOf(lo), rpc.Request{Op: rpc.OpScan, Key: lo, ScanHi: hi, Limit: limit})
+	if resp.Status != rpc.StatusOK {
+		return nil, ErrServer
+	}
+	return resp.Pairs, nil
+}

@@ -1,0 +1,141 @@
+// Package core assembles FlatStore: per-core compacted OpLogs and
+// lazy-persist allocation below, a volatile index (per-core CCEH hash for
+// FlatStore-H, shared Masstree-role B+-tree for FlatStore-M) above, and
+// pipelined horizontal batching in between (§3). The engine runs one
+// goroutine per server core plus one log cleaner per HB group; requests
+// arrive through the FlatRPC transport and are routed to cores by key
+// hash, exactly as the paper's clients do.
+package core
+
+import (
+	"fmt"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/pmem"
+)
+
+// IndexKind selects the volatile index — the FlatStore-H / FlatStore-M
+// axis of the evaluation.
+type IndexKind int
+
+const (
+	// IndexHash gives FlatStore-H: one CCEH-style hash table per core.
+	IndexHash IndexKind = iota
+	// IndexMasstree gives FlatStore-M: one shared ordered tree, range
+	// scans supported.
+	IndexMasstree
+)
+
+func (k IndexKind) String() string {
+	switch k {
+	case IndexHash:
+		return "FlatStore-H"
+	case IndexMasstree:
+		return "FlatStore-M"
+	}
+	return "unknown"
+}
+
+// GCConfig tunes the log cleaner (§3.4).
+type GCConfig struct {
+	// Enabled starts one cleaner per HB group in Run.
+	Enabled bool
+	// DeadRatio is the garbage fraction above which a closed chunk
+	// becomes a victim.
+	DeadRatio float64
+	// MinFreeChunks forces cleaning (even below DeadRatio) when the
+	// allocator's free pool drops this low.
+	MinFreeChunks int
+}
+
+// Config assembles a Store.
+type Config struct {
+	// Cores is the number of server cores (≤ MaxCores).
+	Cores int
+	// GroupSize is the HB group width; 0 means one group spanning all
+	// cores (the paper's one-group-per-socket advice maps to setting
+	// this to the socket width).
+	GroupSize int
+	// Mode is the batching strategy (Figure 11's ablation axis).
+	Mode batch.Mode
+	// Index picks FlatStore-H or FlatStore-M.
+	Index IndexKind
+	// ArenaChunks sizes the PM arena in 4 MB chunks (minimum 4:
+	// superblock + one log chunk per core + allocator headroom).
+	ArenaChunks int
+	// Arena optionally supplies an existing arena (recovery, custom
+	// clocks); nil creates a fresh one of ArenaChunks.
+	Arena *pmem.Arena
+	// InlineMax is the largest value embedded in a log entry (§3.2's
+	// 256 B; must be ≤ oplog.MaxInline). Negative disables inlining
+	// entirely — every value goes through the allocator (the ablation
+	// knob for the compacted-log design choice).
+	InlineMax int
+	// MaxPoll bounds requests pulled from the rings per loop
+	// iteration; it also caps vertical batch size.
+	MaxPoll int
+	// GC tunes the cleaner.
+	GC GCConfig
+}
+
+// MaxCores bounds the per-core metadata slots in the superblock.
+const MaxCores = 60
+
+func (c *Config) validate() error {
+	if c.Cores <= 0 || c.Cores > MaxCores {
+		return fmt.Errorf("core: Cores must be in [1,%d], got %d", MaxCores, c.Cores)
+	}
+	if c.GroupSize < 0 || c.GroupSize > c.Cores {
+		return fmt.Errorf("core: GroupSize %d out of range", c.GroupSize)
+	}
+	if c.GroupSize == 0 {
+		c.GroupSize = c.Cores
+	}
+	if c.Mode == batch.ModeNone || c.Mode == batch.ModeVertical {
+		c.GroupSize = 1
+	}
+	if c.InlineMax == 0 {
+		c.InlineMax = 256
+	}
+	if c.InlineMax < 0 {
+		c.InlineMax = -1 // inlining disabled
+	}
+	if c.InlineMax > 256 {
+		return fmt.Errorf("core: InlineMax %d exceeds the 256 B log-entry limit", c.InlineMax)
+	}
+	if c.MaxPoll == 0 {
+		c.MaxPoll = 16
+	}
+	if c.ArenaChunks == 0 {
+		c.ArenaChunks = c.Cores + 8
+	}
+	if c.ArenaChunks < c.Cores+2 {
+		return fmt.Errorf("core: ArenaChunks %d too small for %d cores", c.ArenaChunks, c.Cores)
+	}
+	if c.GC.DeadRatio == 0 {
+		c.GC.DeadRatio = 0.5
+	}
+	if c.GC.MinFreeChunks == 0 {
+		c.GC.MinFreeChunks = 2
+	}
+	return nil
+}
+
+// Superblock layout (chunk 0 of the arena). Every field sits on its own
+// cacheline so persisting one never stalls on another (§2.3).
+const (
+	superMagic = 0xF1A7_5708_2020_0001
+
+	offMagic    = 0
+	offFlag     = 64   // shutdown flag: 1 = clean, 0 = dirty
+	offCkpt     = 128  // checkpoint descriptor: ptr, len
+	offCores    = 192  // number of server cores the arena was formatted for
+	offCoreMeta = 4096 // + core*64: per-core log metadata (head, tail)
+	offJournal  = 8192 // + group*64: cleaner journal slot (survivor chunk)
+
+	flagClean = 1
+	flagDirty = 0
+)
+
+func coreMetaOff(core int) int { return offCoreMeta + core*64 }
+func journalOff(group int) int { return offJournal + group*64 }

@@ -1,0 +1,507 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/batch"
+	"flatstore/internal/index"
+	"flatstore/internal/oplog"
+	"flatstore/internal/pmem"
+	"flatstore/internal/record"
+	"flatstore/internal/rpc"
+)
+
+// Core is one server core: it polls its message buffers, runs the
+// l-persist phase locally, publishes entries for horizontal batching, and
+// finishes the volatile phase when the leader signals durability.
+//
+// The public per-step methods (Submit, TryLead, DrainCompleted,
+// TakeResponses) exist so the virtual-time simulator can drive a core
+// explicitly; Run's goroutine loop composes them in Step.
+type Core struct {
+	st     *Store
+	id     int
+	f      *pmem.Flusher
+	ca     *alloc.CoreAlloc
+	log    *oplog.Log
+	idx    index.Index
+	group  *batch.Group
+	member int
+	port   *rpc.CorePort
+
+	// idxMu serializes index+registry access between this core and the
+	// group cleaner. Uncontended in the hot path.
+	idxMu sync.Mutex
+	// busy is the conflict queue (§3.3 Discussion): keys with in-flight
+	// modifications, and the requests deferred behind them.
+	busy map[uint64]*inflight
+	// reg tracks per-key version continuity and stale-entry counts for
+	// tombstone reclamation (rebuilt on recovery).
+	reg map[uint64]*keyMeta
+
+	pending []*batch.PendingOp // own published ops, FIFO
+	outbox  []Outgoing         // responses awaiting transmission
+
+	reads uint64 // PM reads (for the simulator's cost model)
+}
+
+// keyMeta is the per-key GC bookkeeping: the highest version ever issued
+// (so versions keep increasing across deletes) and the number of stale
+// Put entries still sitting in un-cleaned chunks (a tombstone may only be
+// reclaimed once that count reaches zero, or a crash could resurrect an
+// older Put).
+type keyMeta struct {
+	lastVer uint32
+	stale   int32
+	deleted bool
+}
+
+// deferred is a request parked behind a conflicting in-flight key.
+type deferred struct {
+	req    rpc.Request
+	client int
+}
+
+// inflight tracks a key with unacknowledged modifications. Puts to the
+// same key PIPELINE: each is assigned the next version at submission, and
+// completions apply in publication (hence version) order, so a skewed
+// stream of writes to one hot key is not serialized on persist latency.
+// Reads and deletes, however, must observe the effects of earlier writes
+// (the §3.3 reordering discussion), so they park in waiters until the
+// in-flight count drains to zero; once anything is parked, later writes
+// park behind it too, preserving arrival order per key.
+type inflight struct {
+	count   int   // unacknowledged puts/deletes
+	lastVer uint32 // version handed to the most recent in-flight op
+	waiters []deferred
+}
+
+// Outgoing is a response with its destination client.
+type Outgoing struct {
+	Client int
+	Resp   rpc.Response
+}
+
+// opCtx travels with a PendingOp from Submit to completion. What the op
+// supersedes is determined at completion time (writes pipeline per key).
+type opCtx struct {
+	client  int
+	reqID   uint64
+	op      uint8 // rpc.OpPut or rpc.OpDelete
+	key     uint64
+	version uint32
+}
+
+// ID returns the core's id.
+func (c *Core) ID() int { return c.id }
+
+// Flusher exposes the core's flusher (the simulator drains its events).
+func (c *Core) Flusher() *pmem.Flusher { return c.f }
+
+// Log exposes the core's OpLog.
+func (c *Core) Log() *oplog.Log { return c.log }
+
+// Index exposes the core's volatile index.
+func (c *Core) Index() index.Index { return c.idx }
+
+// TakeReads returns and clears the core's PM read count.
+func (c *Core) TakeReads() uint64 {
+	r := c.reads
+	c.reads = 0
+	return r
+}
+
+// Step runs one iteration of the core loop: finish completed ops, drain
+// agent duties, poll up to MaxPoll requests, attempt to lead a batch, and
+// transmit responses. Returns whether any work was done.
+func (c *Core) Step() bool {
+	worked := c.DrainCompleted() > 0
+	if c.port != nil {
+		if c.port.DrainDelegated() > 0 {
+			worked = true
+		}
+		for i := 0; i < c.st.cfg.MaxPoll; i++ {
+			req, client, ok := c.port.Poll()
+			if !ok {
+				break
+			}
+			c.Submit(req, client)
+			worked = true
+		}
+	}
+	if c.group.AnyPending() {
+		c.TryLead()
+		if c.group.Mode() == batch.ModeNaiveHB {
+			// Naive HB: block until this core's posted entries are
+			// durable before touching the next request (Figure 4c).
+			for c.hasPendingOwn() {
+				if c.TryLead() == 0 && c.DrainCompleted() == 0 {
+					runtime.Gosched() // another core is leading
+				}
+			}
+		}
+		worked = true
+	}
+	worked = c.flushOutbox() || worked
+	return worked
+}
+
+func (c *Core) hasPendingOwn() bool {
+	for _, op := range c.pending {
+		if !op.Done() {
+			return true
+		}
+	}
+	return false
+}
+
+// flushOutbox transmits queued responses through the port.
+func (c *Core) flushOutbox() bool {
+	if c.port == nil || len(c.outbox) == 0 {
+		return false
+	}
+	for _, o := range c.outbox {
+		c.port.Respond(o.Client, o.Resp)
+	}
+	c.outbox = c.outbox[:0]
+	return true
+}
+
+// TakeResponses hands the queued responses to a simulator (which owns
+// transmission in virtual time).
+func (c *Core) TakeResponses() []Outgoing {
+	out := c.outbox
+	c.outbox = nil
+	return out
+}
+
+// Submit processes one request through the engine's state machine. Reads
+// respond immediately; writes run their l-persist phase and are published
+// for batching (or, in ModeNone, persisted on the spot).
+func (c *Core) Submit(req rpc.Request, client int) {
+	fl := c.busy[req.Key]
+	switch req.Op {
+	case rpc.OpGet:
+		if fl != nil {
+			fl.waiters = append(fl.waiters, deferred{req, client})
+			return
+		}
+		c.respondGet(req, client)
+	case rpc.OpScan:
+		c.respondScan(req, client)
+	case rpc.OpPut:
+		if fl != nil && len(fl.waiters) > 0 {
+			// A parked read/delete must not be overtaken.
+			fl.waiters = append(fl.waiters, deferred{req, client})
+			return
+		}
+		c.startModify(req, client)
+	case rpc.OpDelete:
+		if fl != nil {
+			fl.waiters = append(fl.waiters, deferred{req, client})
+			return
+		}
+		c.startModify(req, client)
+	default:
+		c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusError}})
+	}
+}
+
+// readEntry decodes the log entry at ref and materializes its value.
+func (c *Core) readEntry(ref int64) ([]byte, bool) {
+	c.st.reclaimMu.RLock()
+	defer c.st.reclaimMu.RUnlock()
+	mem := c.st.arena.Mem()
+	e, _, err := oplog.Decode(mem[ref:])
+	if err != nil || e.Op != oplog.OpPut {
+		return nil, false
+	}
+	c.reads++
+	if e.Inline {
+		out := make([]byte, len(e.Value))
+		copy(out, e.Value)
+		return out, true
+	}
+	c.reads++
+	return record.Read(c.st.arena, e.Ptr), true
+}
+
+func (c *Core) respondGet(req rpc.Request, client int) {
+	c.idxMu.Lock()
+	ref, _, ok := c.idx.Get(req.Key)
+	c.idxMu.Unlock()
+	resp := rpc.Response{ID: req.ID, Status: rpc.StatusNotFound}
+	if ok {
+		if v, vok := c.readEntry(ref); vok {
+			resp = rpc.Response{ID: req.ID, Status: rpc.StatusOK, Value: v}
+		}
+	}
+	c.outbox = append(c.outbox, Outgoing{client, resp})
+}
+
+func (c *Core) respondScan(req rpc.Request, client int) {
+	ordered, ok := c.idx.(index.Ordered)
+	if !ok {
+		c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusError}})
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	var pairs []rpc.Pair
+	ordered.Scan(req.Key, req.ScanHi, func(k uint64, ref int64, _ uint32) bool {
+		if v, vok := c.readEntry(ref); vok {
+			pairs = append(pairs, rpc.Pair{Key: k, Value: v})
+		}
+		return len(pairs) < limit
+	})
+	c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusOK, Pairs: pairs}})
+}
+
+// startModify runs the l-persist phase of a Put/Delete and publishes the
+// log entry for batching. The version is assigned here — before
+// persistence — so back-to-back writes to one key can be in flight
+// together (their completions apply in FIFO, hence version, order).
+func (c *Core) startModify(req rpc.Request, client int) {
+	ctx := opCtx{client: client, reqID: req.ID, op: req.Op, key: req.Key}
+
+	fl := c.busy[req.Key]
+	if fl != nil {
+		ctx.version = fl.lastVer + 1
+	} else {
+		c.idxMu.Lock()
+		_, oldVer, exists := c.idx.Get(req.Key)
+		switch {
+		case exists:
+			ctx.version = oldVer + 1
+		case c.reg[req.Key] != nil:
+			ctx.version = c.reg[req.Key].lastVer + 1
+		default:
+			ctx.version = 1
+		}
+		c.idxMu.Unlock()
+		if req.Op == rpc.OpDelete && !exists {
+			c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusNotFound}})
+			return
+		}
+	}
+
+	entry := &oplog.Entry{Version: ctx.version, Key: req.Key}
+	if req.Op == rpc.OpDelete {
+		entry.Op = oplog.OpDelete
+	} else {
+		entry.Op = oplog.OpPut
+		if len(req.Value) == 0 || len(req.Value) > c.st.cfg.InlineMax {
+			// l-persist: the record becomes durable before its log
+			// entry (step 1 of §3.2's Put sequence).
+			blk, err := c.ca.Alloc(record.Size(len(req.Value)), c.f)
+			if err != nil {
+				c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusError}})
+				return
+			}
+			record.Persist(c.f, blk, req.Value)
+			entry.Ptr = blk
+		} else {
+			entry.Inline = true
+			entry.Value = append([]byte(nil), req.Value...)
+		}
+	}
+
+	op := &batch.PendingOp{Entry: entry, Owner: c.id, Ctx: ctx}
+	if fl == nil {
+		fl = &inflight{}
+		c.busy[req.Key] = fl
+	}
+	fl.count++
+	fl.lastVer = ctx.version
+
+	if c.group.Mode() == batch.ModeNone {
+		// Base configuration: persist the entry immediately, alone.
+		off, err := c.log.Append(c.f, entry)
+		if err != nil {
+			op.Off = -1
+			op.MarkDone()
+			c.complete(op)
+			return
+		}
+		op.Off = off
+		op.MarkDone()
+		c.accountAppend(off, entry.EncodedSize())
+		c.complete(op)
+		return
+	}
+	c.group.Publish(c.member, op)
+	c.pending = append(c.pending, op)
+}
+
+// TryLead attempts the g-persist phase: win the group lock, steal every
+// published entry, persist them to this core's OpLog in one batch, and
+// signal the owners. Under pipelined HB the lock is released right after
+// collection so the next batch can form during the flush. Returns the
+// batch size (0 if the lock was busy or nothing was pending).
+func (c *Core) TryLead() int {
+	return len(c.TryLeadOps())
+}
+
+// TryLeadOps is TryLead exposing the collected batch (the virtual-time
+// simulator needs the owners to schedule per-core completion gates).
+func (c *Core) TryLeadOps() []*batch.PendingOp {
+	if !c.group.TryLead() {
+		return nil
+	}
+	ops := c.group.Collect(c.member)
+	if c.group.Mode() == batch.ModePipelinedHB || c.group.Mode() == batch.ModeVertical {
+		c.group.Unlock()
+	}
+	if len(ops) == 0 {
+		if c.group.Mode() == batch.ModeNaiveHB {
+			c.group.Unlock()
+		}
+		return nil
+	}
+	entries := make([]*oplog.Entry, len(ops))
+	for i, op := range ops {
+		entries[i] = op.Entry
+	}
+	offs, err := c.log.AppendBatch(c.f, entries)
+	if err != nil {
+		// Log space exhausted: fail the ops.
+		for _, op := range ops {
+			op.Off = -1
+			op.MarkDone()
+		}
+	} else {
+		for i, op := range ops {
+			op.Off = offs[i]
+			c.accountAppend(offs[i], entries[i].EncodedSize())
+			op.MarkDone()
+		}
+	}
+	if c.group.Mode() == batch.ModeNaiveHB {
+		c.group.Unlock()
+	}
+	return ops
+}
+
+// accountAppend records the new entry's bytes in the chunk usage table.
+func (c *Core) accountAppend(off int64, size int) {
+	c.st.usage.account(chunkOf(off), c.log, c.id, size)
+}
+
+// DrainCompleted finishes the volatile phase of every durable own op, in
+// publication order, and returns how many completed.
+func (c *Core) DrainCompleted() int {
+	return c.DrainCompletedLimit(len(c.pending))
+}
+
+// DrainCompletedLimit completes at most max durable own ops (the
+// simulator gates completions by virtual durability time).
+func (c *Core) DrainCompletedLimit(max int) int {
+	n := 0
+	for n < max && len(c.pending) > 0 && c.pending[0].Done() {
+		op := c.pending[0]
+		c.pending = c.pending[1:]
+		c.complete(op)
+		n++
+	}
+	return n
+}
+
+// PendingCount reports how many own ops await durability or completion.
+func (c *Core) PendingCount() int { return len(c.pending) }
+
+// HasPublished reports whether this core has entries in its group pool
+// awaiting a leader.
+func (c *Core) HasPublished() bool { return c.group.HasPending(c.member) }
+
+// GroupPending reports whether any group member has entries awaiting a
+// leader (idle cores volunteer to lead on this signal).
+func (c *Core) GroupPending() bool { return c.group.AnyPending() }
+
+// complete is the volatile phase: update the index, release the storage
+// this write supersedes, unblock the conflict queue, queue the response.
+func (c *Core) complete(op *batch.PendingOp) {
+	ctx := op.Ctx.(opCtx)
+	status := rpc.StatusOK
+	if op.Off < 0 {
+		status = rpc.StatusError
+	} else {
+		// Identify what this op supersedes at apply time: with writes
+		// pipelining per key, the superseded entry is whatever the
+		// index points at just before this update (completions apply
+		// in version order on the owning core).
+		var oldRef, oldPtr int64 = -1, -1
+		var oldSize, oldLen int
+		c.idxMu.Lock()
+		if ref, _, ok := c.idx.Get(ctx.key); ok {
+			oldRef = ref
+			c.st.reclaimMu.RLock()
+			if e, n, err := oplog.Decode(c.st.arena.Mem()[oldRef:]); err == nil && e.Op == oplog.OpPut {
+				oldSize = n
+				if !e.Inline {
+					oldPtr = e.Ptr
+					oldLen = record.Size(record.Len(c.st.arena, e.Ptr))
+				}
+			}
+			c.st.reclaimMu.RUnlock()
+		}
+		switch ctx.op {
+		case rpc.OpPut:
+			c.idx.Put(ctx.key, op.Off, ctx.version)
+			m := c.reg[ctx.key]
+			if oldRef >= 0 {
+				if m == nil {
+					m = &keyMeta{}
+					c.reg[ctx.key] = m
+				}
+				m.stale++
+			}
+			if m != nil {
+				m.lastVer = ctx.version
+				m.deleted = false
+			}
+		case rpc.OpDelete:
+			c.idx.Delete(ctx.key)
+			m := c.reg[ctx.key]
+			if m == nil {
+				m = &keyMeta{}
+				c.reg[ctx.key] = m
+			}
+			if oldRef >= 0 {
+				m.stale++
+			}
+			m.lastVer = ctx.version
+			m.deleted = true
+		}
+		c.idxMu.Unlock()
+		if oldRef >= 0 {
+			c.st.usage.markDead(chunkOf(oldRef), oldSize)
+		}
+		if oldPtr >= 0 {
+			// Freed blocks are immediately reusable: parked readers of
+			// this key are released only after the whole in-flight
+			// window drains ("read-after-delete" cannot occur, §3.2).
+			c.ca.Free(oldPtr, oldLen, c.f)
+		}
+	}
+	c.outbox = append(c.outbox, Outgoing{ctx.client, rpc.Response{ID: ctx.reqID, Status: status}})
+
+	// Shrink the in-flight window; once it drains, replay the parked
+	// requests in arrival order (Submit re-parks them as needed).
+	fl := c.busy[ctx.key]
+	if fl == nil {
+		return
+	}
+	fl.count--
+	if fl.count > 0 {
+		return
+	}
+	waiters := fl.waiters
+	delete(c.busy, ctx.key)
+	for _, d := range waiters {
+		c.Submit(d.req, d.client)
+	}
+}

@@ -1,0 +1,270 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+func newRunning(t *testing.T, cfg core.Config) (*core.Store, *core.Client) {
+	t.Helper()
+	st, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	t.Cleanup(st.Stop)
+	return st, st.Connect()
+}
+
+func TestPutGetDelete(t *testing.T) {
+	for _, mode := range []batch.Mode{batch.ModeNone, batch.ModeVertical, batch.ModeNaiveHB, batch.ModePipelinedHB} {
+		t.Run(mode.String(), func(t *testing.T) {
+			_, cl := newRunning(t, core.Config{Cores: 4, Mode: mode})
+			if err := cl.Put(1, []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err := cl.Get(1)
+			if err != nil || !ok || string(v) != "hello" {
+				t.Fatalf("Get = %q,%v,%v", v, ok, err)
+			}
+			if _, ok, _ := cl.Get(2); ok {
+				t.Fatal("found missing key")
+			}
+			if ok, _ := cl.Delete(1); !ok {
+				t.Fatal("Delete reported missing")
+			}
+			if ok, _ := cl.Delete(1); ok {
+				t.Fatal("second Delete reported present")
+			}
+			if _, ok, _ := cl.Get(1); ok {
+				t.Fatal("deleted key found")
+			}
+		})
+	}
+}
+
+func TestUpdateAndVersions(t *testing.T) {
+	_, cl := newRunning(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB})
+	for i := 0; i < 10; i++ {
+		if err := cl.Put(7, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, _ := cl.Get(7)
+	if !ok || string(v) != "v9" {
+		t.Fatalf("after updates: %q,%v", v, ok)
+	}
+}
+
+func TestInlineAndOutOfPlaceValues(t *testing.T) {
+	_, cl := newRunning(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 16})
+	cases := [][]byte{
+		[]byte("x"),
+		bytes.Repeat([]byte{1}, 256),  // max inline
+		bytes.Repeat([]byte{2}, 257),  // smallest out-of-place
+		bytes.Repeat([]byte{3}, 4096), // mid
+		bytes.Repeat([]byte{4}, 2<<20),
+	}
+	for i, val := range cases {
+		key := uint64(100 + i)
+		if err := cl.Put(key, val); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, ok, _ := cl.Get(key)
+		if !ok || !bytes.Equal(got, val) {
+			t.Fatalf("case %d: value mismatch (len %d vs %d)", i, len(got), len(val))
+		}
+	}
+}
+
+func TestEmptyValue(t *testing.T) {
+	_, cl := newRunning(t, core.Config{Cores: 1, Mode: batch.ModePipelinedHB})
+	if err := cl.Put(5, nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := cl.Get(5)
+	if !ok || len(v) != 0 {
+		t.Fatalf("empty value roundtrip: %v %v", v, ok)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	for _, mode := range []batch.Mode{batch.ModeVertical, batch.ModeNaiveHB, batch.ModePipelinedHB} {
+		t.Run(mode.String(), func(t *testing.T) {
+			st, _ := newRunning(t, core.Config{Cores: 4, Mode: mode, ArenaChunks: 32})
+			const clients = 4
+			const perClient = 500
+			var wg sync.WaitGroup
+			for cid := 0; cid < clients; cid++ {
+				wg.Add(1)
+				go func(cid int) {
+					defer wg.Done()
+					cl := st.Connect()
+					for i := 0; i < perClient; i++ {
+						key := uint64(cid*perClient + i)
+						val := []byte(fmt.Sprintf("c%d-%d", cid, i))
+						if err := cl.Put(key, val); err != nil {
+							t.Errorf("put %d: %v", key, err)
+							return
+						}
+					}
+					for i := 0; i < perClient; i++ {
+						key := uint64(cid*perClient + i)
+						v, ok, _ := cl.Get(key)
+						if !ok || string(v) != fmt.Sprintf("c%d-%d", cid, i) {
+							t.Errorf("get %d: %q %v", key, v, ok)
+							return
+						}
+					}
+				}(cid)
+			}
+			wg.Wait()
+			if st.Len() != clients*perClient {
+				t.Errorf("Len = %d, want %d", st.Len(), clients*perClient)
+			}
+		})
+	}
+}
+
+func TestHorizontalBatchingSteals(t *testing.T) {
+	// Drive cores deterministically through the step API (the same way
+	// the virtual-time simulator does): core 0 publishes its entry but
+	// does not lead; core 1 then leads and must steal core 0's entry,
+	// persist both in one batch, and core 0 finishes its volatile phase
+	// from the stolen completion.
+	st, err := core.New(core.Config{Cores: 2, Mode: batch.ModePipelinedHB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key0, key1 := uint64(0), uint64(0)
+	for k := uint64(1); key0 == 0 || key1 == 0; k++ {
+		if st.CoreOf(k) == 0 && key0 == 0 {
+			key0 = k
+		}
+		if st.CoreOf(k) == 1 && key1 == 0 {
+			key1 = k
+		}
+	}
+	c0, c1 := st.Core(0), st.Core(1)
+	c0.Submit(rpcPut(key0, []byte("a")), 0)
+	c1.Submit(rpcPut(key1, []byte("b")), 0)
+	if n := c1.TryLead(); n != 2 {
+		t.Fatalf("leader batch size = %d, want 2 (one stolen)", n)
+	}
+	if st.Groups()[0].Stats().Stolen != 1 {
+		t.Errorf("stolen = %d, want 1", st.Groups()[0].Stats().Stolen)
+	}
+	if c0.DrainCompleted() != 1 || c1.DrainCompleted() != 1 {
+		t.Fatal("completions not delivered to both cores")
+	}
+	r0, r1 := c0.TakeResponses(), c1.TakeResponses()
+	if len(r0) != 1 || len(r1) != 1 || r0[0].Resp.Status != 0 || r1[0].Resp.Status != 0 {
+		t.Fatalf("responses: %+v %+v", r0, r1)
+	}
+	// Both entries landed in the leader's log.
+	count := 0
+	c1.Log().Scan(func(off int64, e oplogEntryAlias) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("leader log has %d entries, want 2", count)
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	// Async pipeline: a Get posted right after a Put of the same key to
+	// the same core must observe the Put (conflict queue, §3.3).
+	st, _ := newRunning(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB})
+	cl := st.Connect().Raw()
+	key := uint64(42)
+	corei := st.CoreOf(key)
+	for i := 0; i < 100; i++ {
+		val := []byte(fmt.Sprintf("gen%d", i))
+		for !cl.Send(corei, rpcPut(key, val)) {
+		}
+		for !cl.Send(corei, rpcGet(key)) {
+		}
+		got := 0
+		for got < 2 {
+			for _, resp := range cl.Poll(2) {
+				got++
+				if len(resp.Pairs) == 0 && resp.Value != nil {
+					if string(resp.Value) != string(val) {
+						t.Fatalf("iteration %d: Get saw %q, want %q", i, resp.Value, val)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScanOrderedEngine(t *testing.T) {
+	_, cl := newRunning(t, core.Config{Cores: 4, Mode: batch.ModePipelinedHB, Index: core.IndexMasstree, ArenaChunks: 32})
+	for i := uint64(0); i < 1000; i++ {
+		if err := cl.Put(i, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, err := cl.Scan(100, 199, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 100 {
+		t.Fatalf("scan returned %d pairs, want 100", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.Key != uint64(100+i) || string(p.Value) != fmt.Sprint(p.Key) {
+			t.Fatalf("pair %d = %d/%q", i, p.Key, p.Value)
+		}
+	}
+	// Limited scan.
+	pairs, _ = cl.Scan(0, 999, 7)
+	if len(pairs) != 7 {
+		t.Fatalf("limited scan returned %d", len(pairs))
+	}
+}
+
+func TestScanOnHashIndexFails(t *testing.T) {
+	_, cl := newRunning(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB})
+	if _, err := cl.Scan(0, 10, 0); err == nil {
+		t.Fatal("scan on FlatStore-H should fail")
+	}
+}
+
+func TestBatchFlushAmortization(t *testing.T) {
+	// The core claim of the paper: batched appends use far fewer fences
+	// per op than unbatched. Compare ModeNone vs ModePipelinedHB under
+	// identical concurrent load.
+	fences := map[string]float64{}
+	const clients, per = 4, 400
+	for _, mode := range []batch.Mode{batch.ModeNone, batch.ModePipelinedHB} {
+		st, _ := newRunning(t, core.Config{Cores: 4, Mode: mode, ArenaChunks: 32})
+		st.Arena().ResetStats()
+		var wg sync.WaitGroup
+		for cid := 0; cid < clients; cid++ {
+			wg.Add(1)
+			go func(cid int) {
+				defer wg.Done()
+				cl := st.Connect()
+				for i := 0; i < per; i++ {
+					cl.Put(uint64(cid*10000+i), []byte("12345678"))
+				}
+			}(cid)
+		}
+		wg.Wait()
+		st.Stop()
+		for i := 0; i < st.Cores(); i++ {
+			st.Core(i).Flusher().FlushEvents()
+		}
+		s := st.Arena().Stats()
+		fences[mode.String()] = float64(s.Fences) / (clients * per)
+	}
+	if fences["pipelined-hb"] >= fences["none"] {
+		t.Errorf("pipelined HB fences/op (%.2f) not below unbatched (%.2f)",
+			fences["pipelined-hb"], fences["none"])
+	}
+	t.Logf("fences/op: none=%.2f pipelined=%.2f", fences["none"], fences["pipelined-hb"])
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"flatstore/internal/oplog"
+	"flatstore/internal/pmem"
+)
+
+// Cleaner is one HB group's log cleaner (§3.4): it picks victim chunks by
+// garbage ratio, copies live entries into a survivor chunk, journals and
+// links the survivor, repoints the volatile index with CAS, and frees the
+// victim — all without blocking the request path. One cleaner runs per
+// group, so log recycling proceeds in parallel across groups.
+type Cleaner struct {
+	st     *Store
+	group  int
+	coreLo int // cores [coreLo, coreHi) belong to this group
+	coreHi int
+	f      *pmem.Flusher
+
+	cleaned   uint64 // chunks reclaimed
+	relocated uint64 // live entries copied
+	dropped   uint64 // dead entries discarded
+}
+
+// newCleaner builds the cleaner for group g.
+func (st *Store) newCleaner(g int) *Cleaner {
+	lo := g * st.cfg.GroupSize
+	hi := lo + st.groups[g].Size()
+	return &Cleaner{st: st, group: g, coreLo: lo, coreHi: hi, f: st.arena.NewFlusher()}
+}
+
+// NewCleaner exposes cleaner construction for the simulator and tools.
+func (st *Store) NewCleaner(group int) *Cleaner { return st.newCleaner(group) }
+
+// CleanerStats reports a cleaner's progress.
+type CleanerStats struct {
+	Cleaned   uint64
+	Relocated uint64
+	Dropped   uint64
+}
+
+// Stats snapshots the cleaner counters.
+func (cl *Cleaner) Stats() CleanerStats {
+	return CleanerStats{Cleaned: cl.cleaned, Relocated: cl.relocated, Dropped: cl.dropped}
+}
+
+// Flusher exposes the cleaner's flusher (simulator cost accounting).
+func (cl *Cleaner) Flusher() *pmem.Flusher { return cl.f }
+
+// pickVictim selects the dirtiest closed chunk owned by this group's
+// cores, honoring the configured dead ratio unless free space is low.
+func (cl *Cleaner) pickVictim() (int64, *chunkUsage) {
+	st := cl.st
+	lowSpace := st.al.FreeChunks() < st.cfg.GC.MinFreeChunks
+	var bestChunk int64 = -1
+	var best *chunkUsage
+	bestRatio := st.cfg.GC.DeadRatio
+	if lowSpace {
+		bestRatio = 0.05
+	}
+	st.usage.mu.Lock()
+	defer st.usage.mu.Unlock()
+	for chunk, cu := range st.usage.m {
+		if cu.owner < cl.coreLo || cu.owner >= cl.coreHi {
+			continue
+		}
+		if chunk == cu.log.TailChunk() {
+			continue // never clean the chunk being appended to
+		}
+		cu.mu.Lock()
+		total, dead := cu.total, cu.dead
+		cu.mu.Unlock()
+		if total == 0 {
+			continue
+		}
+		ratio := float64(dead) / float64(total)
+		if ratio >= bestRatio {
+			bestRatio = ratio
+			bestChunk = chunk
+			best = cu
+		}
+	}
+	return bestChunk, best
+}
+
+// scanned is one victim entry with its verdict.
+type scanned struct {
+	off  int64
+	e    oplog.Entry
+	live bool
+}
+
+// CleanOnce reclaims at most one victim chunk. It returns the number of
+// entries processed (0 when there was nothing worth cleaning), so callers
+// can back off when idle.
+func (cl *Cleaner) CleanOnce() int {
+	st := cl.st
+	victim, cu := cl.pickVictim()
+	if victim < 0 {
+		return 0
+	}
+
+	// 1. Scan the victim and classify every entry under the owning
+	// core's index lock.
+	var entries []scanned
+	err := oplog.ScanChunk(st.arena, victim, cu.log.Tail(), func(off int64, e oplog.Entry) bool {
+		entries = append(entries, scanned{off: off, e: e})
+		return true
+	})
+	if err != nil {
+		return 0
+	}
+	for i := range entries {
+		s := &entries[i]
+		oc := st.cores[st.CoreOf(s.e.Key)]
+		oc.idxMu.Lock()
+		switch s.e.Op {
+		case oplog.OpPut:
+			ref, _, ok := oc.idx.Get(s.e.Key)
+			s.live = ok && ref == s.off
+			if !s.live {
+				// A stale Put leaves the log: decrement the
+				// tombstone guard count.
+				if m := oc.reg[s.e.Key]; m != nil {
+					m.stale--
+					if m.stale <= 0 && !m.deleted {
+						delete(oc.reg, s.e.Key)
+					}
+				}
+			}
+		case oplog.OpDelete:
+			// A tombstone stays live while older Put entries for its
+			// key could still be replayed after a crash (§3.4: "can
+			// be safely reclaimed only after all the log entries
+			// related to this KV item have been reclaimed").
+			m := oc.reg[s.e.Key]
+			s.live = m != nil && m.deleted && m.lastVer == s.e.Version && m.stale > 0
+			if !s.live && m != nil && m.deleted && m.lastVer == s.e.Version {
+				delete(oc.reg, s.e.Key)
+			}
+		}
+		oc.idxMu.Unlock()
+		if !s.live {
+			cl.dropped++
+		}
+	}
+
+	// 2. Copy live entries into a survivor chunk and persist it.
+	var live []*oplog.Entry
+	var liveIdx []int
+	for i := range entries {
+		if entries[i].live {
+			e := entries[i].e
+			live = append(live, &e)
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	if len(live) > 0 {
+		surv, offs, err := cu.log.WriteSurvivorChunk(cl.f, live)
+		if err != nil {
+			return 0 // out of space; retry later
+		}
+		// 3. Journal the survivor so a crash between here and the
+		// link cannot lose it, then link it into the chain.
+		cl.f.PersistUint64(journalOff(cl.group), uint64(surv))
+		cu.log.LinkAtHead(cl.f, surv)
+		// 4. Repoint the index (CAS: a concurrent update wins and the
+		// survivor copy simply becomes garbage).
+		for i, idx := range liveIdx {
+			s := &entries[idx]
+			size := s.e.EncodedSize()
+			st.usage.account(surv, cu.log, cu.owner, size)
+			if s.e.Op == oplog.OpPut {
+				oc := st.cores[st.CoreOf(s.e.Key)]
+				oc.idxMu.Lock()
+				moved := oc.idx.CompareAndSwapRef(s.e.Key, s.off, offs[i])
+				oc.idxMu.Unlock()
+				if !moved {
+					st.usage.markDead(surv, size)
+				}
+			}
+			cl.relocated++
+		}
+	}
+
+	// 5. Unlink and free the victim; readers are excluded only for the
+	// brief moment the chunk returns to the pool.
+	if err := cu.log.Unlink(cl.f, victim); err != nil {
+		return len(entries)
+	}
+	st.reclaimMu.Lock()
+	st.al.FreeRawChunk(victim)
+	st.reclaimMu.Unlock()
+	st.usage.drop(victim)
+	// 6. Clear the journal slot.
+	cl.f.PersistUint64(journalOff(cl.group), 0)
+	cl.f.FlushEvents()
+	cl.cleaned++
+	return len(entries)
+}

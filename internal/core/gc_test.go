@@ -1,0 +1,271 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+// fillGarbage overwrites a small key set many times so early log chunks
+// fill with dead entries.
+func fillGarbage(t *testing.T, cl *core.Client, keys, rounds int, val []byte) {
+	t.Helper()
+	for r := 0; r < rounds; r++ {
+		for k := 0; k < keys; k++ {
+			if err := cl.Put(uint64(k), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCleanerReclaimsChunks(t *testing.T) {
+	cfg := core.Config{
+		Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 24,
+		GC: core.GCConfig{DeadRatio: 0.5},
+	}
+	st, cl := newRunning(t, cfg)
+	// ~150 B inline values: each Put appends ~168 B; 50k puts ≈ 8 MB of
+	// log across 2 cores → several chunks, mostly garbage.
+	val := make([]byte, 150)
+	fillGarbage(t, cl, 200, 250, val)
+	st.Stop()
+
+	free0 := st.Allocator().FreeChunks()
+	cleaner := st.NewCleaner(0)
+	total := 0
+	for i := 0; i < 100; i++ {
+		n := cleaner.CleanOnce()
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if cleaner.Stats().Cleaned == 0 {
+		t.Fatal("cleaner found no victims despite heavy overwrites")
+	}
+	if st.Allocator().FreeChunks() <= free0 {
+		t.Errorf("no chunks freed: %d -> %d", free0, st.Allocator().FreeChunks())
+	}
+	// Data intact after cleaning.
+	st.Run()
+	cl2 := st.Connect()
+	for k := 0; k < 200; k++ {
+		v, ok, _ := cl2.Get(uint64(k))
+		if !ok || len(v) != 150 {
+			t.Fatalf("key %d lost after GC: %v %v", k, len(v), ok)
+		}
+	}
+}
+
+func TestCleanerPreservesDataUnderLoad(t *testing.T) {
+	cfg := core.Config{
+		Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 24,
+		GC: core.GCConfig{Enabled: true, DeadRatio: 0.3},
+	}
+	_, cl := newRunning(t, cfg) // Run starts cleaners too
+	val := make([]byte, 120)
+	for r := 0; r < 300; r++ {
+		for k := 0; k < 100; k++ {
+			if err := cl.Put(uint64(k), append(val, byte(r))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k := 0; k < 100; k++ {
+		v, ok, _ := cl.Get(uint64(k))
+		if !ok || len(v) != 121 || v[120] != byte(299%256) {
+			t.Fatalf("key %d corrupted under concurrent GC", k)
+		}
+	}
+}
+
+func TestGCSurvivesCrash(t *testing.T) {
+	cfg := core.Config{
+		Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 24,
+		GC: core.GCConfig{DeadRatio: 0.3},
+	}
+	st, cl := newRunning(t, cfg)
+	val := make([]byte, 150)
+	fillGarbage(t, cl, 150, 500, val)
+	st.Stop()
+	cleaner := st.NewCleaner(0)
+	for i := 0; i < 50 && cleaner.CleanOnce() > 0; i++ {
+	}
+	if cleaner.Stats().Cleaned == 0 {
+		t.Fatal("no chunks cleaned despite multi-chunk garbage")
+	}
+	// Crash after cleaning: relocated entries must be found via the
+	// survivor chunks.
+	cfg2 := cfg
+	cfg2.Arena = st.Arena().Crash()
+	re, err := core.Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Run()
+	defer re.Stop()
+	cl2 := re.Connect()
+	for k := 0; k < 150; k++ {
+		v, ok, _ := cl2.Get(uint64(k))
+		if !ok || len(v) != 150 {
+			t.Fatalf("key %d lost after GC+crash", k)
+		}
+	}
+}
+
+func TestTombstoneNotReclaimedEarly(t *testing.T) {
+	// A tombstone whose older Put entries still exist in the log must
+	// survive GC, or a crash would resurrect the key (§3.4).
+	cfg := core.Config{Cores: 1, Mode: batch.ModePipelinedHB, ArenaChunks: 24,
+		GC: core.GCConfig{DeadRatio: 0.01}}
+	st, cl := newRunning(t, cfg)
+	// Keys 0..N written once (their Puts sit in early chunks), then
+	// deleted much later (tombstones in late chunks), with filler in
+	// between so Put and tombstone are in different chunks.
+	for k := 0; k < 50; k++ {
+		cl.Put(uint64(k), []byte("victim"))
+	}
+	filler := make([]byte, 200)
+	for i := 0; i < 30_000; i++ {
+		cl.Put(uint64(1000+i%500), filler)
+	}
+	for k := 0; k < 50; k++ {
+		cl.Delete(uint64(k))
+	}
+	st.Stop()
+	cleaner := st.NewCleaner(0)
+	for i := 0; i < 100 && cleaner.CleanOnce() > 0; i++ {
+	}
+	// Crash: no deleted key may come back.
+	cfg2 := cfg
+	cfg2.Arena = st.Arena().Crash()
+	re, err := core.Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Run()
+	defer re.Stop()
+	cl2 := re.Connect()
+	for k := 0; k < 50; k++ {
+		if _, ok, _ := cl2.Get(uint64(k)); ok {
+			t.Fatalf("key %d resurrected: tombstone reclaimed too early", k)
+		}
+	}
+}
+
+func TestGCUnderSpacePressure(t *testing.T) {
+	// With a small arena and heavy overwrites, the engine only survives
+	// if the cleaner keeps reclaiming. This exercises the MinFreeChunks
+	// trigger end to end.
+	cfg := core.Config{
+		Cores: 1, Mode: batch.ModePipelinedHB, ArenaChunks: 10,
+		GC: core.GCConfig{Enabled: true, DeadRatio: 0.6, MinFreeChunks: 3},
+	}
+	_, cl := newRunning(t, cfg)
+	val := make([]byte, 200)
+	// ~100k puts × ~220 B ≈ 22 MB of log traffic through a 40 MB arena.
+	for r := 0; r < 1000; r++ {
+		for k := 0; k < 100; k++ {
+			if err := cl.Put(uint64(k), val); err != nil {
+				t.Fatalf("round %d: %v (GC failed to keep up)", r, err)
+			}
+		}
+	}
+	for k := 0; k < 100; k++ {
+		if _, ok, _ := cl.Get(uint64(k)); !ok {
+			t.Fatalf("key %d lost under space pressure", k)
+		}
+	}
+}
+
+func TestGCWithMasstreeIndex(t *testing.T) {
+	// The cleaner's CAS relocation must work against the shared ordered
+	// index too (FlatStore-M).
+	cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB, Index: core.IndexMasstree,
+		ArenaChunks: 24, GC: core.GCConfig{DeadRatio: 0.3}}
+	st, cl := newRunning(t, cfg)
+	val := make([]byte, 150)
+	fillGarbage(t, cl, 200, 400, val)
+	st.Stop()
+	cleaned := 0
+	for g := range st.Groups() {
+		cleaner := st.NewCleaner(g)
+		for i := 0; i < 50 && cleaner.CleanOnce() > 0; i++ {
+		}
+		cleaned += int(cleaner.Stats().Cleaned)
+	}
+	if cleaned == 0 {
+		t.Fatal("cleaner reclaimed nothing under masstree")
+	}
+	st.Run()
+	cl2 := st.Connect()
+	// Point lookups and ordered scans both survive relocation.
+	for k := 0; k < 200; k += 17 {
+		if _, ok, _ := cl2.Get(uint64(k)); !ok {
+			t.Fatalf("key %d lost after GC on masstree", k)
+		}
+	}
+	pairs, err := cl2.Scan(0, 199, 0)
+	if err != nil || len(pairs) != 200 {
+		t.Fatalf("scan after GC: %d pairs, err %v", len(pairs), err)
+	}
+	for i, p := range pairs {
+		if p.Key != uint64(i) {
+			t.Fatalf("scan order broken at %d: %d", i, p.Key)
+		}
+	}
+}
+
+func TestEverythingAtOnce(t *testing.T) {
+	// Soak: random puts/gets/deletes with GC running, then a runtime
+	// checkpoint, more traffic, a crash, and full verification against
+	// a model — the whole engine in one scenario.
+	cfg := core.Config{Cores: 3, Mode: batch.ModePipelinedHB, ArenaChunks: 32,
+		GC: core.GCConfig{Enabled: true, DeadRatio: 0.4}}
+	st, cl := newRunning(t, cfg)
+	rng := rand.New(rand.NewSource(99))
+	model := map[uint64][]byte{}
+	step := func(n int) {
+		for i := 0; i < n; i++ {
+			key := uint64(rng.Intn(400))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				val := make([]byte, 1+rng.Intn(500))
+				rng.Read(val)
+				if err := cl.Put(key, val); err != nil {
+					t.Fatal(err)
+				}
+				model[key] = val
+			case 3:
+				got, ok, _ := cl.Get(key)
+				want, wok := model[key]
+				if ok != wok || (ok && !bytes.Equal(got, want)) {
+					t.Fatalf("live mismatch on key %d", key)
+				}
+			case 4:
+				cl.Delete(key)
+				delete(model, key)
+			}
+		}
+	}
+	step(4000)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	step(4000)
+
+	re, cl2 := crashAndReopen(t, st, cfg)
+	if re.Len() != len(model) {
+		t.Fatalf("recovered %d keys, model has %d", re.Len(), len(model))
+	}
+	for k, want := range model {
+		got, ok, _ := cl2.Get(k)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("post-crash mismatch on key %d", k)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package core_test
+
+import (
+	"flatstore/internal/oplog"
+	"flatstore/internal/rpc"
+)
+
+// oplogEntryAlias keeps the scan callback signature readable in tests.
+type oplogEntryAlias = oplog.Entry
+
+func rpcPut(key uint64, val []byte) rpc.Request {
+	return rpc.Request{Op: rpc.OpPut, Key: key, Value: val}
+}
+
+func rpcGet(key uint64) rpc.Request {
+	return rpc.Request{Op: rpc.OpGet, Key: key}
+}

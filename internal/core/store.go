@@ -1,0 +1,308 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/batch"
+	"flatstore/internal/index/hashidx"
+	"flatstore/internal/index/masstree"
+	"flatstore/internal/oplog"
+	"flatstore/internal/pmem"
+	"flatstore/internal/rpc"
+)
+
+// Store is one FlatStore node.
+type Store struct {
+	cfg   Config
+	arena *pmem.Arena
+	al    *alloc.Allocator
+	super *pmem.Flusher // flusher for superblock updates (Open/Close)
+
+	cores  []*Core
+	groups []*batch.Group
+	tree   *masstree.Tree // shared index for FlatStore-M, else nil
+	ckptCa *alloc.CoreAlloc // reserved allocation context for checkpoints
+
+	usage usageTable
+
+	rpc *rpc.Server
+
+	// reclaimMu lets readers decode log entries without racing the
+	// cleaner's chunk frees: readers hold R, the cleaner holds W only
+	// around returning a victim chunk to the pool.
+	reclaimMu sync.RWMutex
+
+	stop    chan struct{}
+	stopped sync.WaitGroup
+	running bool
+}
+
+// New creates a fresh store: formatted superblock, empty per-core logs,
+// dirty shutdown flag (so a crash before Close recovers by log replay).
+func New(cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	arena := cfg.Arena
+	if arena == nil {
+		arena = pmem.New(cfg.ArenaChunks * pmem.ChunkSize)
+	}
+	st := &Store{cfg: cfg, arena: arena, super: arena.NewFlusher(), stop: make(chan struct{})}
+	// One allocation context per core plus a reserved one for
+	// checkpoint blocks (runtime checkpointing must not race a core's
+	// own allocator).
+	st.al = alloc.New(arena, 1, arena.Chunks()-1, cfg.Cores+1)
+	st.ckptCa = st.al.Core(cfg.Cores)
+	st.usage.m = map[int64]*chunkUsage{}
+
+	st.super.PersistUint64(offMagic, superMagic)
+	st.super.PersistUint64(offFlag, flagDirty)
+	st.super.PersistUint64(offCores, uint64(cfg.Cores))
+
+	if cfg.Index == IndexMasstree {
+		st.tree = masstree.New()
+	}
+	st.buildGroups()
+	for i := 0; i < cfg.Cores; i++ {
+		c, err := st.newCore(i)
+		if err != nil {
+			return nil, err
+		}
+		log, err := oplog.New(arena, st.al, coreMetaOff(i), c.f)
+		if err != nil {
+			return nil, err
+		}
+		c.log = log
+		st.cores = append(st.cores, c)
+	}
+	st.super.FlushEvents()
+	st.AttachTransport(rpc.NewServer(cfg.Cores, 0))
+	return st, nil
+}
+
+func (st *Store) buildGroups() {
+	n := (st.cfg.Cores + st.cfg.GroupSize - 1) / st.cfg.GroupSize
+	for g := 0; g < n; g++ {
+		size := st.cfg.GroupSize
+		if r := st.cfg.Cores - g*st.cfg.GroupSize; r < size {
+			size = r
+		}
+		st.groups = append(st.groups, batch.NewGroup(st.cfg.Mode, size))
+	}
+}
+
+func (st *Store) newCore(i int) (*Core, error) {
+	c := &Core{
+		st:     st,
+		id:     i,
+		f:      st.arena.NewFlusher(),
+		ca:     st.al.Core(i),
+		group:  st.groups[i/st.cfg.GroupSize],
+		member: i % st.cfg.GroupSize,
+		busy:   map[uint64]*inflight{},
+		reg:    map[uint64]*keyMeta{},
+	}
+	if st.cfg.Index == IndexMasstree {
+		c.idx = st.tree
+	} else {
+		c.idx = hashidx.New()
+	}
+	return c, nil
+}
+
+// Arena exposes the underlying PM device (stats, crash tests).
+func (st *Store) Arena() *pmem.Arena { return st.arena }
+
+// Allocator exposes the NVM allocator (tests, tools).
+func (st *Store) Allocator() *alloc.Allocator { return st.al }
+
+// Core returns server core i (the simulator drives cores directly).
+func (st *Store) Core(i int) *Core { return st.cores[i] }
+
+// Cores returns the number of server cores.
+func (st *Store) Cores() int { return st.cfg.Cores }
+
+// Config returns the store's effective configuration.
+func (st *Store) Config() Config { return st.cfg }
+
+// Groups returns the HB groups (stats).
+func (st *Store) Groups() []*batch.Group { return st.groups }
+
+// CoreOf returns the server core responsible for a key — the same
+// keyhash routing the paper's clients apply.
+func (st *Store) CoreOf(key uint64) int {
+	return RouteKey(key, st.cfg.Cores)
+}
+
+// RouteKey computes the owning core for a key given the node's core
+// count; remote clients use it to target the right message buffer.
+func RouteKey(key uint64, cores int) int {
+	return int(keyhash(key) % uint64(cores))
+}
+
+// keyhash is the routing hash (distinct from the index hash).
+func keyhash(key uint64) uint64 {
+	x := key * 0xd6e8feb86659fd93
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	return x ^ x>>32
+}
+
+// AttachTransport wires a FlatRPC server; Run's core loops will poll it.
+// New and Open attach a default transport (agent core 0, standing in for
+// the paper's NIC-local core choice); replace it only before Run.
+func (st *Store) AttachTransport(r *rpc.Server) {
+	st.rpc = r
+	for i, c := range st.cores {
+		c.port = r.Port(i)
+	}
+}
+
+// Connect attaches a new RPC client.
+func (st *Store) Connect() *Client {
+	return &Client{st: st, c: st.rpc.Connect()}
+}
+
+// Run starts the server-core goroutines and, if configured, the per-group
+// cleaners. It returns immediately; Close stops everything.
+func (st *Store) Run() {
+	if st.running {
+		return
+	}
+	st.running = true
+	for _, c := range st.cores {
+		st.stopped.Add(1)
+		go func(c *Core) {
+			defer st.stopped.Done()
+			for {
+				select {
+				case <-st.stop:
+					return
+				default:
+				}
+				if !c.Step() {
+					runtime.Gosched()
+				}
+			}
+		}(c)
+	}
+	if st.cfg.GC.Enabled {
+		for g := range st.groups {
+			st.stopped.Add(1)
+			go func(g int) {
+				defer st.stopped.Done()
+				cl := st.newCleaner(g)
+				for {
+					select {
+					case <-st.stop:
+						return
+					default:
+					}
+					if cl.CleanOnce() == 0 {
+						runtime.Gosched()
+					}
+				}
+			}(g)
+		}
+	}
+}
+
+// Stop halts the goroutines started by Run without checkpointing (used
+// before crash simulations; Close performs the clean shutdown).
+func (st *Store) Stop() {
+	if !st.running {
+		return
+	}
+	close(st.stop)
+	st.stopped.Wait()
+	st.running = false
+	st.stop = make(chan struct{})
+}
+
+// StatsSnapshot aggregates engine-level statistics.
+type StatsSnapshot struct {
+	Keys       int
+	PM         pmem.StatsSnapshot
+	Groups     []batch.GroupStats
+	FreeChunks int
+}
+
+// Stats snapshots engine statistics. Call while quiescent for exact
+// counts.
+func (st *Store) Stats() StatsSnapshot {
+	s := StatsSnapshot{PM: st.arena.Stats(), FreeChunks: st.al.FreeChunks()}
+	if st.tree != nil {
+		s.Keys = st.tree.Len()
+	} else {
+		for _, c := range st.cores {
+			s.Keys += c.idx.Len()
+		}
+	}
+	for _, g := range st.groups {
+		s.Groups = append(s.Groups, g.Stats())
+	}
+	return s
+}
+
+// Len returns the number of live keys (quiescent).
+func (st *Store) Len() int {
+	if st.tree != nil {
+		return st.tree.Len()
+	}
+	n := 0
+	for _, c := range st.cores {
+		n += c.idx.Len()
+	}
+	return n
+}
+
+// usageTable tracks per-chunk live/dead bytes for victim selection
+// (§3.4's "in-memory table to track the usage of each 4MB chunk").
+type usageTable struct {
+	mu sync.Mutex
+	m  map[int64]*chunkUsage
+}
+
+type chunkUsage struct {
+	log   *oplog.Log
+	owner int // core whose log owns the chunk
+	mu    sync.Mutex
+	total int64
+	dead  int64
+}
+
+func (u *usageTable) account(chunk int64, log *oplog.Log, owner int, size int) {
+	u.mu.Lock()
+	cu := u.m[chunk]
+	if cu == nil {
+		cu = &chunkUsage{log: log, owner: owner}
+		u.m[chunk] = cu
+	}
+	u.mu.Unlock()
+	cu.mu.Lock()
+	cu.total += int64(size)
+	cu.mu.Unlock()
+}
+
+func (u *usageTable) markDead(chunk int64, size int) {
+	u.mu.Lock()
+	cu := u.m[chunk]
+	u.mu.Unlock()
+	if cu == nil {
+		return
+	}
+	cu.mu.Lock()
+	cu.dead += int64(size)
+	cu.mu.Unlock()
+}
+
+func (u *usageTable) drop(chunk int64) {
+	u.mu.Lock()
+	delete(u.m, chunk)
+	u.mu.Unlock()
+}
+
+// chunkOf maps a log-entry offset to its chunk base.
+func chunkOf(off int64) int64 { return off &^ (pmem.ChunkSize - 1) }

@@ -1,0 +1,40 @@
+// Package index defines the volatile-index contract FlatStore builds on
+// (§3.1): the engine decouples indexing from storage, so any DRAM index
+// that can map an 8-byte key to a log-entry reference plugs in. The
+// repository ships two implementations: a partitioned CCEH-style hash
+// table (package hashidx, used by FlatStore-H) and a Masstree-role
+// concurrent B+-tree (package masstree, used by FlatStore-M).
+package index
+
+// Ref is a reference to a log entry: the absolute arena offset of the
+// entry in some core's OpLog.
+type Ref = int64
+
+// Index is the volatile index contract. Implementations used per-core
+// (hashidx) may be single-goroutine; shared implementations (masstree)
+// must be safe for concurrent use.
+type Index interface {
+	// Get returns the entry reference and version for key.
+	Get(key uint64) (ref Ref, version uint32, ok bool)
+	// Put inserts or updates key.
+	Put(key uint64, ref Ref, version uint32)
+	// CompareAndSwapRef atomically repoints key from old to new without
+	// touching the version — the log cleaner's relocation primitive
+	// (§3.4). It fails if the current reference is not old.
+	CompareAndSwapRef(key uint64, old, new Ref) bool
+	// Delete removes key, reporting whether it was present.
+	Delete(key uint64) bool
+	// Len returns the number of live keys.
+	Len() int
+	// Range iterates all entries in unspecified order (recovery,
+	// checkpointing). fn returning false stops the iteration.
+	Range(fn func(key uint64, ref Ref, version uint32) bool)
+}
+
+// Ordered is an Index that additionally supports range scans in key
+// order — the reason FlatStore-M exists (§4.2).
+type Ordered interface {
+	Index
+	// Scan visits keys in [lo, hi] in ascending order.
+	Scan(lo, hi uint64, fn func(key uint64, ref Ref, version uint32) bool)
+}

@@ -1,0 +1,268 @@
+// Package masstree provides the ordered volatile index used by
+// FlatStore-M (§4.2). The paper uses Masstree (Mao et al., EuroSys'12), a
+// trie of B+-trees over variable-length keys; with FlatStore's fixed
+// 8-byte keys the trie collapses to a single layer, so what remains — and
+// what this package implements — is a concurrent B+-tree shared by all
+// server cores: fine-grained per-node read/write locks, top-down
+// preemptive splitting (at most two nodes locked at any moment),
+// hand-over-hand leaf-chain traversal for range scans, and values stored
+// at the leaves as (ref, version) pairs pointing into the OpLog.
+package masstree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flatstore/internal/index"
+)
+
+// maxKeys is the node fanout minus one. 15 keys + 16 children keeps an
+// inner node near two cachelines, the sweet spot Masstree also targets.
+const maxKeys = 15
+
+type value struct {
+	ref     index.Ref
+	version uint32
+}
+
+// node is a B+-tree node; the isLeaf flag selects which arrays are live.
+type node struct {
+	mu     sync.RWMutex
+	isLeaf bool
+	n      int
+	keys   [maxKeys]uint64
+	// Leaf fields.
+	vals [maxKeys]value
+	next *node
+	// Inner fields.
+	children [maxKeys + 1]*node
+}
+
+// upperBound returns the number of keys ≤ key — the child index to
+// descend into.
+func (nd *node) upperBound(key uint64) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// find returns the position of key in a leaf, or -1.
+func (nd *node) find(key uint64) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case nd.keys[mid] == key:
+			return mid
+		case nd.keys[mid] < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1
+}
+
+// Tree is a concurrent ordered index. The zero value is not usable; call
+// New.
+type Tree struct {
+	mu    sync.RWMutex // guards the root pointer
+	root  *node
+	count atomic.Int64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{isLeaf: true}}
+}
+
+// Len returns the number of live keys.
+func (t *Tree) Len() int { return int(t.count.Load()) }
+
+// lockLeafRead descends to the leaf that may hold key, returning it
+// read-locked.
+func (t *Tree) lockLeafRead(key uint64) *node {
+	t.mu.RLock()
+	nd := t.root
+	nd.mu.RLock()
+	t.mu.RUnlock()
+	for !nd.isLeaf {
+		c := nd.children[nd.upperBound(key)]
+		c.mu.RLock()
+		nd.mu.RUnlock()
+		nd = c
+	}
+	return nd
+}
+
+// Get looks up key.
+func (t *Tree) Get(key uint64) (index.Ref, uint32, bool) {
+	nd := t.lockLeafRead(key)
+	defer nd.mu.RUnlock()
+	if i := nd.find(key); i >= 0 {
+		v := nd.vals[i]
+		return v.ref, v.version, true
+	}
+	return 0, 0, false
+}
+
+// splitChild splits the full child at position i of parent (both must be
+// write-locked; parent must not be full). Returns the new right sibling.
+func splitChild(parent *node, i int) *node {
+	child := parent.children[i]
+	mid := maxKeys / 2
+	sib := &node{isLeaf: child.isLeaf}
+	var sep uint64
+	if child.isLeaf {
+		// Right half moves; the separator is the sibling's first key.
+		copy(sib.keys[:], child.keys[mid:child.n])
+		copy(sib.vals[:], child.vals[mid:child.n])
+		sib.n = child.n - mid
+		child.n = mid
+		sep = sib.keys[0]
+		sib.next = child.next
+		child.next = sib
+	} else {
+		// The middle key moves up.
+		sep = child.keys[mid]
+		copy(sib.keys[:], child.keys[mid+1:child.n])
+		copy(sib.children[:], child.children[mid+1:child.n+1])
+		sib.n = child.n - mid - 1
+		child.n = mid
+	}
+	// Insert sep and sib into parent after position i.
+	copy(parent.keys[i+1:parent.n+1], parent.keys[i:parent.n])
+	copy(parent.children[i+2:parent.n+2], parent.children[i+1:parent.n+1])
+	parent.keys[i] = sep
+	parent.children[i+1] = sib
+	parent.n++
+	return sib
+}
+
+// lockLeafWrite descends with preemptive splitting, returning the target
+// leaf write-locked and guaranteed non-full.
+func (t *Tree) lockLeafWrite(key uint64) *node {
+	t.mu.Lock()
+	nd := t.root
+	nd.mu.Lock()
+	if nd.n == maxKeys {
+		// Grow the tree: a fresh root with the old one as only child.
+		nr := &node{}
+		nr.children[0] = nd
+		splitChild(nr, 0)
+		nr.mu.Lock()
+		t.root = nr
+		nd.mu.Unlock()
+		nd = nr
+	}
+	t.mu.Unlock()
+	for !nd.isLeaf {
+		i := nd.upperBound(key)
+		c := nd.children[i]
+		c.mu.Lock()
+		if c.n == maxKeys {
+			sib := splitChild(nd, i)
+			if key >= nd.keys[i] {
+				// The key belongs in the new right sibling.
+				sib.mu.Lock()
+				c.mu.Unlock()
+				c = sib
+			}
+		}
+		nd.mu.Unlock()
+		nd = c
+	}
+	return nd
+}
+
+// Put inserts or updates key.
+func (t *Tree) Put(key uint64, ref index.Ref, version uint32) {
+	nd := t.lockLeafWrite(key)
+	defer nd.mu.Unlock()
+	if i := nd.find(key); i >= 0 {
+		nd.vals[i] = value{ref, version}
+		return
+	}
+	i := nd.upperBound(key)
+	copy(nd.keys[i+1:nd.n+1], nd.keys[i:nd.n])
+	copy(nd.vals[i+1:nd.n+1], nd.vals[i:nd.n])
+	nd.keys[i] = key
+	nd.vals[i] = value{ref, version}
+	nd.n++
+	t.count.Add(1)
+}
+
+// CompareAndSwapRef repoints key from old to new without changing the
+// version (the log cleaner's relocation CAS, §3.4).
+func (t *Tree) CompareAndSwapRef(key uint64, old, new index.Ref) bool {
+	nd := t.lockLeafWrite(key)
+	defer nd.mu.Unlock()
+	i := nd.find(key)
+	if i < 0 || nd.vals[i].ref != old {
+		return false
+	}
+	nd.vals[i].ref = new
+	return true
+}
+
+// Delete removes key. Leaves are not merged (Masstree-style lazy
+// structure maintenance): separators remain valid bounds, and empty
+// leaves are reclaimed only if the tree is rebuilt.
+func (t *Tree) Delete(key uint64) bool {
+	nd := t.lockLeafWrite(key)
+	defer nd.mu.Unlock()
+	i := nd.find(key)
+	if i < 0 {
+		return false
+	}
+	copy(nd.keys[i:nd.n-1], nd.keys[i+1:nd.n])
+	copy(nd.vals[i:nd.n-1], nd.vals[i+1:nd.n])
+	nd.n--
+	t.count.Add(-1)
+	return true
+}
+
+// Scan visits keys in [lo, hi] ascending, walking the leaf chain
+// hand-over-hand so concurrent splits cannot be missed.
+func (t *Tree) Scan(lo, hi uint64, fn func(key uint64, ref index.Ref, version uint32) bool) {
+	nd := t.lockLeafRead(lo)
+	for {
+		for i := 0; i < nd.n; i++ {
+			k := nd.keys[i]
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				nd.mu.RUnlock()
+				return
+			}
+			v := nd.vals[i]
+			if !fn(k, v.ref, v.version) {
+				nd.mu.RUnlock()
+				return
+			}
+		}
+		next := nd.next
+		if next == nil {
+			nd.mu.RUnlock()
+			return
+		}
+		next.mu.RLock()
+		nd.mu.RUnlock()
+		nd = next
+	}
+}
+
+// Range iterates every entry in ascending key order.
+func (t *Tree) Range(fn func(key uint64, ref index.Ref, version uint32) bool) {
+	t.Scan(0, ^uint64(0), fn)
+}
+
+var _ index.Ordered = (*Tree)(nil)

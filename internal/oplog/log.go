@@ -1,0 +1,359 @@
+package oplog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/pmem"
+)
+
+const (
+	// chunkMagic identifies a log chunk header (first word). The top 16
+	// bits are distinct from the allocator's header magics so recovery
+	// never confuses a log chunk with an allocator chunk.
+	chunkMagic = 0x0C1B_0000_0000_0001
+
+	// chunkHeader is the reserved space at the start of every log chunk:
+	// word0 = magic, word1 = next chunk (absolute offset, 0 = none).
+	chunkHeader = 64
+
+	// endMarkerReserve keeps room for the OpEnd marker so a chunk can
+	// always be terminated.
+	endMarkerReserve = HeaderSize
+)
+
+// ErrBatchTooLarge reports a batch that cannot fit in a single log chunk.
+var ErrBatchTooLarge = errors.New("oplog: batch exceeds chunk capacity")
+
+// ErrUnlinkTail reports an attempt to unlink the active tail chunk.
+var ErrUnlinkTail = errors.New("oplog: cannot unlink the tail chunk")
+
+// Log is one core's operation log: a chain of 4 MB chunks with a persisted
+// head pointer and tail pointer (both in an 16-byte metadata slot).
+//
+// Concurrency: the owning core appends; a background cleaner may link
+// survivor chunks at the head and unlink victims. The chunk chain is
+// protected by mu; AppendBatch itself is single-writer (only the owner
+// core appends).
+type Log struct {
+	arena   *pmem.Arena
+	al      *alloc.Allocator
+	metaOff int
+
+	mu        sync.Mutex
+	chunks    []int64 // chain order; chunks[len-1] is the tail chunk
+	tailChunk int64
+	tailPos   int // next write offset within the tail chunk
+}
+
+// MetaSize is the persistent footprint of a log's metadata slot
+// (head pointer + tail pointer).
+const MetaSize = 16
+
+// New creates an empty log whose metadata lives at metaOff, allocating the
+// first chunk and persisting the chain.
+func New(arena *pmem.Arena, al *alloc.Allocator, metaOff int, f *pmem.Flusher) (*Log, error) {
+	l := &Log{arena: arena, al: al, metaOff: metaOff}
+	c, err := al.AllocRawChunk()
+	if err != nil {
+		return nil, err
+	}
+	l.initChunk(c, 0, f)
+	l.chunks = []int64{c}
+	l.tailChunk = c
+	l.tailPos = chunkHeader
+	f.PersistUint64(metaOff, uint64(c))                       // head
+	f.PersistUint64(metaOff+8, uint64(c)+uint64(chunkHeader)) // tail
+	return l, nil
+}
+
+// initChunk writes and persists a chunk header.
+func (l *Log) initChunk(off, next int64, f *pmem.Flusher) {
+	l.arena.WriteUint64(int(off), chunkMagic)
+	l.arena.WriteUint64(int(off)+8, uint64(next))
+	f.Flush(int(off), 16)
+	f.Fence()
+}
+
+// Head returns the first chunk of the chain.
+func (l *Log) Head() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.chunks[0]
+}
+
+// Tail returns the absolute offset of the next write position.
+func (l *Log) Tail() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tailChunk + int64(l.tailPos)
+}
+
+// TailChunk returns the chunk currently being appended to.
+func (l *Log) TailChunk() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tailChunk
+}
+
+// Chunks returns a snapshot of the chunk chain in order.
+func (l *Log) Chunks() []int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]int64, len(l.chunks))
+	copy(out, l.chunks)
+	return out
+}
+
+// roll terminates the tail chunk with an OpEnd marker and starts a new
+// one. The order of persists keeps every crash window recoverable: the
+// marker and the new chunk's link become durable before the tail pointer
+// ever advances into the new chunk.
+func (l *Log) roll(f *pmem.Flusher) error {
+	// 1. End marker in the old chunk.
+	pos := int(l.tailChunk) + l.tailPos
+	l.arena.WriteUint64(pos, uint64(OpEnd))
+	l.arena.WriteUint64(pos+8, 0)
+	f.Flush(pos, HeaderSize)
+	f.Fence()
+	// 2. Fresh chunk, linked from the old tail.
+	c, err := l.al.AllocRawChunk()
+	if err != nil {
+		return err
+	}
+	l.initChunk(c, 0, f)
+	f.PersistUint64(int(l.tailChunk)+8, uint64(c))
+	l.mu.Lock()
+	l.chunks = append(l.chunks, c)
+	l.tailChunk = c
+	l.tailPos = chunkHeader
+	l.mu.Unlock()
+	return nil
+}
+
+// AppendBatch encodes the entries contiguously at the tail, pads the batch
+// to a cacheline boundary (§3.2 "Padding": adjacent batches must not share
+// a line or the second flush stalls), persists the whole batch with a
+// single flush+fence, and finally persists the tail pointer. It returns
+// the absolute offset of each entry.
+//
+// Per batch this costs exactly two persist points — the batch lines and
+// the tail pointer — regardless of how many entries the batch carries,
+// which is the core of FlatStore's write-amortization argument.
+func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	total := 0
+	for _, e := range entries {
+		total += e.EncodedSize()
+	}
+	if total > pmem.ChunkSize-chunkHeader-endMarkerReserve {
+		return nil, ErrBatchTooLarge
+	}
+	if l.tailPos+total > pmem.ChunkSize-endMarkerReserve {
+		if err := l.roll(f); err != nil {
+			return nil, err
+		}
+	}
+	mem := l.arena.Mem()
+	start := l.tailPos
+	pos := start
+	offs := make([]int64, len(entries))
+	for i, e := range entries {
+		offs[i] = l.tailChunk + int64(pos)
+		pos += e.EncodeTo(mem[int(l.tailChunk)+pos:])
+	}
+	// Pad to the next cacheline so the following batch starts on a fresh
+	// line (avoids the repeated-flush-same-line stall).
+	padded := (pos + pmem.CachelineSize - 1) &^ (pmem.CachelineSize - 1)
+	if padded > pmem.ChunkSize-endMarkerReserve {
+		padded = pos // end of chunk: roll will terminate it anyway
+	}
+	for i := int(l.tailChunk) + pos; i < int(l.tailChunk)+padded; i++ {
+		mem[i] = 0
+	}
+	f.Flush(int(l.tailChunk)+start, padded-start)
+	f.Fence()
+	l.mu.Lock()
+	l.tailPos = padded
+	tail := l.tailChunk + int64(l.tailPos)
+	l.mu.Unlock()
+	f.PersistUint64(l.metaOff+8, uint64(tail))
+	return offs, nil
+}
+
+// Append persists a single entry (a batch of one).
+func (l *Log) Append(f *pmem.Flusher, e *Entry) (int64, error) {
+	offs, err := l.AppendBatch(f, []*Entry{e})
+	if err != nil {
+		return 0, err
+	}
+	return offs[0], nil
+}
+
+// ScanChunk iterates the entries of one chunk. tail is the log's absolute
+// tail: iteration stops there if the chunk contains it, otherwise at the
+// OpEnd marker (or chunk end). fn returning false stops the scan early.
+func ScanChunk(arena *pmem.Arena, chunkOff, tail int64, fn func(off int64, e Entry) bool) error {
+	mem := arena.Mem()
+	end := int(chunkOff) + pmem.ChunkSize
+	if tail >= chunkOff && tail < chunkOff+pmem.ChunkSize {
+		end = int(tail)
+	}
+	pos := int(chunkOff) + chunkHeader
+	for pos < end {
+		e, n, err := Decode(mem[pos:end])
+		if err != nil {
+			return fmt.Errorf("oplog: chunk %#x offset %d: %w", chunkOff, pos-int(chunkOff), err)
+		}
+		switch e.Op {
+		case OpEnd:
+			return nil
+		case OpPad:
+			pos += n
+			continue
+		}
+		if !fn(int64(pos), e) {
+			return nil
+		}
+		pos += n
+	}
+	return nil
+}
+
+// Scan iterates every entry of the log in chain order.
+func (l *Log) Scan(fn func(off int64, e Entry) bool) error {
+	tail := l.Tail()
+	for _, c := range l.Chunks() {
+		if err := ScanChunk(l.arena, c, tail, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSurvivorChunk builds a fully persisted chunk holding the given
+// entries (the log cleaner's output). The chunk is NOT linked into the
+// chain yet — the caller journals it first and then calls LinkAtHead.
+// Returns the chunk offset and each entry's absolute offset.
+func (l *Log) WriteSurvivorChunk(f *pmem.Flusher, entries []*Entry) (int64, []int64, error) {
+	total := 0
+	for _, e := range entries {
+		total += e.EncodedSize()
+	}
+	if total > pmem.ChunkSize-chunkHeader-endMarkerReserve {
+		return 0, nil, ErrBatchTooLarge
+	}
+	c, err := l.al.AllocRawChunk()
+	if err != nil {
+		return 0, nil, err
+	}
+	mem := l.arena.Mem()
+	l.arena.WriteUint64(int(c), chunkMagic)
+	l.arena.WriteUint64(int(c)+8, 0)
+	pos := chunkHeader
+	offs := make([]int64, len(entries))
+	for i, e := range entries {
+		offs[i] = c + int64(pos)
+		pos += e.EncodeTo(mem[int(c)+pos:])
+	}
+	l.arena.WriteUint64(int(c)+pos, uint64(OpEnd))
+	l.arena.WriteUint64(int(c)+pos+8, 0)
+	f.Flush(int(c), pos+HeaderSize)
+	f.Fence()
+	return c, offs, nil
+}
+
+// LinkAtHead inserts a (persisted) chunk at the head of the chain. Chain
+// order does not affect correctness — recovery resolves entry age by
+// version — so survivors go to the head, away from the appending tail.
+func (l *Log) LinkAtHead(f *pmem.Flusher, c int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f.PersistUint64(int(c)+8, uint64(l.chunks[0]))
+	f.PersistUint64(l.metaOff, uint64(c))
+	l.chunks = append([]int64{c}, l.chunks...)
+}
+
+// Unlink removes a chunk from the chain, persisting the repaired link.
+// The chunk itself is not freed — the caller returns it to the allocator.
+func (l *Log) Unlink(f *pmem.Flusher, victim int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if victim == l.tailChunk {
+		return ErrUnlinkTail
+	}
+	idx := -1
+	for i, c := range l.chunks {
+		if c == victim {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("oplog: chunk %#x not in chain", victim)
+	}
+	var next uint64
+	if idx+1 < len(l.chunks) {
+		next = uint64(l.chunks[idx+1])
+	}
+	if idx == 0 {
+		f.PersistUint64(l.metaOff, next)
+	} else {
+		f.PersistUint64(int(l.chunks[idx-1])+8, next)
+	}
+	l.chunks = append(l.chunks[:idx], l.chunks[idx+1:]...)
+	return nil
+}
+
+// Recover rebuilds a Log from its persisted metadata after a restart.
+// extra lists journaled survivor chunks that may not be linked yet; any of
+// them not already in the chain are prepended (their entries carry
+// versions, so order is immaterial). Every chunk is re-marked as in use
+// with the allocator.
+func Recover(arena *pmem.Arena, al *alloc.Allocator, metaOff int, extra []int64) (*Log, error) {
+	head := int64(arena.ReadUint64(metaOff))
+	tail := int64(arena.ReadUint64(metaOff + 8))
+	l := &Log{arena: arena, al: al, metaOff: metaOff}
+
+	seen := map[int64]bool{}
+	for c := head; c != 0; {
+		if seen[c] {
+			return nil, fmt.Errorf("oplog: chunk chain cycle at %#x", c)
+		}
+		if magic := arena.ReadUint64(int(c)); magic != chunkMagic {
+			return nil, fmt.Errorf("oplog: bad chunk magic %#x at %#x", magic, c)
+		}
+		seen[c] = true
+		l.chunks = append(l.chunks, c)
+		if tail >= c && tail < c+pmem.ChunkSize {
+			// The tail chunk is by construction the last chunk
+			// holding acknowledged data; ignore any chunk linked
+			// beyond it (an unacknowledged roll).
+			break
+		}
+		c = int64(arena.ReadUint64(int(c) + 8))
+	}
+	if len(l.chunks) == 0 {
+		return nil, errors.New("oplog: empty chain")
+	}
+	last := l.chunks[len(l.chunks)-1]
+	if tail < last+chunkHeader || tail > last+pmem.ChunkSize {
+		return nil, fmt.Errorf("oplog: tail %#x outside tail chunk %#x", tail, last)
+	}
+	for _, c := range extra {
+		if !seen[c] && arena.ReadUint64(int(c)) == chunkMagic {
+			l.chunks = append([]int64{c}, l.chunks...)
+			seen[c] = true
+		}
+	}
+	for c := range seen {
+		al.RecoverMarkRawChunk(c)
+	}
+	l.tailChunk = last
+	l.tailPos = int(tail - last)
+	return l, nil
+}

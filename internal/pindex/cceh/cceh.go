@@ -1,0 +1,299 @@
+// Package cceh implements the CCEH persistent hash baseline (Nam et al.,
+// FAST'19; Table 1: "three level (directory, segments, buckets), 4 slots
+// in a bucket").
+//
+// Segments (16 KB, 256 buckets × 4 × 16 B slots) live in PM; a slot write
+// is one line flush + fence, done in place — so skewed workloads
+// repeatedly flush the same lines (§2.3's stall, which Figure 7(b)
+// attributes CCEH's skew penalty to). A full segment is lazily split:
+// its entries are rehashed into two fresh segments, persisted wholesale,
+// and the directory (rebuildable; kept in DRAM here, as the evaluation
+// removes its locks and persistence anyway) is repointed.
+package cceh
+
+import (
+	"encoding/binary"
+
+	"flatstore/internal/pindex"
+)
+
+const (
+	bucketsPerSegment = 256
+	slotsPerBucket    = 4
+	probeDistance     = 2
+	segmentBytes      = bucketsPerSegment * slotsPerBucket * 16 // 16 KB
+)
+
+type slot struct {
+	key  uint64
+	ptr  int64
+	used bool
+}
+
+type segment struct {
+	off        int64 // PM image
+	localDepth uint8
+	slots      [bucketsPerSegment * slotsPerBucket]slot
+}
+
+// Table is the CCEH baseline.
+type Table struct {
+	h           *pindex.Heap
+	globalDepth uint8
+	dir         []*segment
+	count       int
+}
+
+// New creates a table with one segment.
+func New(h *pindex.Heap) (*Table, error) {
+	t := &Table{h: h}
+	seg, err := t.newSegment(0)
+	if err != nil {
+		return nil, err
+	}
+	t.dir = []*segment{seg}
+	return t, nil
+}
+
+// Name implements pindex.KV.
+func (t *Table) Name() string { return "CCEH" }
+
+// Len implements pindex.KV.
+func (t *Table) Len() int { return t.count }
+
+func (t *Table) newSegment(depth uint8) (*segment, error) {
+	off, err := t.h.Alloc.Alloc(segmentBytes, t.h.F)
+	if err != nil {
+		return nil, err
+	}
+	return &segment{off: off, localDepth: depth}, nil
+}
+
+func hash(key uint64) uint64 {
+	x := key + 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+func (t *Table) dirIndex(h uint64) int {
+	if t.globalDepth == 0 {
+		return 0
+	}
+	return int(h >> (64 - t.globalDepth))
+}
+
+// persistSlot writes slot si's 16 bytes into the segment image and
+// flushes the line — CCEH's per-update persistence (in place).
+func (t *Table) persistSlot(seg *segment, si int) {
+	mem := t.h.Arena.Mem()
+	pos := seg.off + int64(si)*16
+	s := &seg.slots[si]
+	k := s.key
+	if !s.used {
+		k = 0 // cleared slot
+	}
+	binary.LittleEndian.PutUint64(mem[pos:], k)
+	binary.LittleEndian.PutUint64(mem[pos+8:], uint64(s.ptr))
+	t.h.F.Flush(int(pos), 16)
+	t.h.F.Fence()
+}
+
+// slotRange returns the probing slot indices for a hash.
+func slotRange(h uint64) []int {
+	base := int(h&(bucketsPerSegment-1)) * slotsPerBucket
+	out := make([]int, 0, probeDistance*slotsPerBucket)
+	for p := 0; p < probeDistance; p++ {
+		b := (base + p*slotsPerBucket) % (bucketsPerSegment * slotsPerBucket)
+		for i := 0; i < slotsPerBucket; i++ {
+			out = append(out, b+i)
+		}
+	}
+	return out
+}
+
+// Get implements pindex.KV.
+func (t *Table) Get(key uint64) ([]byte, bool) {
+	h := hash(key)
+	seg := t.dir[t.dirIndex(h)]
+	t.h.ChargeRead(1) // segment bucket probe
+	for _, si := range slotRange(h) {
+		if s := &seg.slots[si]; s.used && s.key == key {
+			t.h.ChargeRead(1)
+			return t.h.ReadRecord(s.ptr), true
+		}
+	}
+	return nil, false
+}
+
+// Put implements pindex.KV.
+func (t *Table) Put(key uint64, value []byte) error {
+	h := hash(key)
+	for {
+		seg := t.dir[t.dirIndex(h)]
+		var free = -1
+		for _, si := range slotRange(h) {
+			s := &seg.slots[si]
+			if s.used && s.key == key {
+				// In-place update: new record, pointer swing.
+				old := s.ptr
+				ptr, err := t.h.StoreRecord(value)
+				if err != nil {
+					return err
+				}
+				s.ptr = ptr
+				t.persistSlot(seg, si)
+				t.h.FreeRecord(old)
+				return nil
+			}
+			if !s.used && free < 0 {
+				free = si
+			}
+		}
+		if free >= 0 {
+			ptr, err := t.h.StoreRecord(value)
+			if err != nil {
+				return err
+			}
+			seg.slots[free] = slot{key: key, ptr: ptr, used: true}
+			t.persistSlot(seg, free)
+			t.count++
+			return nil
+		}
+		if err := t.split(seg); err != nil {
+			return err
+		}
+	}
+}
+
+// split rehashes a full segment into two fresh ones and persists both
+// wholesale — CCEH's lazy split, the flush-amplification source Figure 7
+// points at.
+func (t *Table) split(seg *segment) error {
+	if seg.localDepth == t.globalDepth {
+		old := t.dir
+		t.dir = make([]*segment, 2*len(old))
+		for i, s := range old {
+			t.dir[2*i] = s
+			t.dir[2*i+1] = s
+		}
+		t.globalDepth++
+	}
+	a, err := t.newSegment(seg.localDepth + 1)
+	if err != nil {
+		return err
+	}
+	b, err := t.newSegment(seg.localDepth + 1)
+	if err != nil {
+		return err
+	}
+	shift := 63 - uint(seg.localDepth)
+	var overflow []slot
+	for si := range seg.slots {
+		s := seg.slots[si]
+		if !s.used {
+			continue
+		}
+		hh := hash(s.key)
+		dst := a
+		if hh>>shift&1 == 1 {
+			dst = b
+		}
+		if !insertNoSplit(dst, hh, s) {
+			overflow = append(overflow, s)
+		}
+	}
+	// Persist both new segment images with bulk flushes (the split's
+	// big sequential write burst).
+	t.persistSegment(a)
+	t.persistSegment(b)
+	// Repoint the directory (DRAM).
+	stride := 1 << (t.globalDepth - seg.localDepth)
+	first := -1
+	for i, s := range t.dir {
+		if s == seg {
+			first = i
+			break
+		}
+	}
+	for i := 0; i < stride; i++ {
+		if i < stride/2 {
+			t.dir[first+i] = a
+		} else {
+			t.dir[first+i] = b
+		}
+	}
+	t.h.Alloc.Free(seg.off, segmentBytes, t.h.F)
+	for _, s := range overflow {
+		t.count--
+		if err := t.reinsert(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reinsert re-adds an overflowed slot after a split (keeps its record).
+func (t *Table) reinsert(s slot) error {
+	h := hash(s.key)
+	for {
+		seg := t.dir[t.dirIndex(h)]
+		for _, si := range slotRange(h) {
+			if !seg.slots[si].used {
+				seg.slots[si] = s
+				t.persistSlot(seg, si)
+				t.count++
+				return nil
+			}
+		}
+		if err := t.split(seg); err != nil {
+			return err
+		}
+	}
+}
+
+func insertNoSplit(seg *segment, h uint64, s slot) bool {
+	for _, si := range slotRange(h) {
+		if !seg.slots[si].used {
+			seg.slots[si] = s
+			return true
+		}
+	}
+	return false
+}
+
+// persistSegment writes the whole segment image and flushes it.
+func (t *Table) persistSegment(seg *segment) {
+	mem := t.h.Arena.Mem()
+	for si := range seg.slots {
+		s := &seg.slots[si]
+		pos := seg.off + int64(si)*16
+		k := s.key
+		if !s.used {
+			k = 0
+		}
+		binary.LittleEndian.PutUint64(mem[pos:], k)
+		binary.LittleEndian.PutUint64(mem[pos+8:], uint64(s.ptr))
+	}
+	t.h.F.Flush(int(seg.off), segmentBytes)
+	t.h.F.Fence()
+}
+
+// Delete implements pindex.KV.
+func (t *Table) Delete(key uint64) bool {
+	h := hash(key)
+	seg := t.dir[t.dirIndex(h)]
+	for _, si := range slotRange(h) {
+		if s := &seg.slots[si]; s.used && s.key == key {
+			ptr := s.ptr
+			s.used = false
+			t.persistSlot(seg, si)
+			t.h.FreeRecord(ptr)
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+var _ pindex.KV = (*Table)(nil)

@@ -1,0 +1,373 @@
+// Package fastfair implements the FAST&FAIR persistent B+-tree baseline
+// (Hwang et al., FAST'18; Table 1 of the FlatStore paper: "all nodes are
+// placed in PM").
+//
+// FAST&FAIR avoids logging by performing failure-atomic shifts: inserting
+// into a sorted node moves the trailing entries one slot at a time with
+// 8-byte stores, flushing each crossed cacheline, so readers observe
+// either the old entry or a transient duplicate — never a torn node. The
+// consequence FlatStore's §2.2 measures is that every Put issues several
+// small random flushes into node interiors, which is exactly the traffic
+// this implementation reproduces: node images live in PM and every
+// algorithmic store/flush/fence is issued against them, while the search
+// structure is mirrored in DRAM for implementation clarity (the paper's
+// figures measure PM write traffic, not baseline crash recovery).
+package fastfair
+
+import (
+	"encoding/binary"
+
+	"flatstore/internal/pindex"
+)
+
+const (
+	// nodeSize is FAST&FAIR's 512 B node.
+	nodeSize = 512
+	// headerSize holds the entry count, leaf flag and sibling pointer.
+	headerSize = 16
+	// slots is the per-node capacity: (512-16)/16.
+	slots = 31
+)
+
+type node struct {
+	off      int64 // PM image
+	leaf     bool
+	n        int
+	keys     [slots]uint64
+	vals     [slots]int64 // record ptr (leaf) or child PM offset (inner)
+	children [slots + 1]*node
+	next     *node
+}
+
+// Tree is the FAST&FAIR baseline.
+type Tree struct {
+	h     *pindex.Heap
+	root  *node
+	count int
+}
+
+// New creates an empty tree on the heap.
+func New(h *pindex.Heap) (*Tree, error) {
+	t := &Tree{h: h}
+	root, err := t.newNode(true)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+// Name implements pindex.KV.
+func (t *Tree) Name() string { return "FAST&FAIR" }
+
+// Len implements pindex.KV.
+func (t *Tree) Len() int { return t.count }
+
+func (t *Tree) newNode(leaf bool) (*node, error) {
+	off, err := t.h.Alloc.Alloc(nodeSize, t.h.F)
+	if err != nil {
+		return nil, err
+	}
+	nd := &node{off: off, leaf: leaf}
+	t.persistHeader(nd)
+	return nd, nil
+}
+
+// persistHeader writes and flushes the node's header word (count, flags,
+// sibling pointer).
+func (t *Tree) persistHeader(nd *node) {
+	mem := t.h.Arena.Mem()
+	hdr := uint64(nd.n)
+	if nd.leaf {
+		hdr |= 1 << 32
+	}
+	binary.LittleEndian.PutUint64(mem[nd.off:], hdr)
+	var next int64
+	if nd.next != nil {
+		next = nd.next.off
+	}
+	binary.LittleEndian.PutUint64(mem[nd.off+8:], uint64(next))
+	t.h.F.Flush(int(nd.off), headerSize)
+	t.h.F.Fence()
+}
+
+// writeSlot stores slot i's (key, val) pair into the PM image (cache
+// view; flushing is the caller's responsibility, matching FAST&FAIR's
+// per-line flush discipline).
+func (t *Tree) writeSlot(nd *node, i int) {
+	mem := t.h.Arena.Mem()
+	pos := nd.off + headerSize + int64(i)*16
+	binary.LittleEndian.PutUint64(mem[pos:], nd.keys[i])
+	binary.LittleEndian.PutUint64(mem[pos+8:], uint64(nd.vals[i]))
+}
+
+// flushSlots issues FAST&FAIR's shift flushes: one flush+fence per
+// cacheline covered by slots [from, to).
+func (t *Tree) flushSlots(nd *node, from, to int) {
+	if from >= to {
+		return
+	}
+	start := nd.off + headerSize + int64(from)*16
+	end := nd.off + headerSize + int64(to)*16
+	for line := start &^ 63; line < end; line += 64 {
+		t.h.F.Flush(int(line), 64)
+		t.h.F.Fence()
+	}
+}
+
+// insertAt shifts entries right from position i and writes the new pair,
+// issuing the algorithm's store/flush traffic.
+func (t *Tree) insertAt(nd *node, i int, key uint64, val int64, child *node) {
+	for j := nd.n; j > i; j-- {
+		nd.keys[j] = nd.keys[j-1]
+		nd.vals[j] = nd.vals[j-1]
+		if !nd.leaf {
+			nd.children[j+1] = nd.children[j]
+		}
+		t.writeSlot(nd, j)
+	}
+	nd.keys[i] = key
+	nd.vals[i] = val
+	if !nd.leaf {
+		nd.children[i+1] = child
+	}
+	t.writeSlot(nd, i)
+	nd.n++
+	// FAST: flush every line the shift touched, left to right.
+	t.flushSlots(nd, i, nd.n)
+	t.persistHeader(nd)
+}
+
+// removeAt shifts entries left over position i.
+func (t *Tree) removeAt(nd *node, i int) {
+	for j := i; j < nd.n-1; j++ {
+		nd.keys[j] = nd.keys[j+1]
+		nd.vals[j] = nd.vals[j+1]
+		if !nd.leaf {
+			nd.children[j+1] = nd.children[j+2]
+		}
+		t.writeSlot(nd, j)
+	}
+	nd.n--
+	t.flushSlots(nd, i, nd.n)
+	t.persistHeader(nd)
+}
+
+func (nd *node) search(key uint64) int {
+	lo, hi := 0, nd.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf for key, charging one PM read per level.
+func (t *Tree) findLeaf(key uint64) *node {
+	nd := t.root
+	for !nd.leaf {
+		t.h.ChargeRead(1)
+		nd = nd.children[nd.search(key)]
+	}
+	t.h.ChargeRead(1)
+	return nd
+}
+
+// split divides a full node, persisting the new sibling's image wholesale
+// (FAIR: the sibling is made durable before it becomes reachable).
+func (t *Tree) split(nd *node) (*node, uint64, error) {
+	sib, err := t.newNode(nd.leaf)
+	if err != nil {
+		return nil, 0, err
+	}
+	mid := nd.n / 2
+	var sep uint64
+	if nd.leaf {
+		sep = nd.keys[mid]
+		copy(sib.keys[:], nd.keys[mid:nd.n])
+		copy(sib.vals[:], nd.vals[mid:nd.n])
+		sib.n = nd.n - mid
+		sib.next = nd.next
+		nd.next = sib
+		nd.n = mid
+	} else {
+		sep = nd.keys[mid]
+		copy(sib.keys[:], nd.keys[mid+1:nd.n])
+		copy(sib.vals[:], nd.vals[mid+1:nd.n])
+		copy(sib.children[:], nd.children[mid+1:nd.n+1])
+		sib.n = nd.n - mid - 1
+		nd.n = mid
+	}
+	for i := 0; i < sib.n; i++ {
+		t.writeSlot(sib, i)
+	}
+	// One bulk flush of the fresh sibling, then its header.
+	t.h.F.Flush(int(sib.off)+headerSize, sib.n*16)
+	t.h.F.Fence()
+	t.persistHeader(sib)
+	// Shrink + relink the old node (header flush).
+	t.persistHeader(nd)
+	return sib, sep, nil
+}
+
+// insert recursively descends; on child split it inserts the separator.
+func (t *Tree) insert(nd *node, key uint64, val int64) (*node, uint64, error) {
+	if nd.leaf {
+		if i := nd.find(key); i >= 0 {
+			// In-place pointer update: the flush hits the same line
+			// as previous updates of this entry (§2.3's repeated
+			// flush pattern under skew).
+			nd.vals[i] = val
+			t.writeSlot(nd, i)
+			t.flushSlots(nd, i, i+1)
+			return nil, 0, nil
+		}
+		if nd.n == slots {
+			sib, sep, err := t.split(nd)
+			if err != nil {
+				return nil, 0, err
+			}
+			target := nd
+			if key >= sep {
+				target = sib
+			}
+			i := target.search(key)
+			t.insertAt(target, i, key, val, nil)
+			t.count++
+			return sib, sep, nil
+		}
+		t.insertAt(nd, nd.search(key), key, val, nil)
+		t.count++
+		return nil, 0, nil
+	}
+	t.h.ChargeRead(1)
+	ci := nd.search(key)
+	child := nd.children[ci]
+	sib, sep, err := t.insert(child, key, val)
+	if err != nil || sib == nil {
+		return nil, 0, err
+	}
+	if nd.n == slots {
+		nsib, nsep, err := t.split(nd)
+		if err != nil {
+			return nil, 0, err
+		}
+		target := nd
+		if sep >= nsep {
+			target = nsib
+		}
+		t.insertAt(target, target.search(sep), sep, sib.off, sib)
+		return nsib, nsep, nil
+	}
+	t.insertAt(nd, nd.search(sep), sep, sib.off, sib)
+	return nil, 0, nil
+}
+
+func (nd *node) find(key uint64) int {
+	i := nd.search(key) - 1
+	if i >= 0 && nd.keys[i] == key {
+		return i
+	}
+	return -1
+}
+
+// Put implements pindex.KV: persist the record, then update the tree with
+// FAST&FAIR's shift-and-flush discipline.
+func (t *Tree) Put(key uint64, value []byte) error {
+	leaf := t.findLeaf(key)
+	if i := leaf.find(key); i >= 0 {
+		// Update: new record, in-place pointer swing, free old.
+		old := leaf.vals[i]
+		ptr, err := t.h.StoreRecord(value)
+		if err != nil {
+			return err
+		}
+		leaf.vals[i] = ptr
+		t.writeSlot(leaf, i)
+		t.flushSlots(leaf, i, i+1)
+		t.h.FreeRecord(old)
+		return nil
+	}
+	ptr, err := t.h.StoreRecord(value)
+	if err != nil {
+		return err
+	}
+	sib, sep, err := t.insert(t.root, key, ptr)
+	if err != nil {
+		return err
+	}
+	if sib != nil {
+		nr, err := t.newNode(false)
+		if err != nil {
+			return err
+		}
+		nr.n = 1
+		nr.keys[0] = sep
+		nr.vals[0] = sib.off
+		nr.children[0] = t.root
+		nr.children[1] = sib
+		t.writeSlot(nr, 0)
+		t.flushSlots(nr, 0, 1)
+		t.persistHeader(nr)
+		t.root = nr
+	}
+	return nil
+}
+
+// Get implements pindex.KV.
+func (t *Tree) Get(key uint64) ([]byte, bool) {
+	leaf := t.findLeaf(key)
+	if i := leaf.find(key); i >= 0 {
+		t.h.ChargeRead(1)
+		return t.h.ReadRecord(leaf.vals[i]), true
+	}
+	return nil, false
+}
+
+// Delete implements pindex.KV (no node merging, like the published
+// implementation's default path).
+func (t *Tree) Delete(key uint64) bool {
+	leaf := t.findLeaf(key)
+	i := leaf.find(key)
+	if i < 0 {
+		return false
+	}
+	ptr := leaf.vals[i]
+	t.removeAt(leaf, i)
+	t.h.FreeRecord(ptr)
+	t.count--
+	return true
+}
+
+// Scan implements pindex.OrderedKV via the leaf chain.
+func (t *Tree) Scan(lo, hi uint64, fn func(key uint64, value []byte) bool) {
+	nd := t.findLeaf(lo)
+	for nd != nil {
+		for i := 0; i < nd.n; i++ {
+			k := nd.keys[i]
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return
+			}
+			t.h.ChargeRead(1)
+			if !fn(k, t.h.ReadRecord(nd.vals[i])) {
+				return
+			}
+		}
+		nd = nd.next
+		if nd != nil {
+			t.h.ChargeRead(1)
+		}
+	}
+}
+
+var (
+	_ pindex.KV        = (*Tree)(nil)
+	_ pindex.OrderedKV = (*Tree)(nil)
+)

@@ -1,0 +1,131 @@
+package fastfair
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/pindex"
+	"flatstore/internal/pmem"
+)
+
+func newHeap(t testing.TB) *pindex.Heap {
+	t.Helper()
+	a := pmem.New(64 * pmem.ChunkSize)
+	al := alloc.New(a, 0, 64, 1)
+	return &pindex.Heap{Arena: a, Alloc: al.Core(0), F: a.NewFlusher()}
+}
+
+func TestSortedOrderMaintained(t *testing.T) {
+	h := newHeap(t)
+	tr, err := New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range rng.Perm(20_000) {
+		if err := tr.Put(uint64(k), []byte(fmt.Sprint(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := int64(-1)
+	count := 0
+	tr.Scan(0, ^uint64(0), func(k uint64, v []byte) bool {
+		if int64(k) <= last {
+			t.Fatalf("scan out of order: %d after %d", k, last)
+		}
+		last = int64(k)
+		count++
+		return true
+	})
+	if count != 20_000 {
+		t.Fatalf("scan visited %d, want 20000", count)
+	}
+}
+
+func TestShiftFlushGrowsWithDisplacement(t *testing.T) {
+	// FAST&FAIR's defining cost: inserting at the front of a node
+	// shifts every entry behind it, flushing every crossed line.
+	// Descending inserts (always shift the full node) must flush more
+	// lines per op than ascending inserts (append, shift nothing).
+	measure := func(descending bool) float64 {
+		h := newHeap(t)
+		tr, _ := New(h)
+		const n = 2_000
+		for i := 0; i < n; i++ {
+			k := uint64(i)
+			if descending {
+				k = uint64(n - i)
+			}
+			tr.Put(k, []byte("12345678"))
+		}
+		h.F.FlushEvents()
+		return float64(h.Arena.Stats().Lines) / n
+	}
+	asc, desc := measure(false), measure(true)
+	if desc <= asc {
+		t.Errorf("descending inserts flush %.2f lines/op vs ascending %.2f — shift traffic missing", desc, asc)
+	}
+}
+
+func TestUpdateIsInPlacePointerSwing(t *testing.T) {
+	h := newHeap(t)
+	tr, _ := New(h)
+	tr.Put(7, []byte("old"))
+	h.F.FlushEvents()
+	h.Arena.ResetStats()
+	tr.Put(7, []byte("new"))
+	h.F.FlushEvents()
+	s := h.Arena.Stats()
+	// Update = record persist + one slot-line flush: no shifting.
+	if s.Fences > 4 {
+		t.Errorf("update used %d fences; in-place pointer swing expected", s.Fences)
+	}
+	v, _ := tr.Get(7)
+	if string(v) != "new" {
+		t.Fatalf("update lost: %q", v)
+	}
+}
+
+func TestNodeSplitsProduceValidTree(t *testing.T) {
+	h := newHeap(t)
+	tr, _ := New(h)
+	// 31 slots per node: 10k sequential inserts split leaves and inner
+	// nodes several levels deep.
+	for i := uint64(0); i < 10_000; i++ {
+		tr.Put(i, []byte("v"))
+	}
+	for i := uint64(0); i < 10_000; i += 97 {
+		if _, ok := tr.Get(i); !ok {
+			t.Fatalf("key %d lost after splits", i)
+		}
+	}
+	if tr.Len() != 10_000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteShiftsAndScanSkips(t *testing.T) {
+	h := newHeap(t)
+	tr, _ := New(h)
+	for i := uint64(0); i < 100; i++ {
+		tr.Put(i, []byte("v"))
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	count := 0
+	tr.Scan(0, 99, func(k uint64, v []byte) bool {
+		if k%2 == 0 {
+			t.Fatalf("deleted key %d appears in scan", k)
+		}
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("scan visited %d, want 50", count)
+	}
+}

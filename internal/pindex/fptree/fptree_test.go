@@ -1,0 +1,141 @@
+package fptree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/pindex"
+	"flatstore/internal/pmem"
+)
+
+func newHeap(t testing.TB) *pindex.Heap {
+	t.Helper()
+	a := pmem.New(64 * pmem.ChunkSize)
+	al := alloc.New(a, 0, 64, 1)
+	return &pindex.Heap{Arena: a, Alloc: al.Core(0), F: a.NewFlusher()}
+}
+
+func TestLeafSplitsAndInnerGrowth(t *testing.T) {
+	h := newHeap(t)
+	tr, err := New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range rng.Perm(30_000) {
+		if err := tr.Put(uint64(k), []byte(fmt.Sprint(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 30_000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := uint64(0); i < 30_000; i += 53 {
+		v, ok := tr.Get(i)
+		if !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+func TestInnerNodesCostNoFlushes(t *testing.T) {
+	// FPTree's whole point: inner-node updates live in DRAM. An insert
+	// costs the record persist + slot persist + header persist — never
+	// more fences even when inner nodes split.
+	h := newHeap(t)
+	tr, _ := New(h)
+	for i := uint64(0); i < 5_000; i++ {
+		tr.Put(i, []byte("warm"))
+	}
+	h.F.FlushEvents()
+	h.Arena.ResetStats()
+	const n = 2_000
+	for i := uint64(100_000); i < 100_000+n; i++ {
+		tr.Put(i, []byte("12345678"))
+	}
+	h.F.FlushEvents()
+	perOp := float64(h.Arena.Stats().Fences) / n
+	// record + slot + header = 3, plus occasional leaf splits.
+	if perOp < 2.9 || perOp > 4.5 {
+		t.Errorf("fences/insert = %.2f; inner nodes must add none", perOp)
+	}
+}
+
+func TestUpdateIsOutOfPlaceInLeaf(t *testing.T) {
+	// FPTree updates write the new pair to a free slot and swap bitmap
+	// bits, so the old value survives until publication.
+	h := newHeap(t)
+	tr, _ := New(h)
+	tr.Put(9, []byte("v1"))
+	tr.Put(9, []byte("v2"))
+	v, ok := tr.Get(9)
+	if !ok || string(v) != "v2" {
+		t.Fatalf("update: %q %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after update", tr.Len())
+	}
+}
+
+func TestFingerprintsFilterSlots(t *testing.T) {
+	// Different keys with equal fingerprints must still resolve by full
+	// key comparison; different fingerprints are filtered without
+	// touching the key.
+	h := newHeap(t)
+	tr, _ := New(h)
+	// Find two keys with colliding fingerprints.
+	var a, b uint64
+	base := fingerprint(1)
+	for k := uint64(2); ; k++ {
+		if fingerprint(k) == base {
+			a, b = 1, k
+			break
+		}
+	}
+	tr.Put(a, []byte("A"))
+	tr.Put(b, []byte("B"))
+	va, _ := tr.Get(a)
+	vb, _ := tr.Get(b)
+	if string(va) != "A" || string(vb) != "B" {
+		t.Fatalf("fingerprint collision mishandled: %q %q", va, vb)
+	}
+}
+
+func TestScanSortsUnsortedLeaves(t *testing.T) {
+	h := newHeap(t)
+	tr, _ := New(h)
+	rng := rand.New(rand.NewSource(9))
+	for _, k := range rng.Perm(5_000) {
+		tr.Put(uint64(k), []byte("v"))
+	}
+	last := int64(-1)
+	n := 0
+	tr.Scan(1_000, 2_000, func(k uint64, v []byte) bool {
+		if int64(k) <= last {
+			t.Fatalf("scan out of order: %d after %d", k, last)
+		}
+		last = int64(k)
+		n++
+		return true
+	})
+	if n != 1_001 {
+		t.Fatalf("scan visited %d, want 1001", n)
+	}
+}
+
+func TestDeleteIsOneHeaderFlush(t *testing.T) {
+	h := newHeap(t)
+	tr, _ := New(h)
+	tr.Put(5, []byte("gone"))
+	h.F.FlushEvents()
+	h.Arena.ResetStats()
+	if !tr.Delete(5) {
+		t.Fatal("delete failed")
+	}
+	h.F.FlushEvents()
+	if s := h.Arena.Stats(); s.Fences > 2 {
+		t.Errorf("delete used %d fences; one header flush expected", s.Fences)
+	}
+}

@@ -1,0 +1,285 @@
+// Package levelhash implements the Level-Hashing persistent baseline
+// (Zuo et al., OSDI'18; Table 1: "two-level (top/bottom level), 4 slots
+// in a bucket").
+//
+// The table has a top level of N buckets and a bottom level of N/2; every
+// key hashes to two independent top buckets, and each pair of top buckets
+// shares one bottom bucket, giving each key 3 candidate buckets × 4
+// slots. Writes are in place: inserting persists the slot and then the
+// bucket's token bitmap (two flushes that often share a line); conflicts
+// trigger one-step movement (relocate an existing item to its alternate
+// bucket: three persisted writes); a full table triggers a resize that
+// rehashes the bottom level into a fresh top level twice the size —
+// Level-Hashing's "cost-efficient resizing".
+package levelhash
+
+import (
+	"encoding/binary"
+
+	"flatstore/internal/pindex"
+)
+
+const (
+	slotsPerBucket = 4
+	// bucketBytes: one token word + 4 × 16 B slots, padded to 128 B
+	// (two lines).
+	bucketBytes = 128
+	// initialBuckets is the starting top-level size (power of two).
+	initialBuckets = 512
+)
+
+type slot struct {
+	key  uint64
+	ptr  int64
+	used bool
+}
+
+type bucket struct {
+	slots [slotsPerBucket]slot
+}
+
+type level struct {
+	off     int64 // PM image (n × bucketBytes)
+	n       int
+	buckets []bucket
+}
+
+// Table is the Level-Hashing baseline.
+type Table struct {
+	h      *pindex.Heap
+	top    *level
+	bottom *level
+	count  int
+}
+
+// New creates a table with initialBuckets top buckets.
+func New(h *pindex.Heap) (*Table, error) {
+	t := &Table{h: h}
+	top, err := t.newLevel(initialBuckets)
+	if err != nil {
+		return nil, err
+	}
+	bottom, err := t.newLevel(initialBuckets / 2)
+	if err != nil {
+		return nil, err
+	}
+	t.top, t.bottom = top, bottom
+	return t, nil
+}
+
+// Name implements pindex.KV.
+func (t *Table) Name() string { return "Level-Hashing" }
+
+// Len implements pindex.KV.
+func (t *Table) Len() int { return t.count }
+
+func (t *Table) newLevel(n int) (*level, error) {
+	off, err := t.h.Alloc.Alloc(n*bucketBytes, t.h.F)
+	if err != nil {
+		return nil, err
+	}
+	return &level{off: off, n: n, buckets: make([]bucket, n)}, nil
+}
+
+func hash1(key uint64) uint64 {
+	x := key + 0x9e3779b97f4a7c15
+	x = (x ^ x>>30) * 0xbf58476d1ce4e5b9
+	x = (x ^ x>>27) * 0x94d049bb133111eb
+	return x ^ x>>31
+}
+
+func hash2(key uint64) uint64 {
+	x := key ^ 0xc2b2ae3d27d4eb4f
+	x = (x ^ x>>33) * 0xff51afd7ed558ccd
+	x = (x ^ x>>33) * 0xc4ceb9fe1a85ec53
+	return x ^ x>>33
+}
+
+// persistSlot writes slot si of bucket bi and flushes its line, then
+// persists the bucket's token word (Level-Hashing's two-step publish).
+func (t *Table) persistSlot(lv *level, bi, si int) {
+	mem := t.h.Arena.Mem()
+	base := lv.off + int64(bi)*bucketBytes
+	s := &lv.buckets[bi].slots[si]
+	pos := base + 8 + int64(si)*16
+	k := s.key
+	if !s.used {
+		k = 0
+	}
+	binary.LittleEndian.PutUint64(mem[pos:], k)
+	binary.LittleEndian.PutUint64(mem[pos+8:], uint64(s.ptr))
+	t.h.F.Flush(int(pos), 16)
+	t.h.F.Fence()
+	// Token bitmap in the bucket header word.
+	var tokens uint64
+	for i, sl := range lv.buckets[bi].slots {
+		if sl.used {
+			tokens |= 1 << i
+		}
+	}
+	binary.LittleEndian.PutUint64(mem[base:], tokens)
+	t.h.F.Flush(int(base), 8)
+	t.h.F.Fence()
+}
+
+// candidates returns the (level, bucket) probe sequence for a key:
+// two top buckets, then their shared bottom bucket(s).
+func (t *Table) candidates(key uint64) [4]struct {
+	lv *level
+	bi int
+} {
+	// Bottom positions use the same hashes modulo the bottom size; since
+	// the bottom level is the previous top level, items it holds remain
+	// addressable across resizes without being moved.
+	return [4]struct {
+		lv *level
+		bi int
+	}{
+		{t.top, int(hash1(key) % uint64(t.top.n))},
+		{t.top, int(hash2(key) % uint64(t.top.n))},
+		{t.bottom, int(hash1(key) % uint64(t.bottom.n))},
+		{t.bottom, int(hash2(key) % uint64(t.bottom.n))},
+	}
+}
+
+// Get implements pindex.KV.
+func (t *Table) Get(key uint64) ([]byte, bool) {
+	for _, c := range t.candidates(key) {
+		t.h.ChargeRead(1)
+		for si := range c.lv.buckets[c.bi].slots {
+			if s := &c.lv.buckets[c.bi].slots[si]; s.used && s.key == key {
+				t.h.ChargeRead(1)
+				return t.h.ReadRecord(s.ptr), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Put implements pindex.KV.
+func (t *Table) Put(key uint64, value []byte) error {
+	// Update in place if present.
+	for _, c := range t.candidates(key) {
+		for si := range c.lv.buckets[c.bi].slots {
+			if s := &c.lv.buckets[c.bi].slots[si]; s.used && s.key == key {
+				old := s.ptr
+				ptr, err := t.h.StoreRecord(value)
+				if err != nil {
+					return err
+				}
+				s.ptr = ptr
+				t.persistSlot(c.lv, c.bi, si)
+				t.h.FreeRecord(old)
+				return nil
+			}
+		}
+	}
+	ptr, err := t.h.StoreRecord(value)
+	if err != nil {
+		return err
+	}
+	return t.insert(slot{key: key, ptr: ptr, used: true})
+}
+
+func (t *Table) insert(s slot) error {
+	for attempt := 0; ; attempt++ {
+		for _, c := range t.candidates(s.key) {
+			for si := range c.lv.buckets[c.bi].slots {
+				if !c.lv.buckets[c.bi].slots[si].used {
+					c.lv.buckets[c.bi].slots[si] = s
+					t.persistSlot(c.lv, c.bi, si)
+					t.count++
+					return nil
+				}
+			}
+		}
+		// One-step movement: relocate an item from a top candidate to
+		// its alternate top bucket (three persisted writes: copy,
+		// publish, clear).
+		if attempt == 0 && t.move(s.key) {
+			continue
+		}
+		if err := t.resize(); err != nil {
+			return err
+		}
+	}
+}
+
+// move relocates one occupant of key's top candidate buckets to its
+// alternate bucket, freeing a slot.
+func (t *Table) move(key uint64) bool {
+	b1 := int(hash1(key) % uint64(t.top.n))
+	b2 := int(hash2(key) % uint64(t.top.n))
+	for _, bi := range []int{b1, b2} {
+		for si := range t.top.buckets[bi].slots {
+			occ := t.top.buckets[bi].slots[si]
+			if !occ.used {
+				continue
+			}
+			alt := int(hash1(occ.key) % uint64(t.top.n))
+			if alt == bi {
+				alt = int(hash2(occ.key) % uint64(t.top.n))
+			}
+			if alt == bi {
+				continue
+			}
+			for asi := range t.top.buckets[alt].slots {
+				if !t.top.buckets[alt].slots[asi].used {
+					t.top.buckets[alt].slots[asi] = occ
+					t.persistSlot(t.top, alt, asi)
+					t.top.buckets[bi].slots[si].used = false
+					t.persistSlot(t.top, bi, si)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// resize doubles the table: a new top level of 2N buckets absorbs the old
+// bottom level's items (each rehash is a persisted write), the old top
+// becomes the new bottom, and the old bottom is freed — Level-Hashing's
+// "rehash the bottom level only" scheme.
+func (t *Table) resize() error {
+	newTop, err := t.newLevel(t.top.n * 2)
+	if err != nil {
+		return err
+	}
+	oldBottom := t.bottom
+	t.bottom = t.top
+	t.top = newTop
+	for bi := range oldBottom.buckets {
+		for si := range oldBottom.buckets[bi].slots {
+			s := oldBottom.buckets[bi].slots[si]
+			if !s.used {
+				continue
+			}
+			t.count-- // reinsert re-counts
+			if err := t.insert(s); err != nil {
+				return err
+			}
+		}
+	}
+	t.h.Alloc.Free(oldBottom.off, oldBottom.n*bucketBytes, t.h.F)
+	return nil
+}
+
+// Delete implements pindex.KV.
+func (t *Table) Delete(key uint64) bool {
+	for _, c := range t.candidates(key) {
+		for si := range c.lv.buckets[c.bi].slots {
+			if s := &c.lv.buckets[c.bi].slots[si]; s.used && s.key == key {
+				ptr := s.ptr
+				s.used = false
+				t.persistSlot(c.lv, c.bi, si)
+				t.h.FreeRecord(ptr)
+				t.count--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var _ pindex.KV = (*Table)(nil)

@@ -1,0 +1,102 @@
+package levelhash
+
+import (
+	"fmt"
+	"testing"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/pindex"
+	"flatstore/internal/pmem"
+)
+
+func newHeap(t testing.TB) *pindex.Heap {
+	t.Helper()
+	a := pmem.New(64 * pmem.ChunkSize)
+	al := alloc.New(a, 0, 64, 1)
+	return &pindex.Heap{Arena: a, Alloc: al.Core(0), F: a.NewFlusher()}
+}
+
+func TestResizePreservesAllKeys(t *testing.T) {
+	h := newHeap(t)
+	tab, err := New(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// initialBuckets=512 top + 256 bottom ≈ 3k slots; 30k inserts force
+	// several resizes (each rehashing only the bottom level).
+	const n = 30_000
+	for i := uint64(0); i < n; i++ {
+		if err := tab.Put(i, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d, want %d", tab.Len(), n)
+	}
+	for i := uint64(0); i < n; i += 11 {
+		v, ok := tab.Get(i)
+		if !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("key %d lost across resizes", i)
+		}
+	}
+}
+
+func TestBottomLevelAddressingAfterResize(t *testing.T) {
+	// The resize invariant: items in the old top level (which becomes
+	// the new bottom) stay addressable without moving, because bottom
+	// candidates use hash % bottomN and bottomN == old topN.
+	h := newHeap(t)
+	tab, _ := New(h)
+	var keys []uint64
+	for i := uint64(0); i < 5_000; i++ {
+		tab.Put(i, []byte("v"))
+		keys = append(keys, i)
+	}
+	if err := tab.resize(); err != nil { // force an explicit resize
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if _, ok := tab.Get(k); !ok {
+			t.Fatalf("key %d unaddressable after forced resize", k)
+		}
+	}
+}
+
+func TestMovementFreesSlot(t *testing.T) {
+	h := newHeap(t)
+	tab, _ := New(h)
+	// Fill heavily so one-step movement kicks in before any resize; we
+	// only verify correctness: every inserted key stays reachable.
+	for i := uint64(0); i < 2_500; i++ {
+		if err := tab.Put(i, []byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 2_500; i++ {
+		if _, ok := tab.Get(i); !ok {
+			t.Fatalf("key %d lost after movements", i)
+		}
+	}
+}
+
+func TestTwoPersistsPerInsert(t *testing.T) {
+	h := newHeap(t)
+	tab, _ := New(h)
+	for i := uint64(0); i < 1_000; i++ {
+		tab.Put(i, []byte("x"))
+	}
+	h.F.FlushEvents()
+	h.Arena.ResetStats()
+	const n = 500
+	for i := uint64(10_000); i < 10_000+n; i++ {
+		tab.Put(i, []byte("x"))
+	}
+	h.F.FlushEvents()
+	s := h.Arena.Stats()
+	// Each insert = record persist + slot persist + token persist ≈ 3
+	// fences (+ movements); must be ≥3 and bounded.
+	perOp := float64(s.Fences) / n
+	if perOp < 2.9 || perOp > 8 {
+		t.Errorf("fences/insert = %.2f, expected ≈3 (slot+token+record)", perOp)
+	}
+}

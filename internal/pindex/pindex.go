@@ -1,0 +1,84 @@
+// Package pindex defines the contract for the persistent-index baselines
+// FlatStore is evaluated against (Table 1 of the paper): CCEH and
+// Level-Hashing (hash-based), FAST&FAIR and FPTree (tree-based).
+//
+// Every baseline follows the paper's §5 setup: KV records are stored
+// out-of-place through the lazy-persist allocator with only a pointer in
+// the index, locks are removed (the harness partitions keys per core for
+// the hash baselines and drives the trees from one virtual core at a
+// time), and each implementation issues the store/flush/fence sequence of
+// its published algorithm, which is what the PM emulator measures.
+package pindex
+
+import (
+	"flatstore/internal/alloc"
+	"flatstore/internal/pmem"
+	"flatstore/internal/record"
+)
+
+// KV is a persistent key-value baseline with fixed 8-byte keys.
+// Implementations are not safe for concurrent use; the evaluation harness
+// serializes access exactly like the paper's per-core partitioning.
+type KV interface {
+	// Name identifies the scheme in reports ("CCEH", "Level-Hashing", …).
+	Name() string
+	// Put inserts or updates a key.
+	Put(key uint64, value []byte) error
+	// Get returns the value bytes (aliasing PM) for key.
+	Get(key uint64) ([]byte, bool)
+	// Delete removes key.
+	Delete(key uint64) bool
+	// Len returns the number of live keys.
+	Len() int
+}
+
+// OrderedKV additionally supports ordered range scans (the tree-based
+// baselines).
+type OrderedKV interface {
+	KV
+	// Scan visits keys in [lo, hi] ascending.
+	Scan(lo, hi uint64, fn func(key uint64, value []byte) bool)
+}
+
+// Heap bundles the PM resources every baseline needs: the arena, a core's
+// allocator context, and the core's flusher. It also counts PM reads so
+// the virtual-time simulator can charge media read latency (the emulator
+// itself only observes writes).
+type Heap struct {
+	Arena *pmem.Arena
+	Alloc *alloc.CoreAlloc
+	F     *pmem.Flusher
+
+	reads uint64
+}
+
+// ChargeRead records n PM media reads (node or record accesses).
+func (h *Heap) ChargeRead(n int) { h.reads += uint64(n) }
+
+// TakeReads returns and clears the accumulated PM read count.
+func (h *Heap) TakeReads() uint64 {
+	r := h.reads
+	h.reads = 0
+	return r
+}
+
+// StoreRecord allocates a block, persists the record into it, and returns
+// the pointer — the common "update the actual KV" step (§2.2 ➀).
+func (h *Heap) StoreRecord(value []byte) (int64, error) {
+	off, err := h.Alloc.Alloc(record.Size(len(value)), h.F)
+	if err != nil {
+		return 0, err
+	}
+	record.Persist(h.F, off, value)
+	return off, nil
+}
+
+// FreeRecord releases a record block given its pointer.
+func (h *Heap) FreeRecord(off int64) {
+	h.Alloc.Free(off, record.Size(record.Len(h.Arena, off)), h.F)
+}
+
+// ReadRecord returns the value bytes at off, aliasing PM.
+func (h *Heap) ReadRecord(off int64) []byte {
+	return record.View(h.Arena, off)
+}

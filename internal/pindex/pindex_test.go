@@ -1,0 +1,248 @@
+package pindex_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/pindex"
+	"flatstore/internal/pindex/cceh"
+	"flatstore/internal/pindex/fastfair"
+	"flatstore/internal/pindex/fptree"
+	"flatstore/internal/pindex/levelhash"
+	"flatstore/internal/pmem"
+)
+
+func newHeap(t testing.TB, nchunks int) *pindex.Heap {
+	t.Helper()
+	a := pmem.New(nchunks * pmem.ChunkSize)
+	al := alloc.New(a, 0, nchunks, 1)
+	return &pindex.Heap{Arena: a, Alloc: al.Core(0), F: a.NewFlusher()}
+}
+
+type maker struct {
+	name string
+	make func(h *pindex.Heap) (pindex.KV, error)
+}
+
+var makers = []maker{
+	{"FAST&FAIR", func(h *pindex.Heap) (pindex.KV, error) { return fastfair.New(h) }},
+	{"FPTree", func(h *pindex.Heap) (pindex.KV, error) { return fptree.New(h) }},
+	{"CCEH", func(h *pindex.Heap) (pindex.KV, error) { return cceh.New(h) }},
+	{"Level-Hashing", func(h *pindex.Heap) (pindex.KV, error) { return levelhash.New(h) }},
+}
+
+func TestBasicPutGetDelete(t *testing.T) {
+	for _, m := range makers {
+		t.Run(m.name, func(t *testing.T) {
+			kv, err := m.make(newHeap(t, 16))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if kv.Name() != m.name {
+				t.Errorf("Name = %q, want %q", kv.Name(), m.name)
+			}
+			if err := kv.Put(1, []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			if err := kv.Put(2, []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			v, ok := kv.Get(1)
+			if !ok || string(v) != "one" {
+				t.Fatalf("Get(1) = %q,%v", v, ok)
+			}
+			if _, ok := kv.Get(3); ok {
+				t.Fatal("found missing key")
+			}
+			// Update.
+			if err := kv.Put(1, []byte("uno")); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := kv.Get(1); string(v) != "uno" {
+				t.Fatalf("after update: %q", v)
+			}
+			if kv.Len() != 2 {
+				t.Fatalf("Len = %d", kv.Len())
+			}
+			if !kv.Delete(1) || kv.Delete(1) {
+				t.Fatal("delete semantics wrong")
+			}
+			if _, ok := kv.Get(1); ok {
+				t.Fatal("deleted key found")
+			}
+		})
+	}
+}
+
+func TestBulkAndModel(t *testing.T) {
+	for _, m := range makers {
+		t.Run(m.name, func(t *testing.T) {
+			kv, err := m.make(newHeap(t, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			model := map[uint64][]byte{}
+			for i := 0; i < 20_000; i++ {
+				key := uint64(rng.Intn(5000))
+				switch rng.Intn(5) {
+				case 0, 1, 2:
+					val := make([]byte, 1+rng.Intn(100))
+					rng.Read(val)
+					if err := kv.Put(key, val); err != nil {
+						t.Fatal(err)
+					}
+					model[key] = val
+				case 3:
+					got, ok := kv.Get(key)
+					want, wok := model[key]
+					if ok != wok || (ok && !bytes.Equal(got, want)) {
+						t.Fatalf("op %d: Get(%d) mismatch", i, key)
+					}
+				case 4:
+					ok := kv.Delete(key)
+					if _, wok := model[key]; ok != wok {
+						t.Fatalf("op %d: Delete(%d) = %v", i, key, ok)
+					}
+					delete(model, key)
+				}
+			}
+			if kv.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", kv.Len(), len(model))
+			}
+			for k, want := range model {
+				got, ok := kv.Get(k)
+				if !ok || !bytes.Equal(got, want) {
+					t.Fatalf("final check: key %d mismatch", k)
+				}
+			}
+		})
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	for _, m := range makers {
+		t.Run(m.name, func(t *testing.T) {
+			kv, err := m.make(newHeap(t, 32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			val := bytes.Repeat([]byte{0x5a}, 64<<10)
+			if err := kv.Put(9, val); err != nil {
+				t.Fatal(err)
+			}
+			got, ok := kv.Get(9)
+			if !ok || !bytes.Equal(got, val) {
+				t.Fatal("large value mismatch")
+			}
+		})
+	}
+}
+
+func TestOrderedScan(t *testing.T) {
+	ordered := []maker{makers[0], makers[1]}
+	for _, m := range ordered {
+		t.Run(m.name, func(t *testing.T) {
+			kv, err := m.make(newHeap(t, 64))
+			if err != nil {
+				t.Fatal(err)
+			}
+			okv := kv.(pindex.OrderedKV)
+			rng := rand.New(rand.NewSource(3))
+			for _, k := range rng.Perm(3000) {
+				if err := kv.Put(uint64(k), []byte(fmt.Sprint(k))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var got []uint64
+			okv.Scan(500, 1500, func(k uint64, v []byte) bool {
+				if string(v) != fmt.Sprint(k) {
+					t.Fatalf("scan value mismatch at %d: %q", k, v)
+				}
+				got = append(got, k)
+				return true
+			})
+			if len(got) != 1001 {
+				t.Fatalf("scan returned %d keys, want 1001", len(got))
+			}
+			for i, k := range got {
+				if k != uint64(500+i) {
+					t.Fatalf("scan out of order at %d: %d", i, k)
+				}
+			}
+			// Early stop.
+			n := 0
+			okv.Scan(0, 2999, func(k uint64, v []byte) bool { n++; return n < 5 })
+			if n != 5 {
+				t.Fatalf("early stop visited %d", n)
+			}
+		})
+	}
+}
+
+// TestPerPutFlushProfile pins the per-operation PM traffic each baseline
+// is supposed to generate — the quantities the paper's argument rests on.
+func TestPerPutFlushProfile(t *testing.T) {
+	for _, m := range makers {
+		t.Run(m.name, func(t *testing.T) {
+			h := newHeap(t, 64)
+			kv, err := m.make(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm up so splits/resizes settle out of the sample.
+			for i := uint64(0); i < 10_000; i++ {
+				kv.Put(i, []byte("12345678"))
+			}
+			h.F.FlushEvents()
+			h.Arena.ResetStats()
+			const n = 1000
+			for i := uint64(50_000); i < 50_000+n; i++ {
+				kv.Put(i, []byte("12345678"))
+			}
+			h.F.FlushEvents()
+			s := h.Arena.Stats()
+			perOp := float64(s.Fences) / n
+			// Every baseline needs at least 2 persists per Put (record +
+			// index slot); trees shift entries so they need more. None
+			// should be near FlatStore's amortized ~0.1/op.
+			if perOp < 1.9 {
+				t.Errorf("%s: %.2f fences/op — too few, traffic model broken", m.name, perOp)
+			}
+			if perOp > 40 {
+				t.Errorf("%s: %.2f fences/op — implausibly many", m.name, perOp)
+			}
+			t.Logf("%s: %.2f fences/op, %.2f lines/op, %.0f media B/op",
+				m.name, perOp, float64(s.Lines)/n, float64(s.MediaBytes)/n)
+		})
+	}
+}
+
+// TestTreeShiftCost verifies FAST&FAIR's defining behaviour: inserts into
+// sorted nodes flush more lines than FPTree's slot+header writes.
+func TestTreeShiftCost(t *testing.T) {
+	stats := map[string]float64{}
+	for _, m := range makers[:2] {
+		h := newHeap(t, 64)
+		kv, _ := m.make(h)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 5000; i++ {
+			kv.Put(rng.Uint64()%100_000, []byte("12345678"))
+		}
+		h.F.FlushEvents()
+		h.Arena.ResetStats()
+		const n = 2000
+		for i := 0; i < n; i++ {
+			kv.Put(rng.Uint64()%100_000, []byte("12345678"))
+		}
+		h.F.FlushEvents()
+		stats[m.name] = float64(h.Arena.Stats().Lines) / n
+	}
+	if stats["FAST&FAIR"] <= stats["FPTree"] {
+		t.Errorf("FAST&FAIR lines/op (%.2f) should exceed FPTree's (%.2f): sorted-shift vs slot write",
+			stats["FAST&FAIR"], stats["FPTree"])
+	}
+}

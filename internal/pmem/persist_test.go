@@ -1,0 +1,49 @@
+package pmem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteToReadArenaRoundtrip(t *testing.T) {
+	a := New(2 * ChunkSize)
+	f := a.NewFlusher()
+	f.Persist(4096, []byte("durable"))
+	a.Write(8192, []byte("volatile")) // unflushed: must NOT survive
+
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArena(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size() != a.Size() {
+		t.Fatalf("size %d vs %d", b.Size(), a.Size())
+	}
+	if string(b.Read(4096, 7)) != "durable" {
+		t.Error("flushed data lost in image")
+	}
+	if string(b.Read(8192, 8)) == "volatile" {
+		t.Error("unflushed data survived the image (media view violated)")
+	}
+}
+
+func TestReadArenaRejectsGarbage(t *testing.T) {
+	if _, err := ReadArena(strings.NewReader("not an arena image at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadArena(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Truncated body.
+	a := New(ChunkSize)
+	var buf bytes.Buffer
+	a.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadArena(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package pmem emulates a byte-addressable persistent memory device with
+// the persistence semantics and access granularities of Intel Optane DC
+// Persistent Memory.
+//
+// The emulator keeps two views of the address space:
+//
+//   - the cache view (Mem): every store lands here first, exactly like a
+//     store that is still sitting in a volatile CPU cache;
+//   - the media view: the bytes that survive a crash. Flush copies whole
+//     64-byte cachelines from the cache view to the media view, modelling
+//     clwb/clflushopt followed by an sfence.
+//
+// Crash discards everything that was never flushed, which makes
+// crash-consistency bugs observable in tests: a recovery path that relies
+// on an unflushed store will read stale bytes.
+//
+// The emulator also records the device-level statistics that FlatStore's
+// design argument is built on: how many cachelines were flushed, how many
+// 256-byte XPLine blocks were touched, how often the same line was flushed
+// repeatedly within a short window (the ~800 ns in-place-update stall from
+// the paper's §2.3), and whether a flush continued the previous block
+// (sequential, eligible for write combining) or switched blocks (random).
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// Device granularities of the emulated hardware.
+const (
+	// CachelineSize is the CPU flush granularity (clwb/clflushopt).
+	CachelineSize = 64
+	// BlockSize is the internal write granularity of the media
+	// (the 256-byte XPLine of Optane DCPMM).
+	BlockSize = 256
+	// ChunkSize is the allocation unit used by the lazy-persist
+	// allocator and the OpLog (4 MB, as in the paper).
+	ChunkSize = 4 << 20
+)
+
+// Clock supplies the notion of "now" used for repeated-flush detection.
+// The real engine uses a wall clock; the virtual-time simulator supplies
+// the virtual core clock so penalties are assessed in simulated time.
+type Clock interface {
+	Now() int64 // nanoseconds
+}
+
+// nullClock disables time-based penalties (always returns 0).
+type nullClock struct{}
+
+func (nullClock) Now() int64 { return 0 }
+
+// Arena is one emulated persistent memory device.
+//
+// Concurrent use: distinct goroutines may freely operate on disjoint byte
+// ranges. Statistics are atomic. The per-line flush timestamps used for
+// repeated-flush detection are atomic as well, so concurrent flushes of
+// overlapping lines do not race, although their data content would (just
+// as on real hardware).
+type Arena struct {
+	mem   []byte
+	media []byte
+
+	// lineTime[i] is the emulated time at which cacheline i was last
+	// flushed, used to detect the repeated-flush-to-same-line stall.
+	lineTime []int64
+
+	clock Clock
+	stats Stats
+
+	// window is the time window (ns) within which a second flush of the
+	// same line counts as a repeated flush.
+	window int64
+}
+
+// Option configures an Arena.
+type Option func(*Arena)
+
+// WithClock sets the clock used for repeated-flush detection.
+func WithClock(c Clock) Option { return func(a *Arena) { a.clock = c } }
+
+// WithSameLineWindow sets the repeated-flush detection window in
+// nanoseconds. Zero disables detection.
+func WithSameLineWindow(ns int64) Option { return func(a *Arena) { a.window = ns } }
+
+// New creates an arena of the given size, rounded up to a whole number of
+// chunks. The memory starts zeroed in both views.
+func New(size int, opts ...Option) *Arena {
+	if size <= 0 {
+		panic("pmem: non-positive arena size")
+	}
+	size = (size + ChunkSize - 1) &^ (ChunkSize - 1)
+	a := &Arena{
+		mem:      make([]byte, size),
+		media:    make([]byte, size),
+		lineTime: make([]int64, size/CachelineSize),
+		clock:    nullClock{},
+		window:   1000, // 1 µs default window
+	}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// Size returns the arena size in bytes.
+func (a *Arena) Size() int { return len(a.mem) }
+
+// Chunks returns the number of 4 MB chunks in the arena.
+func (a *Arena) Chunks() int { return len(a.mem) / ChunkSize }
+
+// Mem exposes the cache view. Stores through this slice behave like
+// ordinary cached stores: they are NOT persistent until flushed.
+func (a *Arena) Mem() []byte { return a.mem }
+
+// Stats returns a snapshot of the device statistics.
+func (a *Arena) Stats() StatsSnapshot { return a.stats.snapshot() }
+
+// ResetStats zeroes all device statistics.
+func (a *Arena) ResetStats() { a.stats.reset() }
+
+func (a *Arena) check(off, n int) {
+	if off < 0 || n < 0 || off+n > len(a.mem) {
+		panic(fmt.Sprintf("pmem: access [%d,%d) out of arena of size %d", off, off+n, len(a.mem)))
+	}
+}
+
+// Write copies data into the cache view at off.
+func (a *Arena) Write(off int, data []byte) {
+	a.check(off, len(data))
+	copy(a.mem[off:], data)
+}
+
+// WriteUint64 stores v little-endian at off in the cache view.
+func (a *Arena) WriteUint64(off int, v uint64) {
+	a.check(off, 8)
+	binary.LittleEndian.PutUint64(a.mem[off:], v)
+}
+
+// ReadUint64 loads a little-endian uint64 from the cache view.
+func (a *Arena) ReadUint64(off int) uint64 {
+	a.check(off, 8)
+	return binary.LittleEndian.Uint64(a.mem[off:])
+}
+
+// Read copies n bytes at off from the cache view into a fresh slice.
+func (a *Arena) Read(off, n int) []byte {
+	a.check(off, n)
+	out := make([]byte, n)
+	copy(out, a.mem[off:])
+	return out
+}
+
+// IsPersisted reports whether the byte range matches between the cache and
+// media views, i.e. whether every store in the range has been flushed.
+// Intended for tests.
+func (a *Arena) IsPersisted(off, n int) bool {
+	a.check(off, n)
+	for i := off; i < off+n; i++ {
+		if a.mem[i] != a.media[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Crash simulates a power failure: a new arena is returned whose contents
+// are exactly the media view (all unflushed stores are lost). The original
+// arena must not be used afterwards. Statistics are reset.
+func (a *Arena) Crash() *Arena {
+	n := &Arena{
+		mem:      make([]byte, len(a.media)),
+		media:    make([]byte, len(a.media)),
+		lineTime: make([]int64, len(a.lineTime)),
+		clock:    a.clock,
+		window:   a.window,
+	}
+	copy(n.mem, a.media)
+	copy(n.media, a.media)
+	return n
+}
+
+// flushRange copies the cachelines covering [off, off+n) from the cache
+// view to the media view, updating ev and the arena statistics. lastBlock
+// is the flusher's previously-flushed block index (or -1), and the new
+// last block index is returned.
+func (a *Arena) flushRange(off, n int, ev *Events, lastBlock int64) int64 {
+	a.check(off, n)
+	if n == 0 {
+		return lastBlock
+	}
+	now := a.clock.Now()
+	first := off / CachelineSize
+	last := (off + n - 1) / CachelineSize
+	for line := first; line <= last; line++ {
+		lo := line * CachelineSize
+		copy(a.media[lo:lo+CachelineSize], a.mem[lo:lo+CachelineSize])
+
+		ev.Lines++
+		if a.window > 0 {
+			prev := atomic.LoadInt64(&a.lineTime[line])
+			if prev != 0 && now-prev < a.window {
+				ev.SameLineRepeats++
+			}
+			atomic.StoreInt64(&a.lineTime[line], now+1)
+		}
+		block := int64(lo / BlockSize)
+		switch {
+		case block == lastBlock:
+			// Write-combined with the preceding flush inside the
+			// same XPLine: only the line itself consumes media
+			// bandwidth.
+			ev.CombinedLines++
+			ev.MediaBytes += CachelineSize
+		case block == lastBlock+1:
+			// Streaming to the next block: a full XPLine write,
+			// but the device recognizes the sequential pattern
+			// (no random-activation penalty).
+			ev.SeqBlocks++
+			ev.MediaBytes += BlockSize
+		default:
+			// Random block activation: full XPLine write plus the
+			// device-side activation penalty charged by the cost
+			// model.
+			ev.RndBlocks++
+			ev.MediaBytes += BlockSize
+		}
+		lastBlock = block
+	}
+	ev.Flushes++
+	return lastBlock
+}
+
+// Flusher issues flushes on behalf of one CPU core. It tracks the core's
+// last-flushed block (for sequential write-combining accounting) and
+// accumulates an Events delta that the virtual-time simulator drains
+// between operations. A Flusher must not be used concurrently.
+type Flusher struct {
+	a         *Arena
+	lastBlock int64
+	ev        Events
+}
+
+// NewFlusher returns a flusher bound to the arena.
+func (a *Arena) NewFlusher() *Flusher {
+	// lastBlock starts at -2 so that the first flush (even of block 0)
+	// counts as a random block activation.
+	return &Flusher{a: a, lastBlock: -2}
+}
+
+// Arena returns the arena this flusher operates on.
+func (f *Flusher) Flush(off, n int) {
+	f.lastBlock = f.a.flushRange(off, n, &f.ev, f.lastBlock)
+}
+
+// Fence models sfence/mfence ordering. In the emulator flushes take effect
+// eagerly, so Fence only records the event for cost accounting.
+func (f *Flusher) Fence() {
+	f.ev.Fences++
+}
+
+// PersistUint64 stores v at off and immediately flushes and fences it —
+// the common pattern for pointer updates (store; clwb; sfence).
+func (f *Flusher) PersistUint64(off int, v uint64) {
+	f.a.WriteUint64(off, v)
+	f.Flush(off, 8)
+	f.Fence()
+}
+
+// Persist stores data at off, flushes the covered lines and fences.
+func (f *Flusher) Persist(off int, data []byte) {
+	f.a.Write(off, data)
+	f.Flush(off, len(data))
+	f.Fence()
+}
+
+// Arena returns the underlying arena.
+func (f *Flusher) Arena() *Arena { return f.a }
+
+// TakeEvents returns the events accumulated since the previous call and
+// clears the delta. It also folds the delta into the arena-wide totals.
+func (f *Flusher) TakeEvents() Events {
+	ev := f.ev
+	f.ev = Events{}
+	f.a.stats.add(ev)
+	return ev
+}
+
+// FlushEvents folds any pending event delta into the arena totals without
+// returning it. Call when the per-op delta is not needed.
+func (f *Flusher) FlushEvents() {
+	f.a.stats.add(f.ev)
+	f.ev = Events{}
+}
+
+// PendingEvents returns the current (not yet taken) event delta.
+func (f *Flusher) PendingEvents() Events { return f.ev }

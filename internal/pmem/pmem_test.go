@@ -1,0 +1,316 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRoundsToChunk(t *testing.T) {
+	a := New(1)
+	if a.Size() != ChunkSize {
+		t.Fatalf("size = %d, want %d", a.Size(), ChunkSize)
+	}
+	if a.Chunks() != 1 {
+		t.Fatalf("chunks = %d, want 1", a.Chunks())
+	}
+	a = New(ChunkSize + 1)
+	if a.Size() != 2*ChunkSize {
+		t.Fatalf("size = %d, want %d", a.Size(), 2*ChunkSize)
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestWriteReadUint64(t *testing.T) {
+	a := New(ChunkSize)
+	a.WriteUint64(128, 0xdeadbeefcafe)
+	if got := a.ReadUint64(128); got != 0xdeadbeefcafe {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	a := New(ChunkSize)
+	for _, fn := range []func(){
+		func() { a.Write(a.Size()-3, []byte{1, 2, 3, 4}) },
+		func() { a.ReadUint64(a.Size() - 4) },
+		func() { a.NewFlusher().Flush(-1, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUnflushedStoreLostOnCrash(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+
+	a.WriteUint64(0, 111)
+	f.Flush(0, 8)
+	f.Fence()
+	a.WriteUint64(64, 222) // never flushed
+
+	b := a.Crash()
+	if got := b.ReadUint64(0); got != 111 {
+		t.Errorf("flushed store lost: got %d", got)
+	}
+	if got := b.ReadUint64(64); got != 0 {
+		t.Errorf("unflushed store survived crash: got %d", got)
+	}
+}
+
+func TestFlushCoversWholeLines(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+	// Store spans two lines; flushing any byte of a line persists the
+	// whole line, as clwb does.
+	data := bytes.Repeat([]byte{0xab}, 100)
+	a.Write(30, data)
+	f.Flush(30, 100)
+
+	b := a.Crash()
+	if !bytes.Equal(b.Read(30, 100), data) {
+		t.Error("flushed range did not survive crash")
+	}
+	// Bytes sharing the first line but before offset 30 are also
+	// persisted (whole-line granularity).
+	a2 := New(ChunkSize)
+	f2 := a2.NewFlusher()
+	a2.Write(0, []byte{9})
+	a2.Write(63, []byte{8})
+	f2.Flush(63, 1)
+	c := a2.Crash()
+	if c.Read(0, 1)[0] != 9 {
+		t.Error("line-granularity flush should persist byte 0 too")
+	}
+}
+
+func TestIsPersisted(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+	a.WriteUint64(0, 7)
+	if a.IsPersisted(0, 8) {
+		t.Fatal("unflushed range reported persisted")
+	}
+	f.Flush(0, 8)
+	if !a.IsPersisted(0, 8) {
+		t.Fatal("flushed range reported unpersisted")
+	}
+}
+
+func TestPersistHelpers(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+	f.PersistUint64(8, 42)
+	f.Persist(256, []byte("hello"))
+	b := a.Crash()
+	if b.ReadUint64(8) != 42 {
+		t.Error("PersistUint64 not durable")
+	}
+	if string(b.Read(256, 5)) != "hello" {
+		t.Error("Persist not durable")
+	}
+}
+
+func TestEventAccounting(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+
+	// First flush: one line, random block activation (cold flusher).
+	f.Flush(0, 64)
+	ev := f.TakeEvents()
+	if ev.Lines != 1 || ev.RndBlocks != 1 || ev.MediaBytes != BlockSize {
+		t.Fatalf("cold flush events = %+v", ev)
+	}
+
+	// Second line in the same block: write-combined.
+	f.Flush(64, 64)
+	ev = f.TakeEvents()
+	if ev.CombinedLines != 1 || ev.MediaBytes != CachelineSize {
+		t.Fatalf("combined flush events = %+v", ev)
+	}
+
+	// First line of the next block: sequential block activation.
+	f.Flush(BlockSize, 64)
+	ev = f.TakeEvents()
+	if ev.SeqBlocks != 1 || ev.RndBlocks != 0 || ev.MediaBytes != BlockSize {
+		t.Fatalf("sequential block events = %+v", ev)
+	}
+
+	// Far-away line: random block.
+	f.Flush(16*BlockSize, 64)
+	ev = f.TakeEvents()
+	if ev.RndBlocks != 1 {
+		t.Fatalf("random block events = %+v", ev)
+	}
+
+	f.Fence()
+	ev = f.TakeEvents()
+	if ev.Fences != 1 {
+		t.Fatalf("fence events = %+v", ev)
+	}
+}
+
+func TestMultiLineFlushIsOneFlushCall(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+	f.Flush(0, 4*CachelineSize)
+	ev := f.TakeEvents()
+	if ev.Flushes != 1 {
+		t.Errorf("Flushes = %d, want 1", ev.Flushes)
+	}
+	if ev.Lines != 4 {
+		t.Errorf("Lines = %d, want 4", ev.Lines)
+	}
+	// 4 lines in one 256 B block: one block activation + 3 combined.
+	if ev.RndBlocks != 1 || ev.CombinedLines != 3 {
+		t.Errorf("events = %+v", ev)
+	}
+}
+
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) Now() int64 { return c.ns }
+
+func TestSameLineRepeatDetection(t *testing.T) {
+	clk := &fakeClock{}
+	a := New(ChunkSize, WithClock(clk), WithSameLineWindow(1000))
+	f := a.NewFlusher()
+
+	f.Flush(0, 8)
+	clk.ns = 500 // within window
+	f.Flush(0, 8)
+	clk.ns = 5000 // outside window
+	f.Flush(0, 8)
+
+	ev := f.TakeEvents()
+	if ev.SameLineRepeats != 1 {
+		t.Errorf("SameLineRepeats = %d, want 1", ev.SameLineRepeats)
+	}
+}
+
+func TestSameLineWindowDisabled(t *testing.T) {
+	a := New(ChunkSize, WithSameLineWindow(0))
+	f := a.NewFlusher()
+	f.Flush(0, 8)
+	f.Flush(0, 8)
+	if ev := f.TakeEvents(); ev.SameLineRepeats != 0 {
+		t.Errorf("SameLineRepeats = %d with detection disabled", ev.SameLineRepeats)
+	}
+}
+
+func TestArenaStatsAccumulate(t *testing.T) {
+	a := New(ChunkSize)
+	f1, f2 := a.NewFlusher(), a.NewFlusher()
+	f1.Flush(0, 64)
+	f1.Fence()
+	f2.Flush(1024, 64)
+	f2.Fence()
+	f1.FlushEvents()
+	f2.FlushEvents()
+	s := a.Stats()
+	if s.Flushes != 2 || s.Fences != 2 || s.Lines != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	prev := s
+	f1.Flush(0, 64)
+	f1.FlushEvents()
+	d := a.Stats().Sub(prev)
+	if d.Flushes != 1 || d.Lines != 1 {
+		t.Fatalf("delta = %+v", d)
+	}
+	a.ResetStats()
+	if s := a.Stats(); s.Flushes != 0 || s.MediaBytes != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestCrashPreservesConfig(t *testing.T) {
+	clk := &fakeClock{}
+	a := New(ChunkSize, WithClock(clk), WithSameLineWindow(2000))
+	b := a.Crash()
+	if b.window != 2000 {
+		t.Errorf("window = %d after crash, want 2000", b.window)
+	}
+	if b.clock != Clock(clk) {
+		t.Error("clock not preserved across crash")
+	}
+}
+
+func TestProfileLatency(t *testing.T) {
+	p := OptaneProfile()
+	ev := Events{Fences: 2, Lines: 4, RndBlocks: 1, SameLineRepeats: 1}
+	want := 2*p.PersistNS + 4*p.LineIssueNS + p.RndBlockNS + p.SameLineNS
+	if got := p.LatencyNS(ev); got != want {
+		t.Errorf("LatencyNS = %d, want %d", got, want)
+	}
+	if p.BandwidthNS(Events{}) != 0 {
+		t.Error("BandwidthNS of empty events should be 0")
+	}
+	bw := p.BandwidthNS(Events{MediaBytes: uint64(p.BandwidthBPS)})
+	if bw < 0.99e9 || bw > 1.01e9 {
+		t.Errorf("BandwidthNS of one second of bytes = %d, want ≈1e9", bw)
+	}
+}
+
+// Property: after flushing an arbitrary set of ranges, crash preserves
+// exactly the flushed lines.
+func TestQuickCrashPreservesFlushedLines(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New(ChunkSize)
+		f := a.NewFlusher()
+		// model mirrors what the media view must contain: flush copies
+		// whole lines from the cache view at flush time.
+		model := make([]byte, ChunkSize)
+		for i := 0; i < 50; i++ {
+			off := rng.Intn(ChunkSize - 16)
+			a.WriteUint64(off, rng.Uint64())
+			if rng.Intn(2) == 0 {
+				f.Flush(off, 8)
+				first := off / CachelineSize * CachelineSize
+				last := (off + 7) / CachelineSize * CachelineSize
+				copy(model[first:last+CachelineSize], a.Mem()[first:last+CachelineSize])
+			}
+		}
+		f.Fence()
+		b := a.Crash()
+		return bytes.Equal(b.Mem(), model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MediaBytes is always ≥ 64·Lines and ≤ 256·Lines.
+func TestQuickMediaBytesBounds(t *testing.T) {
+	check := func(offsets []uint16) bool {
+		a := New(ChunkSize)
+		f := a.NewFlusher()
+		for _, o := range offsets {
+			f.Flush(int(o), 8)
+		}
+		ev := f.TakeEvents()
+		return ev.MediaBytes >= ev.Lines*CachelineSize &&
+			ev.MediaBytes <= ev.Lines*BlockSize &&
+			ev.Lines == ev.CombinedLines+ev.SeqBlocks+ev.RndBlocks
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

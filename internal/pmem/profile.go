@@ -1,0 +1,84 @@
+package pmem
+
+// Profile is the calibrated device cost model: it converts the Events a
+// core generated during an operation into nanoseconds of device-visible
+// latency. The shared-bandwidth component (MediaBytes draining through the
+// device's finite write bandwidth) is deliberately NOT part of LatencyNS —
+// it is a shared resource and is modelled by the simulator's bandwidth
+// server so that concurrent cores contend for it.
+//
+// The default constants are calibrated against the measurements in §2.3 of
+// the paper and in Izraelevitz et al., "Basic Performance Measurements of
+// the Intel Optane DC Persistent Memory Module":
+//
+//   - persisting a line (store + clwb + sfence) costs a few hundred ns;
+//   - a repeated flush of the same cacheline within ~1 µs stalls for
+//     roughly 800 ns extra (§2.3 observation 2, Figure 1(c));
+//   - random block activations carry an extra device-side penalty that
+//     makes low-concurrency random writes about half the bandwidth of
+//     sequential ones, while under high concurrency both converge to the
+//     device bandwidth limit (§2.3 observation 1, Figure 1(b));
+//   - total write bandwidth of the four-DIMM platform is on the order of
+//     8–13 GB/s.
+type Profile struct {
+	// ReadNS is the latency of a PM read (media, not cache).
+	ReadNS int64
+	// PersistNS is the base cost of a fence that makes preceding flushes
+	// durable (store + clwb + sfence round trip to the ADR domain).
+	PersistNS int64
+	// LineIssueNS is the issue cost of each additional clwb in a burst;
+	// flushes of multiple lines pipeline, so this is small.
+	LineIssueNS int64
+	// RndBlockNS is the extra device latency of a random (non-adjacent)
+	// 256 B block activation.
+	RndBlockNS int64
+	// SameLineNS is the stall observed when flushing a cacheline that
+	// was flushed within SameLineWindowNS (≈800 ns total in the paper;
+	// this is the *extra* on top of PersistNS).
+	SameLineNS int64
+	// SameLineWindowNS is the detection window for repeated flushes.
+	SameLineWindowNS int64
+	// BandwidthBPS is the aggregate device write bandwidth in bytes per
+	// second, shared by all cores.
+	BandwidthBPS float64
+	// DRAMReadNS / DRAMWriteNS cost cache-missing DRAM accesses, used by
+	// the simulator to charge volatile index traversals.
+	DRAMReadNS  int64
+	DRAMWriteNS int64
+}
+
+// OptaneProfile returns the default calibrated model of the paper's
+// four-DIMM Optane DCPMM platform.
+func OptaneProfile() Profile {
+	return Profile{
+		ReadNS:           300,
+		PersistNS:        220,
+		LineIssueNS:      15,
+		RndBlockNS:       280,
+		SameLineNS:       620,
+		SameLineWindowNS: 1000,
+		BandwidthBPS:     12.5e9,
+		DRAMReadNS:       80,
+		DRAMWriteNS:      60,
+	}
+}
+
+// LatencyNS returns the core-local latency (excluding shared-bandwidth
+// queueing) of an event delta.
+func (p Profile) LatencyNS(ev Events) int64 {
+	ns := int64(ev.Fences) * p.PersistNS
+	ns += int64(ev.Lines) * p.LineIssueNS
+	ns += int64(ev.RndBlocks) * p.RndBlockNS
+	ns += int64(ev.SameLineRepeats) * p.SameLineNS
+	return ns
+}
+
+// BandwidthNS returns the time the delta's media traffic occupies the
+// device write path at full bandwidth (the service time a bandwidth server
+// charges).
+func (p Profile) BandwidthNS(ev Events) int64 {
+	if ev.MediaBytes == 0 {
+		return 0
+	}
+	return int64(float64(ev.MediaBytes) / p.BandwidthBPS * 1e9)
+}

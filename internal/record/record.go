@@ -1,0 +1,52 @@
+// Package record defines the out-of-place value record format shared by
+// the FlatStore engine and the baseline stores: a 4-byte little-endian
+// length followed by the value bytes ("(v_len, value)" in §3.2). Records
+// live in allocator data blocks; the on-PM length makes allocation sizes
+// recoverable from a bare pointer, which the lazy-persist allocator's
+// recovery depends on.
+package record
+
+import (
+	"encoding/binary"
+
+	"flatstore/internal/pmem"
+)
+
+// HeaderSize is the length prefix in bytes.
+const HeaderSize = 4
+
+// Size returns the allocation size needed for a value of vlen bytes.
+func Size(vlen int) int { return HeaderSize + vlen }
+
+// Write stores the record at off in the cache view (no flush).
+func Write(a *pmem.Arena, off int64, value []byte) {
+	mem := a.Mem()
+	binary.LittleEndian.PutUint32(mem[off:], uint32(len(value)))
+	copy(mem[off+HeaderSize:], value)
+}
+
+// Persist stores the record and makes it durable.
+func Persist(f *pmem.Flusher, off int64, value []byte) {
+	Write(f.Arena(), off, value)
+	f.Flush(int(off), Size(len(value)))
+	f.Fence()
+}
+
+// Len reads the record length at off.
+func Len(a *pmem.Arena, off int64) int {
+	return int(binary.LittleEndian.Uint32(a.Mem()[off:]))
+}
+
+// Read returns a copy of the record's value bytes.
+func Read(a *pmem.Arena, off int64) []byte {
+	n := Len(a, off)
+	out := make([]byte, n)
+	copy(out, a.Mem()[off+HeaderSize:off+HeaderSize+int64(n)])
+	return out
+}
+
+// View returns the value bytes aliasing the arena (zero-copy read).
+func View(a *pmem.Arena, off int64) []byte {
+	n := Len(a, off)
+	return a.Mem()[off+HeaderSize : off+HeaderSize+int64(n)]
+}

@@ -1,0 +1,77 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"flatstore/internal/pmem"
+)
+
+func TestRoundtrip(t *testing.T) {
+	a := pmem.New(pmem.ChunkSize)
+	f := a.NewFlusher()
+	val := []byte("the quick brown fox")
+	Persist(f, 512, val)
+	if Len(a, 512) != len(val) {
+		t.Fatalf("Len = %d", Len(a, 512))
+	}
+	if !bytes.Equal(Read(a, 512), val) {
+		t.Fatal("Read mismatch")
+	}
+	if !bytes.Equal(View(a, 512), val) {
+		t.Fatal("View mismatch")
+	}
+}
+
+func TestPersistSurvivesCrash(t *testing.T) {
+	a := pmem.New(pmem.ChunkSize)
+	f := a.NewFlusher()
+	val := bytes.Repeat([]byte{0x7e}, 1000)
+	Persist(f, 4096, val)
+	b := a.Crash()
+	if !bytes.Equal(Read(b, 4096), val) {
+		t.Fatal("persisted record lost on crash")
+	}
+}
+
+func TestWriteWithoutFlushIsVolatile(t *testing.T) {
+	a := pmem.New(pmem.ChunkSize)
+	Write(a, 256, []byte("volatile"))
+	b := a.Crash()
+	if Len(b, 256) != 0 {
+		t.Fatal("unflushed record survived crash")
+	}
+}
+
+func TestSize(t *testing.T) {
+	if Size(0) != 4 || Size(100) != 104 {
+		t.Fatal("Size wrong")
+	}
+}
+
+func TestViewAliasesArena(t *testing.T) {
+	a := pmem.New(pmem.ChunkSize)
+	Write(a, 512, []byte("abc"))
+	v := View(a, 512)
+	a.Mem()[512+HeaderSize] = 'x'
+	if v[0] != 'x' {
+		t.Fatal("View does not alias the arena")
+	}
+}
+
+func TestQuickRoundtrip(t *testing.T) {
+	a := pmem.New(pmem.ChunkSize)
+	f := a.NewFlusher()
+	check := func(val []byte, offRaw uint16) bool {
+		off := int64(offRaw)*8 + 64
+		if int(off)+Size(len(val)) > a.Size() {
+			return true
+		}
+		Persist(f, off, val)
+		return bytes.Equal(Read(a, off), val)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package rpc is the FlatRPC substrate (§4.3) rebuilt on shared memory.
+//
+// The paper's FlatRPC runs over RDMA: a client creates ONE queue pair per
+// server (to a randomly chosen "agent" core on the NIC-local socket) but
+// writes each request directly into a per-server-core message buffer with
+// RDMA writes; server cores poll their buffers; responses are posted by
+// the agent core — non-agent cores delegate the verb through shared
+// memory, which gathers all MMIO doorbells onto one socket and keeps the
+// NIC's QP cache small (Nc connections instead of Nt × Nc).
+//
+// Without an RDMA NIC the transport becomes single-producer /
+// single-consumer rings in process memory, preserving the exact topology
+// and cost structure: per-(client, core) request rings, per-client
+// response rings written only by the agent core, per-core delegation
+// rings into the agent, and counters for the quantities the paper's
+// argument uses (QP count, MMIO doorbells, delegated verbs).
+package rpc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Op codes for requests.
+const (
+	OpGet uint8 = iota + 1
+	OpPut
+	OpDelete
+	OpScan
+)
+
+// Status codes for responses.
+const (
+	StatusOK uint8 = iota
+	StatusNotFound
+	StatusError
+)
+
+// Request is one client message. Value aliases the client's buffer until
+// the request is processed.
+type Request struct {
+	ID     uint64
+	Op     uint8
+	Key    uint64
+	Value  []byte
+	ScanHi uint64 // upper bound for OpScan
+	Limit  int    // max pairs for OpScan
+}
+
+// Pair is one key/value result of a scan.
+type Pair struct {
+	Key   uint64
+	Value []byte
+}
+
+// Response is one server reply.
+type Response struct {
+	ID     uint64
+	Status uint8
+	Value  []byte
+	Pairs  []Pair
+}
+
+// ringSize is the per-(client, core) buffer depth; the paper's message
+// buffers are sized for the client's async window (batch size 8).
+const ringSize = 64
+
+// reqRing is a single-producer single-consumer ring of requests.
+type reqRing struct {
+	buf  [ringSize]Request
+	head atomic.Uint64 // consumer position
+	tail atomic.Uint64 // producer position
+}
+
+func (r *reqRing) push(m Request) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == ringSize {
+		return false
+	}
+	r.buf[t%ringSize] = m
+	r.tail.Store(t + 1)
+	return true
+}
+
+func (r *reqRing) pop() (Request, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return Request{}, false
+	}
+	m := r.buf[h%ringSize]
+	r.head.Store(h + 1)
+	return m, true
+}
+
+// respRing is an SPSC ring of responses (producer: agent core).
+type respRing struct {
+	buf  [ringSize * 2]Response
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+func (r *respRing) push(m Response) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t%uint64(len(r.buf))] = m
+	r.tail.Store(t + 1)
+	return true
+}
+
+func (r *respRing) pop() (Response, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return Response{}, false
+	}
+	m := r.buf[h%uint64(len(r.buf))]
+	r.head.Store(h + 1)
+	return m, true
+}
+
+// delegated is a response captured for transmission by the agent core.
+type delegated struct {
+	client int
+	resp   Response
+}
+
+// delRing is the per-core delegation ring into the agent (SPSC: producer
+// is the owning core, consumer is the agent core).
+type delRing struct {
+	buf  [ringSize * 4]delegated
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+func (r *delRing) push(m delegated) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t%uint64(len(r.buf))] = m
+	r.tail.Store(t + 1)
+	return true
+}
+
+func (r *delRing) pop() (delegated, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return delegated{}, false
+	}
+	m := r.buf[h%uint64(len(r.buf))]
+	r.head.Store(h + 1)
+	return m, true
+}
+
+// Stats are the transport counters the §4.3 discussion is about.
+type Stats struct {
+	QueuePairs  int    // connections the NIC must cache
+	MMIOs       uint64 // doorbells rung (all by the agent core)
+	Delegations uint64 // verbs forwarded agent-ward through shared memory
+	Requests    uint64
+	Responses   uint64
+}
+
+// Server is one FlatStore node's transport endpoint.
+type Server struct {
+	ncores int
+	agent  int
+
+	mu      chan struct{} // connect mutex (buffered-1 semaphore)
+	clients []*Client
+
+	mmios       atomic.Uint64
+	delegations atomic.Uint64
+	requests    atomic.Uint64
+	responses   atomic.Uint64
+
+	delRings []*delRing // one per core, drained by the agent
+}
+
+// NewServer creates a transport with ncores server cores; agent is the
+// core holding the client QPs (the paper picks a NIC-socket-local core).
+func NewServer(ncores, agent int) *Server {
+	s := &Server{
+		ncores:   ncores,
+		agent:    agent,
+		mu:       make(chan struct{}, 1),
+		delRings: make([]*delRing, ncores),
+	}
+	for i := range s.delRings {
+		s.delRings[i] = &delRing{}
+	}
+	return s
+}
+
+// Agent returns the agent core's id.
+func (s *Server) Agent() int { return s.agent }
+
+// Cores returns the number of server cores.
+func (s *Server) Cores() int { return s.ncores }
+
+// Client is one connected client: one QP to the agent, a request ring per
+// server core, one response ring.
+type Client struct {
+	s     *Server
+	id    int
+	reqs  []*reqRing
+	resps *respRing
+	next  atomic.Uint64 // request id generator
+}
+
+// Connect attaches a new client (one queue pair).
+func (s *Server) Connect() *Client {
+	s.mu <- struct{}{}
+	defer func() { <-s.mu }()
+	c := &Client{
+		s:     s,
+		id:    len(s.clients),
+		reqs:  make([]*reqRing, s.ncores),
+		resps: &respRing{},
+	}
+	for i := range c.reqs {
+		c.reqs[i] = &reqRing{}
+	}
+	s.clients = append(s.clients, c)
+	return c
+}
+
+// Stats snapshots the transport counters.
+func (s *Server) Stats() Stats {
+	s.mu <- struct{}{}
+	nc := len(s.clients)
+	<-s.mu
+	return Stats{
+		QueuePairs:  nc, // FlatRPC: one QP per client (vs nc × ncores all-to-all)
+		MMIOs:       s.mmios.Load(),
+		Delegations: s.delegations.Load(),
+		Requests:    s.requests.Load(),
+		Responses:   s.responses.Load(),
+	}
+}
+
+// ID returns the client's id.
+func (c *Client) ID() int { return c.id }
+
+// Send posts a request to a specific server core's message buffer (the
+// client-side RDMA write). It reports false if the ring is full — the
+// client must poll completions first, like a full send queue.
+func (c *Client) Send(core int, req Request) bool {
+	if req.ID == 0 {
+		req.ID = c.next.Add(1)
+	}
+	if !c.reqs[core].push(req) {
+		return false
+	}
+	c.s.requests.Add(1)
+	return true
+}
+
+// Poll drains up to max completed responses (the client-side CQ poll).
+func (c *Client) Poll(max int) []Response {
+	var out []Response
+	for len(out) < max {
+		r, ok := c.resps.pop()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CorePort is core i's view of the transport.
+type CorePort struct {
+	s    *Server
+	core int
+	rr   int // round-robin cursor over clients
+}
+
+// Port returns core i's endpoint.
+func (s *Server) Port(core int) *CorePort { return &CorePort{s: s, core: core} }
+
+// Poll returns the next pending request from any client's ring for this
+// core (round-robin across clients, like scanning the message buffers).
+func (p *CorePort) Poll() (Request, int, bool) {
+	s := p.s
+	s.mu <- struct{}{}
+	clients := s.clients
+	<-s.mu
+	n := len(clients)
+	for i := 0; i < n; i++ {
+		cl := clients[(p.rr+i)%n]
+		if req, ok := cl.reqs[p.core].pop(); ok {
+			p.rr = (p.rr + i + 1) % n
+			return req, cl.id, true
+		}
+	}
+	return Request{}, 0, false
+}
+
+// Respond sends a response to a client. The agent core rings the doorbell
+// itself (MMIO); any other core delegates the verb to the agent through
+// its delegation ring (§4.3 step 3.0/3.1).
+func (p *CorePort) Respond(client int, resp Response) {
+	s := p.s
+	if p.core == s.agent {
+		s.deliver(client, resp)
+		return
+	}
+	s.delegations.Add(1)
+	for !s.delRings[p.core].push(delegated{client: client, resp: resp}) {
+		// Ring full: the agent is behind; yield until it drains (a
+		// full QP would backpressure the same way).
+		runtime.Gosched()
+	}
+}
+
+// deliver performs the agent-side MMIO write into the client's response
+// ring.
+func (s *Server) deliver(client int, resp Response) {
+	s.mu <- struct{}{}
+	cl := s.clients[client]
+	<-s.mu
+	s.mmios.Add(1)
+	s.responses.Add(1)
+	for !cl.resps.push(resp) {
+		runtime.Gosched() // client must poll completions
+	}
+}
+
+// DrainDelegated transmits delegated responses from every core; only the
+// agent core's loop calls this. Returns the number forwarded.
+func (p *CorePort) DrainDelegated() int {
+	if p.core != p.s.agent {
+		return 0
+	}
+	n := 0
+	for _, r := range p.s.delRings {
+		for {
+			d, ok := r.pop()
+			if !ok {
+				break
+			}
+			p.s.deliver(d.client, d.resp)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,168 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendPollRoundtrip(t *testing.T) {
+	s := NewServer(2, 0)
+	cl := s.Connect()
+	if !cl.Send(1, Request{Op: OpPut, Key: 7, Value: []byte("v")}) {
+		t.Fatal("send failed")
+	}
+	p := s.Port(1)
+	req, client, ok := p.Poll()
+	if !ok || req.Key != 7 || client != cl.ID() {
+		t.Fatalf("poll = %+v %d %v", req, client, ok)
+	}
+	// Respond from a non-agent core: must delegate.
+	p.Respond(client, Response{ID: req.ID, Status: StatusOK})
+	if got := cl.Poll(1); len(got) != 0 {
+		t.Fatal("response arrived without agent drain")
+	}
+	if n := s.Port(0).DrainDelegated(); n != 1 {
+		t.Fatalf("drained %d", n)
+	}
+	got := cl.Poll(1)
+	if len(got) != 1 || got[0].ID != req.ID {
+		t.Fatalf("poll responses = %+v", got)
+	}
+	st := s.Stats()
+	if st.Delegations != 1 || st.MMIOs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestAgentRespondsDirectly(t *testing.T) {
+	s := NewServer(2, 0)
+	cl := s.Connect()
+	cl.Send(0, Request{Op: OpGet, Key: 1})
+	p := s.Port(0)
+	req, client, _ := p.Poll()
+	p.Respond(client, Response{ID: req.ID})
+	if len(cl.Poll(1)) != 1 {
+		t.Fatal("agent response not delivered directly")
+	}
+	if st := s.Stats(); st.Delegations != 0 || st.MMIOs != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRequestIDAssigned(t *testing.T) {
+	s := NewServer(1, 0)
+	cl := s.Connect()
+	cl.Send(0, Request{Op: OpGet, Key: 1})
+	cl.Send(0, Request{Op: OpGet, Key: 2})
+	p := s.Port(0)
+	r1, _, _ := p.Poll()
+	r2, _, _ := p.Poll()
+	if r1.ID == 0 || r2.ID == 0 || r1.ID == r2.ID {
+		t.Fatalf("ids: %d %d", r1.ID, r2.ID)
+	}
+}
+
+func TestRingBackpressure(t *testing.T) {
+	s := NewServer(1, 0)
+	cl := s.Connect()
+	n := 0
+	for cl.Send(0, Request{Op: OpGet, Key: uint64(n)}) {
+		n++
+		if n > 10_000 {
+			t.Fatal("ring never filled")
+		}
+	}
+	if n != ringSize {
+		t.Errorf("ring accepted %d, want %d", n, ringSize)
+	}
+	// Draining one slot frees capacity.
+	s.Port(0).Poll()
+	if !cl.Send(0, Request{Op: OpGet, Key: 1}) {
+		t.Fatal("send failed after drain")
+	}
+}
+
+func TestQPCountIsPerClient(t *testing.T) {
+	s := NewServer(8, 0)
+	for i := 0; i < 5; i++ {
+		s.Connect()
+	}
+	if qp := s.Stats().QueuePairs; qp != 5 {
+		t.Errorf("QPs = %d, want 5 (FlatRPC: one per client, not %d)", qp, 5*8)
+	}
+}
+
+func TestRoundRobinAcrossClients(t *testing.T) {
+	s := NewServer(1, 0)
+	c1, c2 := s.Connect(), s.Connect()
+	c1.Send(0, Request{Op: OpGet, Key: 1})
+	c2.Send(0, Request{Op: OpGet, Key: 2})
+	c1.Send(0, Request{Op: OpGet, Key: 3})
+	p := s.Port(0)
+	var keys []uint64
+	for {
+		req, _, ok := p.Poll()
+		if !ok {
+			break
+		}
+		keys = append(keys, req.Key)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("polled %d requests", len(keys))
+	}
+	// Fairness: the two clients interleave (1,2,3 rather than 1,3,2).
+	if keys[0] == 1 && keys[1] == 3 {
+		t.Errorf("polling starved client 2: order %v", keys)
+	}
+}
+
+func TestConcurrentClientsAndCores(t *testing.T) {
+	const cores, clients, per = 4, 4, 200
+	s := NewServer(cores, 0)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	// Server loop goroutines.
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := s.Port(c)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if req, client, ok := p.Poll(); ok {
+					p.Respond(client, Response{ID: req.ID, Status: StatusOK})
+				}
+				p.DrainDelegated()
+			}
+		}(c)
+	}
+	var cw sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		cw.Add(1)
+		go func() {
+			defer cw.Done()
+			cl := s.Connect()
+			sent, recv := 0, 0
+			for recv < per*cores {
+				for c := 0; c < cores && sent < per*cores; c++ {
+					if cl.Send(c%cores, Request{Op: OpGet, Key: uint64(sent)}) {
+						sent++
+					}
+				}
+				recv += len(cl.Poll(64))
+			}
+		}()
+	}
+	cw.Wait()
+	close(done)
+	wg.Wait()
+	st := s.Stats()
+	want := uint64(clients * per * cores)
+	if st.Requests != want || st.Responses != want {
+		t.Errorf("requests/responses = %d/%d, want %d", st.Requests, st.Responses, want)
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+
+	"flatstore/internal/alloc"
+	"flatstore/internal/pindex"
+	"flatstore/internal/pindex/cceh"
+	"flatstore/internal/pindex/fastfair"
+	"flatstore/internal/pindex/fptree"
+	"flatstore/internal/pindex/levelhash"
+	"flatstore/internal/pmem"
+	"flatstore/internal/workload"
+)
+
+// Baseline identifies one of the compared persistent index schemes
+// (Table 1).
+type Baseline string
+
+// The four baselines of the paper's evaluation.
+const (
+	CCEH        Baseline = "CCEH"
+	LevelHash   Baseline = "Level-Hashing"
+	FastFair    Baseline = "FAST&FAIR"
+	FPTree      Baseline = "FPTree"
+	FlatStoreFF Baseline = "FlatStore-FF" // handled by FlatRun with TreeFFIdxNS
+)
+
+// Shared reports whether the scheme is a single shared instance (the
+// tree baselines support range search, so one instance serves all cores —
+// §5 "a single FPTree/FAST-FAIR instance is shared by all the server
+// cores") or partitioned per core (the hash baselines, with locks
+// removed).
+func (b Baseline) Shared() bool { return b == FastFair || b == FPTree }
+
+func (b Baseline) make(h *pindex.Heap) (pindex.KV, error) {
+	switch b {
+	case CCEH:
+		return cceh.New(h)
+	case LevelHash:
+		return levelhash.New(h)
+	case FastFair:
+		return fastfair.New(h)
+	case FPTree:
+		return fptree.New(h)
+	}
+	return nil, fmt.Errorf("sim: unknown baseline %q", b)
+}
+
+// baseVCore is one virtual core serving a baseline store.
+type baseVCore struct {
+	clock   int64
+	backlog int64
+	kv      pindex.KV
+	heap    *pindex.Heap
+}
+
+// BaselineRun executes a baseline store under the same client model and
+// cost accounting as FlatRun. Keys are routed to cores by the same
+// keyhash; hash schemes get one lock-free instance per core, tree schemes
+// share one instance.
+func BaselineRun(b Baseline, p Params, src Source) (Result, error) {
+	p.defaults()
+	m := &p.Model
+	clk := &Clock{}
+	chunks := p.ArenaChunks
+	if chunks == 0 {
+		chunks = 256
+	}
+	arena := pmem.New(chunks*pmem.ChunkSize,
+		pmem.WithClock(clk), pmem.WithSameLineWindow(m.PM.SameLineWindowNS))
+	al := alloc.New(arena, 0, chunks, p.Cores)
+
+	vcs := make([]*baseVCore, p.Cores)
+	var shared pindex.KV
+	var sharedHeap *pindex.Heap
+	if b.Shared() {
+		sharedHeap = &pindex.Heap{Arena: arena, Alloc: al.Core(0), F: arena.NewFlusher()}
+		kv, err := b.make(sharedHeap)
+		if err != nil {
+			return Result{}, err
+		}
+		shared = kv
+	}
+	for i := range vcs {
+		v := &baseVCore{}
+		if b.Shared() {
+			v.kv, v.heap = shared, sharedHeap
+		} else {
+			v.heap = &pindex.Heap{Arena: arena, Alloc: al.Core(i), F: arena.NewFlusher()}
+			kv, err := b.make(v.heap)
+			if err != nil {
+				return Result{}, err
+			}
+			v.kv = kv
+		}
+		vcs[i] = v
+	}
+
+	route := func(key uint64) int { return int(routeHash(key) % uint64(p.Cores)) }
+
+	// Untimed preload.
+	for key := uint64(0); key < p.Preload; key++ {
+		v := vcs[route(key)]
+		if err := v.kv.Put(key, src.Value(p.PreloadValue(key))); err != nil {
+			return Result{}, fmt.Errorf("sim: preload: %w", err)
+		}
+		v.heap.F.FlushEvents()
+		v.heap.TakeReads()
+	}
+	arena.ResetStats()
+
+	d := newDispatcher(p, src, route)
+	bw := NewBWServer(m.PM.BandwidthBPS)
+	agent := 0
+	const inf = int64(1) << 62
+
+	// DRAM-side index traversal cost per operation: FPTree walks DRAM
+	// inner nodes (a volatile B+-tree, like Masstree); FAST&FAIR's
+	// traversal is charged through its per-level PM reads; the hash
+	// schemes only compute bucket positions.
+	idxCPU := m.HashIdxNS
+	if b == FPTree {
+		idxCPU = m.TreeIdxNS
+	}
+
+	step := func(i int) {
+		v := vcs[i]
+		v.clock += v.backlog
+		v.backlog = 0
+		pr := d.arrivals[i].pop()
+		if pr.arrival > v.clock {
+			v.clock = pr.arrival
+		}
+		v.clock += m.PollNS + m.WorkNS + idxCPU
+		clk.Set(v.clock)
+		var status bool
+		var respBytes int
+		switch pr.op.Type {
+		case workload.OpPut:
+			v.clock += int64(float64(pr.op.ValueSize) * m.ByteNS)
+			status = v.kv.Put(pr.op.Key, src.Value(pr.op.ValueSize)) == nil
+		case workload.OpGet:
+			val, ok := v.kv.Get(pr.op.Key)
+			status = ok
+			respBytes = len(val)
+		case workload.OpDelete:
+			status = v.kv.Delete(pr.op.Key)
+		}
+		_ = status
+		ev := v.heap.F.TakeEvents()
+		v.clock = m.chargePersist(v.clock, ev, bw)
+		v.clock += int64(v.heap.TakeReads()) * m.PM.ReadNS
+		v.clock += int64(float64(respBytes) * m.ByteNS)
+		if i == agent {
+			v.clock += m.MMIONS
+		} else {
+			v.clock += m.DelegateNS
+		}
+		d.complete(pr.client, pr.id, v.clock)
+	}
+
+	for d.done < p.Ops {
+		best, bestT := -1, inf
+		for i, v := range vcs {
+			if len(d.arrivals[i]) == 0 {
+				continue
+			}
+			t := d.arrivals[i].peek().arrival
+			if v.clock > t {
+				t = v.clock
+			}
+			if t < bestT {
+				bestT, best = t, i
+			}
+		}
+		if best < 0 {
+			return Result{}, fmt.Errorf("sim: baseline deadlock at %d/%d ops", d.done, p.Ops)
+		}
+		step(best)
+	}
+
+	res := Result{Name: string(b), Ops: d.done, VirtualNS: d.endNS, Hist: d.hist, PM: arena.Stats(), Timeline: d.timeline}
+	res.finish()
+	return res, nil
+}
+
+// routeHash matches core.keyhash so baselines and FlatStore partition
+// keys identically.
+func routeHash(key uint64) uint64 {
+	x := key * 0xd6e8feb86659fd93
+	x ^= x >> 32
+	x *= 0xd6e8feb86659fd93
+	return x ^ x>>32
+}

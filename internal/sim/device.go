@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/rand"
+
+	"flatstore/internal/pmem"
+)
+
+// RawResult is one raw-device measurement point (Figure 1).
+type RawResult struct {
+	Threads   int
+	Mops      float64
+	GBps      float64
+	LatencyNS int64
+}
+
+// RawWrites simulates t threads issuing store+clwb+sfence of `size` bytes
+// each, sequential or random, against the shared device — the §2.3
+// microbenchmark behind Figure 1(a) raw writes and Figure 1(b).
+func RawWrites(threads, size int, seq bool, ops int, m CostModel) RawResult {
+	clk := &Clock{}
+	arena := pmem.New(64*pmem.ChunkSize, pmem.WithClock(clk),
+		pmem.WithSameLineWindow(m.PM.SameLineWindowNS))
+	bw := NewBWServer(m.PM.BandwidthBPS)
+	rng := rand.New(rand.NewSource(42))
+
+	// Keep every thread's region block-aligned so unaligned accesses do
+	// not straddle extra XPLines.
+	region := arena.Size() / threads &^ (pmem.BlockSize - 1)
+	clocks := make([]int64, threads)
+	pos := make([]int, threads)
+	fls := make([]*pmem.Flusher, threads)
+	for i := range fls {
+		fls[i] = arena.NewFlusher()
+		pos[i] = i * region
+	}
+	perThread := ops / threads
+	if perThread == 0 {
+		perThread = 1
+	}
+	done := make([]int, threads)
+	var completed int
+	var last int64
+	for completed < perThread*threads {
+		// Min-clock thread steps next.
+		best := -1
+		for i := range clocks {
+			if done[i] < perThread && (best < 0 || clocks[i] < clocks[best]) {
+				best = i
+			}
+		}
+		i := best
+		var off int
+		if seq {
+			off = pos[i]
+			pos[i] += size
+			if pos[i]+size > (i+1)*region {
+				pos[i] = i * region
+			}
+		} else {
+			off = i*region + rng.Intn(region-size)/size*size
+		}
+		clk.Set(clocks[i])
+		fls[i].Flush(off, size)
+		fls[i].Fence()
+		ev := fls[i].TakeEvents()
+		clocks[i] = m.chargePersist(clocks[i]+int64(float64(size)*m.ByteNS), ev, bw)
+		done[i]++
+		completed++
+		if clocks[i] > last {
+			last = clocks[i]
+		}
+	}
+	mops := float64(completed) / float64(last) * 1e3
+	return RawResult{
+		Threads: threads,
+		Mops:    mops,
+		GBps:    mops * float64(size) / 1e3,
+	}
+}
+
+// WriteLatencies reports the single-threaded persist latency of the three
+// §2.3 access patterns (Figure 1(c)): sequential, random, and in-place
+// (repeated flushes of the same cacheline, which stall for ~800 ns).
+func WriteLatencies(m CostModel) (seqNS, rndNS, inplaceNS int64) {
+	clk := &Clock{}
+	arena := pmem.New(pmem.ChunkSize, pmem.WithClock(clk),
+		pmem.WithSameLineWindow(m.PM.SameLineWindowNS))
+	f := arena.NewFlusher()
+	lat := func(offs []int) int64 {
+		bw := NewBWServer(m.PM.BandwidthBPS)
+		var clock int64
+		var total int64
+		for _, off := range offs {
+			clk.Set(clock)
+			f.Flush(off, 64)
+			f.Fence()
+			ev := f.TakeEvents()
+			next := m.chargePersist(clock, ev, bw)
+			total += next - clock
+			clock = next
+		}
+		return total / int64(len(offs))
+	}
+	var seqOffs, rndOffs, inOffs []int
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		seqOffs = append(seqOffs, 4096+i*64)
+		rndOffs = append(rndOffs, rng.Intn(60000)*64)
+		inOffs = append(inOffs, 2048)
+	}
+	return lat(seqOffs), lat(rndOffs), lat(inOffs)
+}

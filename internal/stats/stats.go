@@ -1,0 +1,191 @@
+// Package stats provides the measurement utilities of the benchmark
+// harness: log-bucketed latency histograms with percentile extraction and
+// aligned table rendering for reproducing the paper's figures as text.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+)
+
+// Histogram records int64 samples (nanoseconds, typically) in
+// power-of-two buckets with 16 linear sub-buckets each, like HdrHistogram
+// at low resolution: relative error is bounded by 1/16th of the bucket.
+type Histogram struct {
+	buckets [64][16]uint64
+	count   uint64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: int64(^uint64(0) >> 1)}
+}
+
+func bucketOf(v int64) (int, int) {
+	if v < 16 {
+		return 0, int(v)
+	}
+	n := bits.Len64(uint64(v)) // ≥ 5
+	// Bucket b covers [16<<(b-1), 16<<b); the 4 bits after the leading
+	// one select the linear sub-bucket.
+	return n - 4, int((uint64(v) >> uint(n-5)) & 15)
+}
+
+// Record adds a sample.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b, s := bucketOf(v)
+	h.buckets[b][s]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// valueOf reconstructs a representative value for a (bucket, sub) pair.
+func valueOf(b, s int) int64 {
+	if b == 0 {
+		return int64(s)
+	}
+	base := int64(16) << (b - 1)
+	step := base / 16
+	return base + int64(s)*step + step/2
+}
+
+// Percentile returns the p-th percentile (p in [0,100]).
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(p / 100 * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var seen uint64
+	for b := 0; b < 64; b++ {
+		for s := 0; s < 16; s++ {
+			seen += h.buckets[b][s]
+			if seen > target {
+				return valueOf(b, s)
+			}
+		}
+	}
+	return h.max
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for b := range o.buckets {
+		for s := range o.buckets[b] {
+			h.buckets[b][s] += o.buckets[b][s]
+		}
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+// Table renders aligned text tables for the harness output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Row appends a row; values are formatted with %v, floats with 2
+// decimals.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, hd := range t.Headers {
+		widths[i] = len(hd)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "## %s\n", t.Title)
+	}
+	var b strings.Builder
+	for i, hd := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], hd)
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	b.Reset()
+	for i := range t.Headers {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	for _, r := range t.rows {
+		b.Reset()
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); m < 50 || m > 51 {
+		t.Fatalf("mean = %v", m)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 45 || p50 > 56 {
+		t.Fatalf("p50 = %d", p50)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	h := NewHistogram()
+	var samples []int64
+	for i := 0; i < 50_000; i++ {
+		v := int64(rng.ExpFloat64() * 10_000)
+		samples = append(samples, v)
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		want := samples[int(p/100*float64(len(samples)))]
+		got := h.Percentile(p)
+		// Log-bucketed: relative error bounded by a sub-bucket (~7%).
+		if want > 0 {
+			err := float64(got-want) / float64(want)
+			if err < -0.10 || err > 0.10 {
+				t.Errorf("p%v = %d, exact %d (err %.2f%%)", p, got, want, err*100)
+			}
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatal("negative sample not clamped")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() < 1000 {
+		t.Fatal("merge lost max")
+	}
+}
+
+func TestQuickRecordBounds(t *testing.T) {
+	check := func(vs []int64) bool {
+		h := NewHistogram()
+		var max int64
+		for _, v := range vs {
+			if v < 0 {
+				v = -v
+			}
+			v %= 1 << 40 // realistic latency range; avoids bound overflow
+			h.Record(v)
+			if v > max {
+				max = v
+			}
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		p100 := h.Percentile(100)
+		// Representative value may exceed max by at most one sub-bucket.
+		return h.Count() == uint64(len(vs)) && p100 <= max+max/8+1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure X", "value", "sys", "Mops")
+	tb.Row(8, "FlatStore-H", 35.02)
+	tb.Row(64, "CCEH", 13.9)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"Figure X", "value", "FlatStore-H", "35.02", "13.90"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}

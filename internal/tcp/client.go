@@ -1,0 +1,219 @@
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"flatstore/internal/core"
+)
+
+// Client is a network client for a FlatStore TCP server. It pipelines:
+// concurrent goroutines may issue requests on one connection, and a
+// background reader dispatches responses by id — the TCP analogue of the
+// paper's clients posting async requests and polling completions.
+type Client struct {
+	conn  net.Conn
+	bw    *bufio.Writer
+	cores int
+
+	wmu    sync.Mutex // serializes frame writes
+	pmu    sync.Mutex // guards pending + nextID + closed
+	nextID uint64
+	pend   map[uint64]chan response
+	closed error
+}
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = errors.New("tcp: client closed")
+
+// Dial connects to a FlatStore TCP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	hs, err := readFrame(br)
+	if err != nil || len(hs) != 12 {
+		conn.Close()
+		return nil, fmt.Errorf("tcp: bad handshake: %v", err)
+	}
+	if binary.LittleEndian.Uint64(hs) != wireMagic {
+		conn.Close()
+		return nil, errors.New("tcp: not a FlatStore server")
+	}
+	c := &Client{
+		conn:  conn,
+		bw:    bufio.NewWriterSize(conn, 64<<10),
+		cores: int(binary.LittleEndian.Uint32(hs[8:])),
+		pend:  map[uint64]chan response{},
+	}
+	go c.readLoop(br)
+	return c, nil
+}
+
+// Cores reports the server's core count (from the handshake).
+func (c *Client) Cores() int { return c.cores }
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return c.conn.Close()
+}
+
+// fail marks the client dead and releases every waiter.
+func (c *Client) fail(err error) {
+	c.pmu.Lock()
+	if c.closed == nil {
+		c.closed = err
+		for id, ch := range c.pend {
+			close(ch)
+			delete(c.pend, id)
+		}
+	}
+	c.pmu.Unlock()
+}
+
+func (c *Client) readLoop(br *bufio.Reader) {
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			c.fail(fmt.Errorf("tcp: connection lost: %w", err))
+			return
+		}
+		rs, err := decodeResponse(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pend[rs.id]
+		delete(c.pend, rs.id)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- rs
+		}
+	}
+}
+
+// call sends one request and waits for its response.
+func (c *Client) call(q request) (response, error) {
+	ch := make(chan response, 1)
+	c.pmu.Lock()
+	if c.closed != nil {
+		err := c.closed
+		c.pmu.Unlock()
+		return response{}, err
+	}
+	c.nextID++
+	q.id = c.nextID
+	c.pend[q.id] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.bw, encodeRequest(q))
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(fmt.Errorf("tcp: write: %w", err))
+		return response{}, err
+	}
+	rs, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.closed
+		c.pmu.Unlock()
+		return response{}, err
+	}
+	return rs, nil
+}
+
+// Wire op codes (match internal/rpc).
+const (
+	opGet uint8 = iota + 1
+	opPut
+	opDelete
+	opScan
+)
+
+// statusOK mirrors rpc.StatusOK etc.
+const (
+	statusOK uint8 = iota
+	statusNotFound
+)
+
+// route picks the owning core for a key.
+func (c *Client) route(key uint64) uint32 {
+	return uint32(core.RouteKey(key, c.cores))
+}
+
+// Put stores a key-value pair; it returns after the server made it
+// durable.
+func (c *Client) Put(key uint64, value []byte) error {
+	rs, err := c.call(request{op: opPut, core: c.route(key), key: key, value: value})
+	if err != nil {
+		return err
+	}
+	if rs.status != statusOK {
+		return fmt.Errorf("tcp: put failed (status %d)", rs.status)
+	}
+	return nil
+}
+
+// Get fetches a value.
+func (c *Client) Get(key uint64) (value []byte, ok bool, err error) {
+	rs, err := c.call(request{op: opGet, core: c.route(key), key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch rs.status {
+	case statusOK:
+		return rs.value, true, nil
+	case statusNotFound:
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("tcp: get failed (status %d)", rs.status)
+}
+
+// Delete removes a key.
+func (c *Client) Delete(key uint64) (ok bool, err error) {
+	rs, err := c.call(request{op: opDelete, core: c.route(key), key: key})
+	if err != nil {
+		return false, err
+	}
+	switch rs.status {
+	case statusOK:
+		return true, nil
+	case statusNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("tcp: delete failed (status %d)", rs.status)
+}
+
+// Pair is one scan result.
+type Pair struct {
+	Key   uint64
+	Value []byte
+}
+
+// Scan returns up to limit pairs in [lo, hi] (FlatStore-M servers only).
+func (c *Client) Scan(lo, hi uint64, limit int) ([]Pair, error) {
+	rs, err := c.call(request{op: opScan, core: c.route(lo), key: lo, scanHi: hi, limit: uint32(limit)})
+	if err != nil {
+		return nil, err
+	}
+	if rs.status != statusOK {
+		return nil, fmt.Errorf("tcp: scan failed (status %d; server needs an ordered index)", rs.status)
+	}
+	out := make([]Pair, len(rs.pairs))
+	for i, p := range rs.pairs {
+		out[i] = Pair{Key: p.key, Value: p.value}
+	}
+	return out, nil
+}

@@ -1,0 +1,185 @@
+// Package tcp serves a FlatStore node over TCP, the practical stand-in
+// for the paper's InfiniBand deployment: each connection mirrors a
+// FlatRPC client — one "queue pair" carrying asynchronously pipelined
+// requests that the client routes to server cores by key hash, exactly
+// like §4.3's message buffers. The wire format is a simple
+// length-prefixed binary framing (stdlib only).
+//
+//	server:  st, _ := core.New(cfg); st.Run()
+//	         lis, _ := net.Listen("tcp", ":7399")
+//	         srv := tcp.NewServer(st); go srv.Serve(lis)
+//
+//	client:  cl, _ := tcp.Dial("host:7399")
+//	         cl.Put(42, []byte("hello"))
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame layout (little-endian). Every frame starts with a u32 payload
+// length (not counting the length field itself).
+//
+// Handshake (server → client on connect):
+//	u64 magic, u32 cores
+//
+// Request:
+//	u8 op, u32 core, u64 id, u64 key, u64 scanHi, u32 limit,
+//	u32 vlen, vlen bytes
+//
+// Response:
+//	u64 id, u8 status, u32 vlen, vlen bytes,
+//	u32 npairs, npairs × (u64 key, u32 vlen, vlen bytes)
+const (
+	wireMagic uint64 = 0xF1A7_7C9_0000_0001
+
+	// maxFrame bounds a single frame (a 4 MB value plus headroom).
+	maxFrame = 8 << 20
+)
+
+// request is the decoded wire request.
+type request struct {
+	op     uint8
+	core   uint32
+	id     uint64
+	key    uint64
+	scanHi uint64
+	limit  uint32
+	value  []byte
+}
+
+// pair mirrors rpc.Pair on the wire.
+type pair struct {
+	key   uint64
+	value []byte
+}
+
+// response is the decoded wire response.
+type response struct {
+	id     uint64
+	status uint8
+	value  []byte
+	pairs  []pair
+}
+
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func encodeRequest(q request) []byte {
+	buf := make([]byte, 0, 33+len(q.value))
+	buf = append(buf, q.op)
+	buf = binary.LittleEndian.AppendUint32(buf, q.core)
+	buf = binary.LittleEndian.AppendUint64(buf, q.id)
+	buf = binary.LittleEndian.AppendUint64(buf, q.key)
+	buf = binary.LittleEndian.AppendUint64(buf, q.scanHi)
+	buf = binary.LittleEndian.AppendUint32(buf, q.limit)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(q.value)))
+	return append(buf, q.value...)
+}
+
+func decodeRequest(b []byte) (request, error) {
+	if len(b) < 37 {
+		return request{}, fmt.Errorf("tcp: short request frame (%d bytes)", len(b))
+	}
+	q := request{
+		op:     b[0],
+		core:   binary.LittleEndian.Uint32(b[1:]),
+		id:     binary.LittleEndian.Uint64(b[5:]),
+		key:    binary.LittleEndian.Uint64(b[13:]),
+		scanHi: binary.LittleEndian.Uint64(b[21:]),
+		limit:  binary.LittleEndian.Uint32(b[29:]),
+	}
+	vlen := binary.LittleEndian.Uint32(b[33:])
+	if int(vlen) != len(b)-37 {
+		return request{}, fmt.Errorf("tcp: request value length mismatch")
+	}
+	q.value = b[37:]
+	return q, nil
+}
+
+func encodeResponse(rs response) []byte {
+	n := 17 + len(rs.value) + 4
+	for _, p := range rs.pairs {
+		n += 12 + len(p.value)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint64(buf, rs.id)
+	buf = append(buf, rs.status)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rs.value)))
+	buf = append(buf, rs.value...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rs.pairs)))
+	for _, p := range rs.pairs {
+		buf = binary.LittleEndian.AppendUint64(buf, p.key)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.value)))
+		buf = append(buf, p.value...)
+	}
+	return buf
+}
+
+func decodeResponse(b []byte) (response, error) {
+	bad := fmt.Errorf("tcp: corrupt response frame")
+	if len(b) < 17 {
+		return response{}, bad
+	}
+	rs := response{
+		id:     binary.LittleEndian.Uint64(b),
+		status: b[8],
+	}
+	vlen := int(binary.LittleEndian.Uint32(b[9:]))
+	pos := 13
+	if pos+vlen > len(b) {
+		return response{}, bad
+	}
+	if vlen > 0 {
+		rs.value = b[pos : pos+vlen]
+	}
+	pos += vlen
+	if pos+4 > len(b) {
+		return response{}, bad
+	}
+	npairs := int(binary.LittleEndian.Uint32(b[pos:]))
+	pos += 4
+	if npairs > maxFrame/12 {
+		return response{}, bad
+	}
+	for i := 0; i < npairs; i++ {
+		if pos+12 > len(b) {
+			return response{}, bad
+		}
+		key := binary.LittleEndian.Uint64(b[pos:])
+		pl := int(binary.LittleEndian.Uint32(b[pos+8:]))
+		pos += 12
+		if pos+pl > len(b) {
+			return response{}, bad
+		}
+		rs.pairs = append(rs.pairs, pair{key: key, value: b[pos : pos+pl]})
+		pos += pl
+	}
+	return rs, nil
+}

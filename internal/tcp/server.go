@@ -1,0 +1,178 @@
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"flatstore/internal/core"
+	"flatstore/internal/rpc"
+)
+
+// Server bridges TCP connections onto a running store's FlatRPC
+// transport: each connection becomes one in-process RPC client, so the
+// engine sees network clients exactly like local ones (same per-core
+// message buffers, same agent-core response path).
+type Server struct {
+	st *core.Store
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a TCP front end for a store (which must be Run).
+func NewServer(st *core.Store) *Server {
+	return &Server{st: st, conns: map[net.Conn]struct{}{}}
+}
+
+// Serve accepts connections until the listener is closed (by Close).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("tcp: server closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for the
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// handle runs one connection: a reader loop feeding the in-process RPC
+// client, and a writer loop draining its completions back to the socket.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	cl := s.st.Connect().Raw()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	// Handshake: magic + core count, so the client can route by key.
+	var hs []byte
+	hs = binary.LittleEndian.AppendUint64(hs, wireMagic)
+	hs = binary.LittleEndian.AppendUint32(hs, uint32(s.st.Cores()))
+	if err := writeFrame(bw, hs); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	done := make(chan struct{})
+	var outstanding atomic.Int64 // unanswered requests
+
+	// Writer: poll the in-process client and push frames out. It must
+	// keep polling until every outstanding request has completed, even
+	// after the socket dies — otherwise the engine's agent core would
+	// spin forever trying to deliver into a full response ring.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		discard := false
+		for {
+			rs := cl.Poll(64)
+			if len(rs) == 0 {
+				select {
+				case <-done:
+					if outstanding.Load() == 0 {
+						return
+					}
+				default:
+				}
+				runtime.Gosched()
+				continue
+			}
+			for _, r := range rs {
+				outstanding.Add(-1)
+				if discard {
+					continue
+				}
+				out := response{id: r.ID, status: r.Status, value: r.Value}
+				for _, p := range r.Pairs {
+					out.pairs = append(out.pairs, pair{key: p.Key, value: p.Value})
+				}
+				if err := writeFrame(bw, encodeResponse(out)); err != nil {
+					discard = true
+				}
+			}
+			if !discard {
+				if err := bw.Flush(); err != nil {
+					discard = true
+				}
+			}
+		}
+	}()
+	defer close(done)
+
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		q, err := decodeRequest(payload)
+		if err != nil {
+			return
+		}
+		if int(q.core) >= s.st.Cores() {
+			q.core = uint32(core.RouteKey(q.key, s.st.Cores()))
+		}
+		req := rpc.Request{
+			ID:     q.id,
+			Op:     q.op,
+			Key:    q.key,
+			ScanHi: q.scanHi,
+			Limit:  int(q.limit),
+			Value:  q.value,
+		}
+		outstanding.Add(1)
+		for !cl.Send(int(q.core), req) {
+			runtime.Gosched() // ring full: engine backpressure
+		}
+	}
+}

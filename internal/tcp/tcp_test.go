@@ -1,0 +1,220 @@
+package tcp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+func startServer(t *testing.T, cfg core.Config) (*core.Store, *Server, string) {
+	t.Helper()
+	st, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	srv := NewServer(st)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	t.Cleanup(func() {
+		srv.Close()
+		st.Stop()
+	})
+	return st, srv, lis.Addr().String()
+}
+
+func TestPutGetDeleteOverTCP(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Cores: 4, Mode: batch.ModePipelinedHB})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Cores() != 4 {
+		t.Fatalf("handshake cores = %d", cl.Cores())
+	}
+	if err := cl.Put(7, []byte("network hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get(7)
+	if err != nil || !ok || string(v) != "network hello" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	if _, ok, _ := cl.Get(8); ok {
+		t.Fatal("missing key found")
+	}
+	if ok, _ := cl.Delete(7); !ok {
+		t.Fatal("delete missed")
+	}
+	if _, ok, _ := cl.Get(7); ok {
+		t.Fatal("deleted key present")
+	}
+}
+
+func TestLargeValuesOverTCP(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 32})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	val := bytes.Repeat([]byte{0xc7}, 2<<20)
+	if err := cl.Put(1, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := cl.Get(1)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("2 MB value corrupted over the wire")
+	}
+}
+
+func TestScanOverTCP(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB, Index: core.IndexMasstree})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := uint64(0); i < 100; i++ {
+		if err := cl.Put(i, []byte(fmt.Sprint(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pairs, err := cl.Scan(10, 19, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("scan returned %d pairs", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.Key != uint64(10+i) || string(p.Value) != fmt.Sprint(p.Key) {
+			t.Fatalf("pair %d: %d=%q", i, p.Key, p.Value)
+		}
+	}
+}
+
+func TestConcurrentClientsOverTCP(t *testing.T) {
+	st, _, addr := startServer(t, core.Config{Cores: 4, Mode: batch.ModePipelinedHB, ArenaChunks: 32})
+	const clients, per = 4, 300
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < per; i++ {
+				key := uint64(c*per + i)
+				if err := cl.Put(key, []byte(fmt.Sprintf("c%d-%d", c, i))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+			for i := 0; i < per; i++ {
+				key := uint64(c*per + i)
+				v, ok, err := cl.Get(key)
+				if err != nil || !ok || string(v) != fmt.Sprintf("c%d-%d", c, i) {
+					t.Errorf("get %d: %q %v %v", key, v, ok, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if st.Len() != clients*per {
+		t.Fatalf("Len = %d, want %d", st.Len(), clients*per)
+	}
+}
+
+func TestPipelinedGoroutinesOneConnection(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Cores: 4, Mode: batch.ModePipelinedHB, ArenaChunks: 32})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := uint64(g*1000 + i)
+				if err := cl.Put(key, []byte(fmt.Sprint(key))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				v, ok, err := cl.Get(key)
+				if err != nil || !ok || string(v) != fmt.Sprint(key) {
+					t.Errorf("get: %q %v %v", v, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestClientCloseUnblocksCalls(t *testing.T) {
+	_, _, addr := startServer(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := cl.Put(1, []byte("x")); err == nil {
+		t.Fatal("Put succeeded on a closed client")
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	st, srv, addr := startServer(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Put(1, []byte("x"))
+	srv.Close()
+	// Subsequent calls must fail, not hang.
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- cl.Put(2, []byte("y"))
+	}()
+	if err := <-errCh; err == nil {
+		t.Fatal("Put after server close succeeded")
+	}
+	st.Stop()
+}
+
+func TestDialRejectsNonFlatStore(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("HTTP/1.1 200 OK\r\n\r\n"))
+		conn.Close()
+	}()
+	if _, err := Dial(lis.Addr().String()); err == nil {
+		t.Fatal("Dial accepted a non-FlatStore server")
+	}
+}

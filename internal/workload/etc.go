@@ -1,0 +1,121 @@
+package workload
+
+import "math/rand"
+
+// Facebook ETC pool emulation (§5.2): a trimodal item-size distribution
+// where, out of the key space, 40 % of keys are tiny (1–13 B), 55 % are
+// small (14–300 B) and 5 % are large (>300 B). Popularity is zipfian
+// (0.99) over the tiny+small keys — the strong skew of production pools —
+// while large keys are chosen uniformly at random. Request sizes follow
+// the key's class deterministically, so re-writes of a key keep its
+// class.
+const (
+	etcTinyFrac  = 0.40
+	etcSmallFrac = 0.55
+
+	etcTinyMin, etcTinyMax   = 1, 13
+	etcSmallMin, etcSmallMax = 14, 300
+	etcLargeMin              = 301
+	etcLargeMax              = 64 << 10
+
+	// etcLargeReqFrac is the fraction of requests aimed at large keys.
+	// The ETC characterization has large items dominating space but not
+	// request count; 5 % keeps the stream write-bandwidth-realistic.
+	etcLargeReqFrac = 0.05
+)
+
+// ETCGenerator produces the production workload.
+type ETCGenerator struct {
+	rng        *rand.Rand
+	keys       uint64
+	tinyKeys   uint64
+	smallKeys  uint64
+	largeKeys  uint64
+	zipf       *Zipf // over tiny+small
+	getRatio   float64
+	valBuf     []byte
+	sizeHasher uint64
+}
+
+// NewETC builds the ETC generator over the given key space.
+func NewETC(seed int64, keys uint64, getRatio float64) *ETCGenerator {
+	tiny := uint64(float64(keys) * etcTinyFrac)
+	small := uint64(float64(keys) * etcSmallFrac)
+	large := keys - tiny - small
+	if large == 0 {
+		large = 1
+		small--
+	}
+	g := &ETCGenerator{
+		rng:       rand.New(rand.NewSource(seed)),
+		keys:      keys,
+		tinyKeys:  tiny,
+		smallKeys: small,
+		largeKeys: large,
+		zipf:      NewZipf(tiny+small, 0.99),
+		getRatio:  getRatio,
+		valBuf:    make([]byte, etcLargeMax),
+	}
+	for i := range g.valBuf {
+		g.valBuf[i] = byte(i*197 + 31)
+	}
+	return g
+}
+
+// class returns 0 (tiny), 1 (small) or 2 (large) for a key.
+func (g *ETCGenerator) class(key uint64) int {
+	switch {
+	case key < g.tinyKeys:
+		return 0
+	case key < g.tinyKeys+g.smallKeys:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SizeOf returns the deterministic value size of a key (stable across
+// rewrites, derived from the key itself).
+func (g *ETCGenerator) SizeOf(key uint64) int {
+	h := key*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	switch g.class(key) {
+	case 0:
+		return etcTinyMin + int(h%(etcTinyMax-etcTinyMin+1))
+	case 1:
+		return etcSmallMin + int(h%(etcSmallMax-etcSmallMin+1))
+	default:
+		// Heavy-tailed large sizes: a bounded Pareto-like tail gives
+		// the "much higher variability" the characterization reports.
+		span := float64(etcLargeMax - etcLargeMin)
+		frac := float64(h%1000000) / 1000000
+		size := etcLargeMin + int(span*frac*frac*frac)
+		return size
+	}
+}
+
+// NextKey draws a key: zipfian over tiny+small, uniform over large.
+func (g *ETCGenerator) NextKey() uint64 {
+	if g.rng.Float64() < etcLargeReqFrac {
+		return g.tinyKeys + g.smallKeys + uint64(g.rng.Int63n(int64(g.largeKeys)))
+	}
+	rank := g.zipf.Next(g.rng.Float64())
+	// Scramble rank→key within the tiny+small region so hot keys are
+	// spread across both classes and all server cores.
+	x := rank * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x % (g.tinyKeys + g.smallKeys)
+}
+
+// Next draws the next request.
+func (g *ETCGenerator) Next() Op {
+	key := g.NextKey()
+	if g.rng.Float64() < g.getRatio {
+		return Op{Type: OpGet, Key: key}
+	}
+	return Op{Type: OpPut, Key: key, ValueSize: g.SizeOf(key)}
+}
+
+// Value returns a deterministic payload of the given size (shared
+// buffer; copy to retain).
+func (g *ETCGenerator) Value(size int) []byte { return g.valBuf[:size] }

@@ -1,0 +1,123 @@
+package workload
+
+import "math/rand"
+
+// OpType is a request kind.
+type OpType uint8
+
+// Request kinds.
+const (
+	OpPut OpType = iota
+	OpGet
+	OpDelete
+)
+
+// Op is one generated request.
+type Op struct {
+	Type      OpType
+	Key       uint64
+	ValueSize int // meaningful for OpPut
+}
+
+// Generator produces a deterministic request stream.
+type Generator struct {
+	rng      *rand.Rand
+	keys     uint64
+	zipf     *Zipf // nil → uniform
+	getRatio float64
+	size     func(rng *rand.Rand, key uint64) int
+
+	// scramble decorrelates zipf rank from key id, so hot keys spread
+	// across server cores (YCSB's hashed key order).
+	scramble bool
+
+	valBuf []byte
+}
+
+// Config describes a workload.
+type Config struct {
+	Seed int64
+	// Keys is the key-space size (the paper uses 192 M for YCSB).
+	Keys uint64
+	// ZipfTheta > 0 selects zipfian popularity with that skew
+	// (0.99 in the paper); 0 selects uniform.
+	ZipfTheta float64
+	// GetRatio ∈ [0,1] is the fraction of Get requests; the rest are
+	// Puts.
+	GetRatio float64
+	// ValueSize fixes the Put value size (YCSB microbenchmarks).
+	ValueSize int
+	// SizeFn, when set, overrides ValueSize (ETC's trimodal sizes).
+	SizeFn func(rng *rand.Rand, key uint64) int
+	// NoScramble keeps zipf rank == key id (for tests).
+	NoScramble bool
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	g := &Generator{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		keys:     cfg.Keys,
+		getRatio: cfg.GetRatio,
+		scramble: !cfg.NoScramble,
+		valBuf:   make([]byte, 1<<20),
+	}
+	if cfg.ZipfTheta > 0 {
+		g.zipf = NewZipf(cfg.Keys, cfg.ZipfTheta)
+	}
+	if cfg.SizeFn != nil {
+		g.size = cfg.SizeFn
+	} else {
+		sz := cfg.ValueSize
+		g.size = func(*rand.Rand, uint64) int { return sz }
+	}
+	for i := range g.valBuf {
+		g.valBuf[i] = byte(i*131 + 17)
+	}
+	return g
+}
+
+// scrambleKey maps a rank to a key id via an invertible mixer, keeping
+// ids inside the key space by re-ranging.
+func (g *Generator) scrambleKey(rank uint64) uint64 {
+	if !g.scramble {
+		return rank
+	}
+	x := rank * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x % g.keys
+}
+
+// NextKey draws a key by the configured popularity.
+func (g *Generator) NextKey() uint64 {
+	if g.zipf != nil {
+		return g.scrambleKey(g.zipf.Next(g.rng.Float64()))
+	}
+	return uint64(g.rng.Int63n(int64(g.keys)))
+}
+
+// Next draws the next request.
+func (g *Generator) Next() Op {
+	key := g.NextKey()
+	if g.rng.Float64() < g.getRatio {
+		return Op{Type: OpGet, Key: key}
+	}
+	return Op{Type: OpPut, Key: key, ValueSize: g.size(g.rng, key)}
+}
+
+// Value returns a deterministic payload of the given size. The slice is
+// reused across calls; consumers must copy if they retain it (the engine
+// copies on the Put path anyway).
+func (g *Generator) Value(size int) []byte {
+	for size > len(g.valBuf) {
+		g.valBuf = append(g.valBuf, g.valBuf...)
+	}
+	return g.valBuf[:size]
+}
+
+// YCSB builds the paper's microbenchmark workload: fixed-size values,
+// uniform (theta 0) or zipfian popularity, 8-byte keys out of a key
+// space of `keys`.
+func YCSB(seed int64, keys uint64, theta float64, valueSize int, getRatio float64) *Generator {
+	return New(Config{Seed: seed, Keys: keys, ZipfTheta: theta, ValueSize: valueSize, GetRatio: getRatio})
+}

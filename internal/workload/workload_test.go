@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(1000, 0.99)
+	for _, u := range []float64{0, 0.001, 0.25, 0.5, 0.9, 0.999999} {
+		r := z.Next(u)
+		if r >= 1000 {
+			t.Fatalf("Next(%v) = %d out of range", u, r)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With theta 0.99, the most popular ranks dominate.
+	z := NewZipf(1_000_000, 0.99)
+	g := New(Config{Seed: 1, Keys: 1_000_000, ZipfTheta: 0.99, ValueSize: 8, NoScramble: true})
+	counts := map[uint64]int{}
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		counts[g.NextKey()]++
+	}
+	top := counts[0]
+	if top < n/50 {
+		t.Errorf("rank 0 got %d of %d draws; zipf(0.99) should be far hotter", top, n)
+	}
+	// Top 10 ranks should cover a large share.
+	sum := 0
+	for r := uint64(0); r < 10; r++ {
+		sum += counts[r]
+	}
+	if float64(sum)/n < 0.2 {
+		t.Errorf("top-10 share = %.3f, want ≥ 0.2", float64(sum)/n)
+	}
+	_ = z
+}
+
+func TestZipfZetaApproximation(t *testing.T) {
+	// The approximated zeta for large n must stay close to scaling the
+	// exact prefix: compare against a direct (slow) sum for 2^21.
+	n := uint64(zetaExact * 2)
+	exact := 0.0
+	for i := uint64(1); i <= n; i++ {
+		exact += 1 / math.Pow(float64(i), 0.99)
+	}
+	approx := zeta(n, 0.99)
+	if math.Abs(exact-approx)/exact > 0.01 {
+		t.Errorf("zeta approx off by %.3f%%", 100*math.Abs(exact-approx)/exact)
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	g := New(Config{Seed: 2, Keys: 100, ValueSize: 8})
+	seen := map[uint64]bool{}
+	for i := 0; i < 10_000; i++ {
+		k := g.NextKey()
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("uniform covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestGetRatio(t *testing.T) {
+	g := New(Config{Seed: 3, Keys: 1000, ValueSize: 8, GetRatio: 0.95})
+	gets := 0
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		if g.Next().Type == OpGet {
+			gets++
+		}
+	}
+	ratio := float64(gets) / n
+	if ratio < 0.93 || ratio > 0.97 {
+		t.Errorf("get ratio = %.3f, want ≈0.95", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(Config{Seed: 7, Keys: 5000, ZipfTheta: 0.99, ValueSize: 64, GetRatio: 0.5})
+	b := New(Config{Seed: 7, Keys: 5000, ZipfTheta: 0.99, ValueSize: 64, GetRatio: 0.5})
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestValuePayload(t *testing.T) {
+	g := New(Config{Seed: 1, Keys: 10, ValueSize: 8})
+	v := g.Value(100)
+	if len(v) != 100 {
+		t.Fatalf("Value(100) returned %d bytes", len(v))
+	}
+	big := g.Value(4 << 20)
+	if len(big) != 4<<20 {
+		t.Fatalf("Value growth failed: %d", len(big))
+	}
+}
+
+func TestETCSizeDistribution(t *testing.T) {
+	g := NewETC(11, 1_000_000, 0)
+	tiny, small, large := 0, 0, 0
+	const n = 50_000
+	maxLarge := 0
+	for i := 0; i < n; i++ {
+		op := g.Next()
+		if op.Type != OpPut {
+			t.Fatal("getRatio 0 produced a Get")
+		}
+		switch {
+		case op.ValueSize <= etcTinyMax:
+			tiny++
+		case op.ValueSize <= etcSmallMax:
+			small++
+		default:
+			large++
+			if op.ValueSize > maxLarge {
+				maxLarge = op.ValueSize
+			}
+		}
+		if op.ValueSize < 1 || op.ValueSize > etcLargeMax {
+			t.Fatalf("value size %d out of range", op.ValueSize)
+		}
+	}
+	// Requests: ~95% to the zipfian tiny+small region, ~5% large.
+	if f := float64(large) / n; f < 0.03 || f > 0.08 {
+		t.Errorf("large request fraction = %.3f, want ≈0.05", f)
+	}
+	if tiny == 0 || small == 0 {
+		t.Error("tiny/small classes not exercised")
+	}
+	if maxLarge <= etcLargeMin {
+		t.Error("large sizes show no variability")
+	}
+}
+
+func TestETCSizeStablePerKey(t *testing.T) {
+	g := NewETC(5, 10_000, 0)
+	for k := uint64(0); k < 1000; k++ {
+		if g.SizeOf(k) != g.SizeOf(k) {
+			t.Fatal("SizeOf not deterministic")
+		}
+	}
+}
+
+func TestQuickZipfInRange(t *testing.T) {
+	check := func(nRaw uint32, u float64) bool {
+		n := uint64(nRaw%1_000_000) + 1
+		u = math.Abs(u)
+		u -= math.Floor(u)
+		z := NewZipf(n, 0.99)
+		return z.Next(u) < n
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
