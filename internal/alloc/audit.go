@@ -1,0 +1,55 @@
+package alloc
+
+// Introspection for invariant checkers (internal/fault): the lazy-persist
+// design's central claim is that the volatile bitmaps rebuilt after a
+// crash exactly match the set of records reachable from the replayed
+// logs, and these accessors expose the allocator's side of that equation.
+
+// AuditBlocks calls fn for every data block currently marked allocated in
+// a class-cut chunk's bitmap, with the block's arena offset and its class
+// size. Huge spans and raw chunks are not visited. The allocator lock is
+// held across the walk, so the caller must not allocate or free from fn.
+func (al *Allocator) AuditBlocks(fn func(off int64, classSize int)) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	mem := al.arena.Mem()
+	for i := 0; i < al.n; i++ {
+		st := &al.chunks[i]
+		if st.class < 0 {
+			continue
+		}
+		cs := ClassSize(st.class)
+		base := al.chunkOff(i)
+		for s := 0; s < st.capacity; s++ {
+			if mem[base+64+s/8]&(1<<(s%8)) != 0 {
+				fn(int64(base+headerReserve+s*cs), cs)
+			}
+		}
+	}
+}
+
+// FreeList returns the arena offsets of the chunks currently in the
+// global free pool.
+func (al *Allocator) FreeList() []int64 {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	out := make([]int64, 0, len(al.free))
+	for _, i := range al.free {
+		out = append(out, int64(al.chunkOff(i)))
+	}
+	return out
+}
+
+// RawChunks returns the arena offsets of chunks handed out whole
+// (AllocRawChunk or RecoverMarkRawChunk) — the OpLog's segments.
+func (al *Allocator) RawChunks() []int64 {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	var out []int64
+	for i := range al.chunks {
+		if al.chunks[i].owner == -2 {
+			out = append(out, int64(al.chunkOff(i)))
+		}
+	}
+	return out
+}

@@ -68,3 +68,10 @@ func (st *Store) buildCheckpointLocked() []byte {
 func (st *Store) HasCheckpoint() bool {
 	return st.arena.ReadUint64(offCkpt) != 0 && st.arena.ReadUint64(offCkpt+8) != 0
 }
+
+// CheckpointDesc returns the persisted checkpoint descriptor (ptr, len),
+// zeroes when none exists. Invariant checkers use it to account for the
+// blob's storage in the allocator bitmaps.
+func (st *Store) CheckpointDesc() (int64, int) {
+	return int64(st.arena.ReadUint64(offCkpt)), int(st.arena.ReadUint64(offCkpt + 8))
+}

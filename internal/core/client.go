@@ -22,6 +22,11 @@ var ErrServer = errors.New("flatstore: server error")
 // Raw exposes the underlying transport client for asynchronous use.
 func (cl *Client) Raw() *rpc.Client { return cl.c }
 
+// Close detaches the client from the store's transport. Long-lived
+// processes that connect per-session must close clients, or every
+// server core keeps polling the abandoned message buffers forever.
+func (cl *Client) Close() { cl.c.Close() }
+
 // call sends one request to the owning core and spins for its response.
 func (cl *Client) call(core int, req rpc.Request) rpc.Response {
 	for !cl.c.Send(core, req) {

@@ -93,6 +93,15 @@ type scanned struct {
 // CleanOnce reclaims at most one victim chunk. It returns the number of
 // entries processed (0 when there was nothing worth cleaning), so callers
 // can back off when idle.
+//
+// CleanOnce is idempotent up to its commit point: classification is
+// read-only and every registry mutation is deferred until the survivor
+// chunk is durably linked and the victim unlinked, so a failure anywhere
+// before that (survivor out of space, unlink refusal) leaves the store
+// exactly as found and the same victim can be retried. Decrementing the
+// tombstone-guard counts eagerly and then retrying would double-decrement
+// them, reclaim a tombstone while an older Put for its key is still in
+// the log, and resurrect the deleted key on the next crash recovery.
 func (cl *Cleaner) CleanOnce() int {
 	st := cl.st
 	victim, cu := cl.pickVictim()
@@ -101,7 +110,7 @@ func (cl *Cleaner) CleanOnce() int {
 	}
 
 	// 1. Scan the victim and classify every entry under the owning
-	// core's index lock.
+	// core's index lock (read-only: registry effects apply in step 6).
 	var entries []scanned
 	err := oplog.ScanChunk(st.arena, victim, cu.log.Tail(), func(off int64, e oplog.Entry) bool {
 		entries = append(entries, scanned{off: off, e: e})
@@ -118,16 +127,6 @@ func (cl *Cleaner) CleanOnce() int {
 		case oplog.OpPut:
 			ref, _, ok := oc.idx.Get(s.e.Key)
 			s.live = ok && ref == s.off
-			if !s.live {
-				// A stale Put leaves the log: decrement the
-				// tombstone guard count.
-				if m := oc.reg[s.e.Key]; m != nil {
-					m.stale--
-					if m.stale <= 0 && !m.deleted {
-						delete(oc.reg, s.e.Key)
-					}
-				}
-			}
 		case oplog.OpDelete:
 			// A tombstone stays live while older Put entries for its
 			// key could still be replayed after a crash (§3.4: "can
@@ -135,14 +134,8 @@ func (cl *Cleaner) CleanOnce() int {
 			// related to this KV item have been reclaimed").
 			m := oc.reg[s.e.Key]
 			s.live = m != nil && m.deleted && m.lastVer == s.e.Version && m.stale > 0
-			if !s.live && m != nil && m.deleted && m.lastVer == s.e.Version {
-				delete(oc.reg, s.e.Key)
-			}
 		}
 		oc.idxMu.Unlock()
-		if !s.live {
-			cl.dropped++
-		}
 	}
 
 	// 2. Copy live entries into a survivor chunk and persist it.
@@ -186,15 +179,58 @@ func (cl *Cleaner) CleanOnce() int {
 	// 5. Unlink and free the victim; readers are excluded only for the
 	// brief moment the chunk returns to the pool.
 	if err := cu.log.Unlink(cl.f, victim); err != nil {
+		// The survivor is already linked, so the journal slot has done
+		// its job; left set, it would outlive this attempt and could
+		// point at a freed-and-reused chunk by the next crash. The
+		// registry is untouched: the victim (and its stale Puts) stays
+		// in the chain, so the guard counts still hold.
+		cl.f.PersistUint64(journalOff(cl.group), 0)
+		cl.f.FlushEvents()
 		return len(entries)
 	}
+	// 6. The victim's entries have left the log for good: apply the
+	// deferred registry effects of the dropped ones.
+	cl.applyDropped(entries)
 	st.reclaimMu.Lock()
 	st.al.FreeRawChunk(victim)
 	st.reclaimMu.Unlock()
 	st.usage.drop(victim)
-	// 6. Clear the journal slot.
+	// 7. Clear the journal slot.
 	cl.f.PersistUint64(journalOff(cl.group), 0)
 	cl.f.FlushEvents()
 	cl.cleaned++
 	return len(entries)
+}
+
+// applyDropped applies the registry effects of the entries that left the
+// log: a stale Put decrements the tombstone-guard count, and a fully
+// superseded tombstone releases its registry slot. Conditions are
+// rechecked under the lock — the request path may have moved a key on
+// since classification.
+func (cl *Cleaner) applyDropped(entries []scanned) {
+	st := cl.st
+	for i := range entries {
+		s := &entries[i]
+		if s.live {
+			continue
+		}
+		cl.dropped++
+		oc := st.cores[st.CoreOf(s.e.Key)]
+		oc.idxMu.Lock()
+		m := oc.reg[s.e.Key]
+		switch s.e.Op {
+		case oplog.OpPut:
+			if m != nil {
+				m.stale--
+				if m.stale <= 0 && !m.deleted {
+					delete(oc.reg, s.e.Key)
+				}
+			}
+		case oplog.OpDelete:
+			if m != nil && m.deleted && m.lastVer == s.e.Version && m.stale <= 0 {
+				delete(oc.reg, s.e.Key)
+			}
+		}
+		oc.idxMu.Unlock()
+	}
 }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"flatstore/internal/batch"
+)
+
+// regSnapshot copies every core's tombstone-guard registry.
+func regSnapshot(st *Store) map[uint64]keyMeta {
+	out := map[uint64]keyMeta{}
+	for _, c := range st.cores {
+		c.idxMu.Lock()
+		for k, m := range c.reg {
+			out[k] = *m
+		}
+		c.idxMu.Unlock()
+	}
+	return out
+}
+
+func regEqual(a, b map[uint64]keyMeta) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCleanOnceIdempotentOnSurvivorFailure pins the cleaner's commit-point
+// contract: a CleanOnce that fails to place its survivor chunk (out of
+// space) must leave the registry byte-identical, so the same victim can be
+// retried. The broken version decremented tombstone-guard counts during
+// classification; each failed retry then double-decremented them, a
+// tombstone was reclaimed while older Puts of its key were still in the
+// log, and the next crash recovery resurrected the deleted key.
+func TestCleanOnceIdempotentOnSurvivorFailure(t *testing.T) {
+	cfg := Config{Cores: 1, Mode: batch.ModePipelinedHB, ArenaChunks: 12,
+		GC: GCConfig{DeadRatio: 0.3}}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	cl := st.Connect()
+	// Interleave never-overwritten keys with overwrite churn so every
+	// chunk holds live entries: any victim needs a survivor chunk, and a
+	// chunk-pool exhaustion therefore fails every CleanOnce.
+	filler := make([]byte, 200)
+	unique := uint64(10_000)
+	for r := 0; r < 100; r++ {
+		for k := uint64(0); k < 250; k++ {
+			if err := cl.Put(1000+k, filler); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cl.Put(unique, []byte("keep")); err != nil {
+			t.Fatal(err)
+		}
+		unique++
+	}
+	// Late deletes: tombstones land in the tail chunk while stale Puts of
+	// the same keys sit in chunk 1, so the registry carries guard counts
+	// the failed clean must not disturb.
+	for k := uint64(1000); k < 1010; k++ {
+		if _, err := cl.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Stop()
+
+	before := regSnapshot(st)
+	if len(before) == 0 {
+		t.Fatal("workload built no tombstone guards; test would assert nothing")
+	}
+
+	// Exhaust the chunk pool so WriteSurvivorChunk cannot allocate.
+	var hoard []int64
+	for {
+		off, err := st.al.AllocRawChunk()
+		if err != nil {
+			break
+		}
+		hoard = append(hoard, off)
+	}
+	cleaner := st.NewCleaner(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		cleaner.CleanOnce()
+		if got := cleaner.Stats(); got.Cleaned != 0 || got.Relocated != 0 {
+			t.Fatalf("attempt %d: clean claimed progress with an empty chunk pool: %+v", attempt, got)
+		}
+		if after := regSnapshot(st); !regEqual(before, after) {
+			t.Fatalf("attempt %d: failed CleanOnce mutated the registry (%d -> %d guards)",
+				attempt, len(before), len(after))
+		}
+		if v := st.JournalSlot(0); v != 0 {
+			t.Fatalf("attempt %d: failed CleanOnce left journal slot set: %#x", attempt, v)
+		}
+	}
+
+	// Space returns; the retried victim must now clean successfully.
+	for _, off := range hoard {
+		st.al.FreeRawChunk(off)
+	}
+	for i := 0; i < 50 && cleaner.CleanOnce() > 0; i++ {
+	}
+	if cleaner.Stats().Cleaned == 0 {
+		t.Fatal("cleaner still failing after chunk pool was refilled")
+	}
+
+	// Crash: the retried clean must not have corrupted guard state —
+	// deleted keys stay dead, never-overwritten keys stay live.
+	cfg2 := cfg
+	cfg2.Arena = st.arena.Crash()
+	re, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Run()
+	defer re.Stop()
+	cl2 := re.Connect()
+	for k := uint64(1000); k < 1010; k++ {
+		if _, ok, _ := cl2.Get(k); ok {
+			t.Fatalf("deleted key %d resurrected after failed-then-retried GC", k)
+		}
+	}
+	for k := uint64(10_000); k < unique; k++ {
+		v, ok, _ := cl2.Get(k)
+		if !ok || string(v) != "keep" {
+			t.Fatalf("live key %d lost after failed-then-retried GC", k)
+		}
+	}
+}

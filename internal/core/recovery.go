@@ -96,15 +96,30 @@ func (st *Store) openCrash() error {
 	// snapshot) are repaired by the surviving same-version copies.
 	seeded := false
 	if ptr := int64(arena.ReadUint64(offCkpt)); ptr != 0 {
-		if length := int(arena.ReadUint64(offCkpt + 8)); length > 0 {
+		length := int(arena.ReadUint64(offCkpt + 8))
+		// The descriptor can be torn (a crash between its length and
+		// pointer updates), so bounds-check before slicing and let the
+		// checksum reject mismatched halves.
+		if length > 0 && ptr > 0 && ptr+int64(length) <= int64(arena.Size()) {
 			if err := st.loadCheckpoint(arena.Mem()[ptr : ptr+int64(length)]); err == nil {
 				seeded = true
+				// The blob's storage must survive as a live allocation:
+				// the descriptor still references it, and the next
+				// Checkpoint will free it through the allocator.
+				al.RecoverMark(ptr, length)
 				// Chunk usage is rebuilt from the scan, not trusted
 				// from the snapshot.
 				st.usage.mu.Lock()
 				st.usage.m = map[int64]*chunkUsage{}
 				st.usage.mu.Unlock()
 			}
+		}
+		if !seeded {
+			// Torn or overwritten checkpoint: drop the descriptor so a
+			// later Checkpoint cannot free (nor a later recovery load)
+			// a block that was never re-marked.
+			st.super.PersistUint64(offCkpt, 0)
+			st.super.PersistUint64(offCkpt+8, 0)
 		}
 	}
 
@@ -173,7 +188,18 @@ func (st *Store) openCrash() error {
 	jshard := make([][]recEntry, ncores)
 	for g := 0; g < MaxCores; g++ {
 		ch := int64(arena.ReadUint64(journalOff(g)))
-		if ch == 0 || inChain[ch] || int(ch)%pmem.ChunkSize != 0 || int(ch) >= arena.Size() {
+		if ch == 0 {
+			continue
+		}
+		// Clear the slot unconditionally: either the survivor is already
+		// in a chain (the crash hit after LinkAtHead) and the journal's
+		// protection is no longer needed, or its entries are sharded
+		// below. A slot left set would outlive this recovery and could
+		// point at a freed-and-reused chunk by the next crash, replaying
+		// garbage as survivor entries.
+		st.super.PersistUint64(journalOff(g), 0)
+		if inChain[ch] || int(ch)%pmem.ChunkSize != 0 || int(ch) >= arena.Size() ||
+			!oplog.ValidChunkHeader(arena, ch) {
 			continue
 		}
 		_ = oplog.ScanChunk(arena, ch, -1, func(off int64, e oplog.Entry) bool {
@@ -182,7 +208,6 @@ func (st *Store) openCrash() error {
 				recEntry{off: off, key: e.Key, ver: e.Version, del: e.Op == oplog.OpDelete})
 			return true
 		})
-		st.super.PersistUint64(journalOff(g), 0)
 	}
 
 	for owner := range st.cores {
@@ -291,8 +316,8 @@ func (st *Store) openClean() error {
 
 	ptr := int64(arena.ReadUint64(offCkpt))
 	length := int(arena.ReadUint64(offCkpt + 8))
-	if ptr == 0 || length == 0 {
-		return fmt.Errorf("core: clean shutdown flag set but no checkpoint")
+	if ptr <= 0 || length <= 0 || ptr+int64(length) > int64(arena.Size()) {
+		return fmt.Errorf("core: clean shutdown flag set but no usable checkpoint")
 	}
 	if err := st.loadCheckpoint(arena.Mem()[ptr : ptr+int64(length)]); err != nil {
 		return err

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+// TestStatsAndLifecycleRace hammers the paths the flatstore-server front
+// end exercises concurrently: traffic on serving cores, a monitoring
+// goroutine polling Stats/Len, and Run/Stop cycling from another
+// goroutine. Stats reads index sizes under the per-core index locks and
+// Run/Stop serialize on lifeMu, so the race detector must stay silent.
+func TestStatsAndLifecycleRace(t *testing.T) {
+	cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 10,
+		GC: core.GCConfig{Enabled: true, DeadRatio: 0.5}}
+	st, _ := newRunning(t, cfg)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := st.Connect()
+			defer cl.Close()
+			val := make([]byte, 100)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Best-effort traffic: a Put submitted during a Stop window
+				// simply completes when Run resumes.
+				_ = cl.Put(uint64(w*1000+i%200), val)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = st.Stats()
+			_ = st.Len()
+		}
+	}()
+
+	for i := 0; i < 5; i++ {
+		st.Stop()
+		st.Run()
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(25 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if st.Stats().Keys == 0 {
+		t.Fatal("no keys visible after concurrent traffic")
+	}
+}

@@ -34,6 +34,10 @@ type Store struct {
 	// around returning a victim chunk to the pool.
 	reclaimMu sync.RWMutex
 
+	// lifeMu serializes Run/Stop (and guards running): the flatstore
+	// front end stops the store from a signal handler while monitoring
+	// goroutines may still be starting or probing it.
+	lifeMu  sync.Mutex
 	stop    chan struct{}
 	stopped sync.WaitGroup
 	running bool
@@ -166,8 +170,11 @@ func (st *Store) Connect() *Client {
 }
 
 // Run starts the server-core goroutines and, if configured, the per-group
-// cleaners. It returns immediately; Close stops everything.
+// cleaners. It returns immediately; Close stops everything. Safe to call
+// concurrently with Stop and Stats.
 func (st *Store) Run() {
+	st.lifeMu.Lock()
+	defer st.lifeMu.Unlock()
 	if st.running {
 		return
 	}
@@ -210,8 +217,11 @@ func (st *Store) Run() {
 }
 
 // Stop halts the goroutines started by Run without checkpointing (used
-// before crash simulations; Close performs the clean shutdown).
+// before crash simulations; Close performs the clean shutdown). Safe to
+// call concurrently with Run and Stats.
 func (st *Store) Stop() {
+	st.lifeMu.Lock()
+	defer st.lifeMu.Unlock()
 	if !st.running {
 		return
 	}
@@ -229,25 +239,34 @@ type StatsSnapshot struct {
 	FreeChunks int
 }
 
-// Stats snapshots engine statistics. Call while quiescent for exact
-// counts.
+// Stats snapshots engine statistics. Safe to call while the store is
+// serving (the flatstore-server front end polls it from a monitoring
+// goroutine): index sizes are read under the per-core index locks, and
+// every other source is internally synchronized. Counts are exact only
+// while quiescent.
 func (st *Store) Stats() StatsSnapshot {
 	s := StatsSnapshot{PM: st.arena.Stats(), FreeChunks: st.al.FreeChunks()}
-	if st.tree != nil {
-		s.Keys = st.tree.Len()
-	} else {
-		for _, c := range st.cores {
-			s.Keys += c.idx.Len()
-		}
-	}
+	s.Keys = st.Len()
 	for _, g := range st.groups {
 		s.Groups = append(s.Groups, g.Stats())
 	}
 	return s
 }
 
-// Len returns the number of live keys (quiescent).
+// Len returns the number of live keys. Safe to call live; exact while
+// quiescent.
 func (st *Store) Len() int {
+	// Lock every core's index lock: per-core hash indexes are guarded by
+	// their own core's idxMu, and the shared masstree is only mutated by
+	// cores holding theirs, so holding all of them quiesces both layouts.
+	for _, c := range st.cores {
+		c.idxMu.Lock()
+	}
+	defer func() {
+		for _, c := range st.cores {
+			c.idxMu.Unlock()
+		}
+	}()
 	if st.tree != nil {
 		return st.tree.Len()
 	}
@@ -256,6 +275,13 @@ func (st *Store) Len() int {
 		n += c.idx.Len()
 	}
 	return n
+}
+
+// JournalSlot reads group g's persisted cleaner-journal slot (zero when
+// no survivor chunk is journaled). Invariant checkers assert that every
+// slot is clear once recovery or a clean run is quiescent.
+func (st *Store) JournalSlot(g int) uint64 {
+	return st.arena.ReadUint64(journalOff(g))
 }
 
 // usageTable tracks per-chunk live/dead bytes for victim selection

@@ -1,0 +1,247 @@
+package fault_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+	"flatstore/internal/fault"
+	"flatstore/internal/pmem"
+)
+
+// val builds a deterministic value so oracle comparison is byte-exact.
+func val(key uint64, step, size int) []byte {
+	out := make([]byte, size)
+	seed := key*2654435761 + uint64(step)*40503
+	for i := range out {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		out[i] = byte(seed >> 56)
+	}
+	return out
+}
+
+func sweep(t *testing.T, h *fault.Harness, tear bool) fault.SweepStats {
+	t.Helper()
+	stats, err := h.Sweep(tear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Points == 0 || stats.Crashes == 0 {
+		t.Fatalf("sweep exercised nothing: %+v", stats)
+	}
+	t.Logf("swept %d crash points (%d crashed, %d completed, %d torn)",
+		stats.Points, stats.Crashes, stats.Completed, stats.Torn)
+	return stats
+}
+
+// TestSweepPutOverwriteDelete crashes a base-mode store at every persist
+// point of a put/overwrite/delete script, with inline and out-of-place
+// values, deletes of present and re-created keys.
+func TestSweepPutOverwriteDelete(t *testing.T) {
+	cfg := core.Config{Cores: 2, Mode: batch.ModeNone, ArenaChunks: 6}
+	var script []fault.Op
+	for k := uint64(1); k <= 6; k++ {
+		script = append(script, fault.Put(k, val(k, 0, 40)))
+	}
+	script = append(script,
+		fault.Put(1, val(1, 1, 400)), // inline → out-of-place
+		fault.Put(2, val(2, 1, 60)),
+		fault.Delete(3),
+		fault.Put(7, val(7, 0, 700)), // out-of-place from birth
+		fault.Delete(1),              // delete an out-of-place value
+		fault.Put(3, val(3, 2, 50)),  // re-create a deleted key
+		fault.Put(7, val(7, 1, 30)),  // out-of-place → inline
+		fault.Delete(4),
+	)
+	sweep(t, fault.NewHarness(cfg, nil, script), false)
+}
+
+// TestSweepPipelinedHB sweeps the grouped-batching path (publish, steal,
+// batch append, completion) instead of the base path.
+func TestSweepPipelinedHB(t *testing.T) {
+	cfg := core.Config{Cores: 3, Mode: batch.ModePipelinedHB, ArenaChunks: 6}
+	var script []fault.Op
+	for k := uint64(10); k < 18; k++ {
+		script = append(script, fault.Put(k, val(k, 0, 80)))
+	}
+	script = append(script,
+		fault.Put(10, val(10, 1, 300)),
+		fault.Delete(11),
+		fault.Put(12, val(12, 1, 120)),
+		fault.Delete(10),
+		fault.Put(11, val(11, 2, 90)),
+	)
+	sweep(t, fault.NewHarness(cfg, nil, script), false)
+}
+
+// TestSweepCheckpoint crashes inside runtime checkpoints: mid-blob,
+// between the descriptor's two word updates, and around the free of the
+// previous checkpoint block.
+func TestSweepCheckpoint(t *testing.T) {
+	cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 7}
+	var script []fault.Op
+	for k := uint64(20); k < 26; k++ {
+		script = append(script, fault.Put(k, val(k, 0, 64)))
+	}
+	script = append(script,
+		fault.Checkpoint(),
+		fault.Put(20, val(20, 1, 350)),
+		fault.Delete(21),
+		fault.Checkpoint(), // frees the first checkpoint's block
+		fault.Put(26, val(26, 0, 48)),
+		fault.Checkpoint(),
+	)
+	sweep(t, fault.NewHarness(cfg, nil, script), false)
+}
+
+// TestSweepMasstree sweeps the shared-ordered-index configuration
+// (FlatStore-M): recovery rebuilds one tree from all logs.
+func TestSweepMasstree(t *testing.T) {
+	cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB,
+		Index: core.IndexMasstree, ArenaChunks: 6}
+	var script []fault.Op
+	for k := uint64(30); k < 38; k++ {
+		script = append(script, fault.Put(k, val(k, 0, 70)))
+	}
+	script = append(script,
+		fault.Delete(33),
+		fault.Put(31, val(31, 1, 500)),
+		fault.Delete(36),
+		fault.Put(33, val(33, 2, 44)),
+	)
+	sweep(t, fault.NewHarness(cfg, nil, script), false)
+}
+
+// gcPrelude fills a one-core store so its first log chunk is closed and
+// mostly dead, yet still holds live entries (GC must relocate them) and
+// stale Puts of later-deleted keys (tombstone-guard coverage). It runs
+// once; every trial reopens the resulting clean image.
+func gcPrelude() []fault.Op {
+	var ops []fault.Op
+	// Cold keys: live out-of-place values whose entries stay in chunk 1.
+	for k := uint64(1); k <= 120; k++ {
+		ops = append(ops, fault.Put(k, val(k, 0, 400)))
+	}
+	// Churn fills chunk 1 past capacity (≈15.4k × 272 B entries) and
+	// rolls into chunk 2; all churn entries in chunk 1 become dead.
+	for r := 0; r < 208; r++ {
+		for k := uint64(1000); k < 1080; k++ {
+			ops = append(ops, fault.Put(k, val(k, r, 250)))
+		}
+	}
+	// Tombstones in the tail chunk guard stale Puts back in chunk 1.
+	for k := uint64(1); k <= 5; k++ {
+		ops = append(ops, fault.Delete(k))
+	}
+	return ops
+}
+
+// TestSweepGCUnderLoad crashes at every point of a GC-under-load script:
+// survivor-chunk write, journal, link, CAS repoint, unlink, free, and
+// journal clear, interleaved with foreground writes and a checkpoint.
+func TestSweepGCUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GC sweep replays a large prelude image per trial")
+	}
+	cfg := core.Config{Cores: 1, Mode: batch.ModePipelinedHB, ArenaChunks: 9,
+		GC: core.GCConfig{DeadRatio: 0.5}}
+	script := []fault.Op{
+		fault.Put(1000, val(1000, 999, 250)),
+		fault.GC(), // reclaims chunk 1: survivors + stale puts of deleted keys
+		fault.Put(6, val(6, 1, 300)),
+		fault.Delete(7),
+		fault.GC(),
+		fault.Checkpoint(),
+		fault.Put(2000, val(2000, 0, 90)),
+		fault.GC(),
+	}
+	h := fault.NewHarness(cfg, gcPrelude(), script)
+	stats := sweep(t, h, false)
+	if stats.Points < 20 {
+		t.Fatalf("GC script generated only %d persist points — cleaner found no victim?", stats.Points)
+	}
+}
+
+// TestSweepTornFlushes re-sweeps two workloads applying 8-byte-granular
+// partial flushes at every multi-word flush point before crashing.
+func TestSweepTornFlushes(t *testing.T) {
+	cfg := core.Config{Cores: 2, Mode: batch.ModeNone, ArenaChunks: 6}
+	script := []fault.Op{
+		fault.Put(1, val(1, 0, 100)),
+		fault.Put(2, val(2, 0, 420)),
+		fault.Put(1, val(1, 1, 64)),
+		fault.Checkpoint(),
+		fault.Delete(2),
+		fault.Put(3, val(3, 0, 200)),
+	}
+	stats := sweep(t, fault.NewHarness(cfg, nil, script), true)
+	if stats.Torn == 0 {
+		t.Fatal("no torn-flush trials ran")
+	}
+}
+
+// randomScript derives a reproducible workload from a seed.
+func randomScript(seed int64, n int) []fault.Op {
+	rng := rand.New(rand.NewSource(seed))
+	var ops []fault.Op
+	for i := 0; i < n; i++ {
+		key := uint64(1 + rng.Intn(12))
+		switch rng.Intn(10) {
+		case 0:
+			ops = append(ops, fault.Delete(key))
+		case 1:
+			ops = append(ops, fault.Checkpoint())
+		case 2:
+			ops = append(ops, fault.GC())
+		default:
+			size := 1 + rng.Intn(500)
+			ops = append(ops, fault.Put(key, val(key, i, size)))
+		}
+	}
+	return ops
+}
+
+// TestSweepRandomized sweeps every crash point of seeded random scripts —
+// the shapes the hand-written workloads did not think of.
+func TestSweepRandomized(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 7}
+			sweep(t, fault.NewHarness(cfg, nil, randomScript(seed, 18)), false)
+		})
+	}
+}
+
+// FuzzCrashPoint drives a single randomized trial per fuzz input: the
+// seed picks the script, point selects the crash site, tornHalf tears
+// the flush there. The fuzzer explores (workload, crash point) pairs no
+// fixed sweep enumerates.
+func FuzzCrashPoint(f *testing.F) {
+	f.Add(int64(7), uint16(3), false)
+	f.Add(int64(11), uint16(40), true)
+	f.Add(int64(99), uint16(200), false)
+	f.Fuzz(func(t *testing.T, seed int64, point uint16, tornHalf bool) {
+		cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 7}
+		h := fault.NewHarness(cfg, nil, randomScript(seed, 14))
+		total, points, err := h.CountPoints()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total == 0 {
+			t.Skip("script generated no persist points")
+		}
+		n := uint64(point)%total + 1
+		tear := -1
+		if tornHalf {
+			if pi := points[n-1]; pi.Kind == pmem.PointFlush && pi.N > 8 {
+				tear = (pi.N / 2) &^ 7
+			}
+		}
+		if _, err := h.RunPoint(n, tear); err != nil {
+			t.Fatalf("seed %d point %d tear %d: %v", seed, n, tear, err)
+		}
+	})
+}

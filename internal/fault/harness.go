@@ -1,0 +1,379 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+
+	"flatstore/internal/core"
+	"flatstore/internal/pmem"
+	"flatstore/internal/rpc"
+)
+
+// OpKind identifies a scripted workload step.
+type OpKind uint8
+
+const (
+	// KPut stores Key → Val.
+	KPut OpKind = iota + 1
+	// KDelete removes Key.
+	KDelete
+	// KGC runs one CleanOnce on every group's cleaner.
+	KGC
+	// KCheckpoint persists a runtime checkpoint.
+	KCheckpoint
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KPut:
+		return "put"
+	case KDelete:
+		return "delete"
+	case KGC:
+		return "gc"
+	case KCheckpoint:
+		return "checkpoint"
+	}
+	return "unknown"
+}
+
+// Op is one scripted workload step.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  []byte
+}
+
+// Put builds a KPut step.
+func Put(key uint64, val []byte) Op { return Op{Kind: KPut, Key: key, Val: val} }
+
+// Delete builds a KDelete step.
+func Delete(key uint64) Op { return Op{Kind: KDelete, Key: key} }
+
+// GC builds a KGC step.
+func GC() Op { return Op{Kind: KGC} }
+
+// Checkpoint builds a KCheckpoint step.
+func Checkpoint() Op { return Op{Kind: KCheckpoint} }
+
+// Harness sweeps a scripted workload over every crash point. The optional
+// prelude runs ONCE, uninstrumented, and is closed cleanly into an arena
+// image; every trial then reopens that image, so a trial's cost is the
+// (short) script rather than the bulk fill that created GC-worthy chunks.
+type Harness struct {
+	cfg     core.Config
+	prelude []Op
+	script  []Op
+
+	img       []byte            // clean media image after the prelude
+	baseModel map[uint64][]byte // acknowledged state after the prelude
+}
+
+// NewHarness builds a harness for cfg. prelude may be nil.
+func NewHarness(cfg core.Config, prelude, script []Op) *Harness {
+	if cfg.ArenaChunks == 0 {
+		cfg.ArenaChunks = cfg.Cores + 8 // mirror Config.validate's default
+	}
+	return &Harness{cfg: cfg, prelude: prelude, script: script}
+}
+
+// trial is one store being driven inline (single goroutine, no Run): ops
+// are submitted directly to the owning core and the per-core state
+// machines are stepped until the response surfaces. The model records
+// only ACKNOWLEDGED effects, and pending holds the op in flight, so a
+// crash anywhere leaves an exact oracle of what recovery must preserve.
+type trial struct {
+	st       *core.Store
+	cleaners []*core.Cleaner
+	model    map[uint64][]byte
+	pending  *Op
+	nextID   uint64
+}
+
+func newTrialOn(st *core.Store, model map[uint64][]byte) *trial {
+	tr := &trial{st: st, model: model}
+	for g := range st.Groups() {
+		tr.cleaners = append(tr.cleaners, st.NewCleaner(g))
+	}
+	return tr
+}
+
+// exec runs one scripted op to completion (ack observed) or panics out
+// through an injected crash, leaving tr.pending set.
+func (tr *trial) exec(op Op) error {
+	switch op.Kind {
+	case KGC:
+		for _, cl := range tr.cleaners {
+			cl.CleanOnce()
+		}
+		return nil
+	case KCheckpoint:
+		// Out of space is an acceptable outcome; the crash points inside
+		// a failed attempt still count.
+		_ = tr.st.Checkpoint()
+		return nil
+	}
+
+	tr.nextID++
+	req := rpc.Request{ID: tr.nextID, Key: op.Key}
+	switch op.Kind {
+	case KPut:
+		req.Op = rpc.OpPut
+		req.Value = op.Val
+	case KDelete:
+		req.Op = rpc.OpDelete
+	default:
+		return fmt.Errorf("fault: unknown op kind %d", op.Kind)
+	}
+	opCopy := op
+	tr.pending = &opCopy
+	tc := tr.st.Core(tr.st.CoreOf(op.Key))
+	tc.Submit(req, 0)
+	resp, err := tr.drive(tc, req.ID)
+	if err != nil {
+		return err
+	}
+	if resp.Status == rpc.StatusOK {
+		if op.Kind == KPut {
+			tr.model[op.Key] = append([]byte(nil), op.Val...)
+		} else {
+			delete(tr.model, op.Key)
+		}
+	}
+	tr.pending = nil
+	return nil
+}
+
+// drive steps every core until the response for id appears in tc's
+// outbox. Single-goroutine, so a bounded spin means a real deadlock.
+func (tr *trial) drive(tc *core.Core, id uint64) (rpc.Response, error) {
+	for spins := 0; spins < 1<<20; spins++ {
+		for _, o := range tc.TakeResponses() {
+			if o.Resp.ID == id {
+				return o.Resp, nil
+			}
+		}
+		for i := 0; i < tr.st.Cores(); i++ {
+			c := tr.st.Core(i)
+			c.TryLead()
+			c.DrainCompleted()
+		}
+	}
+	return rpc.Response{}, fmt.Errorf("fault: request %d never completed", id)
+}
+
+func (tr *trial) execAll(script []Op) error {
+	for i, op := range script {
+		if err := tr.exec(op); err != nil {
+			return fmt.Errorf("script op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// init runs the prelude once and captures the clean image + oracle.
+func (h *Harness) init() error {
+	if len(h.prelude) == 0 || h.img != nil {
+		return nil
+	}
+	cfg := h.cfg
+	arena := pmem.New(cfg.ArenaChunks * pmem.ChunkSize)
+	cfg.Arena = arena
+	st, err := core.New(cfg)
+	if err != nil {
+		return fmt.Errorf("fault: prelude store: %w", err)
+	}
+	tr := newTrialOn(st, map[uint64][]byte{})
+	if err := tr.execAll(h.prelude); err != nil {
+		return fmt.Errorf("fault: prelude: %w", err)
+	}
+	if err := st.Close(); err != nil {
+		return fmt.Errorf("fault: prelude close: %w", err)
+	}
+	var buf bytes.Buffer
+	if _, err := arena.WriteTo(&buf); err != nil {
+		return err
+	}
+	h.img = buf.Bytes()
+	h.baseModel = tr.model
+	return nil
+}
+
+// newTrial builds a fresh store at the workload's start state: a clean
+// reopen of the prelude image, or a brand-new store without one.
+func (h *Harness) newTrial() (*trial, *pmem.Arena, error) {
+	cfg := h.cfg
+	var arena *pmem.Arena
+	var st *core.Store
+	var err error
+	if h.img != nil {
+		arena, err = pmem.ReadArena(bytes.NewReader(h.img))
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Arena = arena
+		st, err = core.Open(cfg)
+	} else {
+		arena = pmem.New(cfg.ArenaChunks * pmem.ChunkSize)
+		cfg.Arena = arena
+		st, err = core.New(cfg)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("fault: trial store: %w", err)
+	}
+	model := make(map[uint64][]byte, len(h.baseModel))
+	for k, v := range h.baseModel {
+		model[k] = v
+	}
+	return newTrialOn(st, model), arena, nil
+}
+
+// CountPoints runs the script once uninstrumented-but-counted and
+// returns the total number of persist-ordering points plus their kinds.
+func (h *Harness) CountPoints() (uint64, []PointInfo, error) {
+	if err := h.init(); err != nil {
+		return 0, nil, err
+	}
+	tr, arena, err := h.newTrial()
+	if err != nil {
+		return 0, nil, err
+	}
+	in := Attach(arena)
+	in.Record()
+	var execErr error
+	crashed := in.Run(func() { execErr = tr.execAll(h.script) })
+	in.Detach()
+	if crashed {
+		return 0, nil, fmt.Errorf("fault: count pass crashed without being armed")
+	}
+	if execErr != nil {
+		return 0, nil, execErr
+	}
+	return in.Points(), in.Recorded(), nil
+}
+
+// probeKey is written to every recovered store to prove it still accepts
+// work; workload scripts must not use it.
+const probeKey = 0xFA17_0000_0000_0001
+
+// RunPoint executes one fault trial: run the script with a crash armed at
+// point n (torn to tearKeep media bytes if tearKeep ≥ 0), recover the
+// media image through core.Open, check every invariant against the
+// trial's own oracle, exercise the recovered store (a put and a runtime
+// checkpoint), crash it AGAIN, and re-check — so state recovery itself
+// must leave a recoverable, operational store. Reports whether the armed
+// point was reached.
+func (h *Harness) RunPoint(n uint64, tearKeep int) (bool, error) {
+	if err := h.init(); err != nil {
+		return false, err
+	}
+	tr, arena, err := h.newTrial()
+	if err != nil {
+		return false, err
+	}
+	in := Attach(arena)
+	if tearKeep >= 0 {
+		in.TearAt(n, tearKeep)
+	} else {
+		in.CrashAt(n)
+	}
+	var execErr error
+	crashed := in.Run(func() { execErr = tr.execAll(h.script) })
+	in.Detach()
+	if !crashed {
+		if execErr != nil {
+			return false, execErr
+		}
+		// This run had fewer points than n (the engine is not required
+		// to be deterministic across runs); its completed state must
+		// still survive a crash-at-the-end exactly.
+		tr.pending = nil
+	}
+
+	// Power failure: only the media view survives.
+	cfg := h.cfg
+	cfg.Arena = arena.Crash()
+	re, err := core.Open(cfg)
+	if err != nil {
+		return crashed, fmt.Errorf("recovery failed: %w", err)
+	}
+	model, err := Check(re, tr.model, tr.pending)
+	if err != nil {
+		return crashed, err
+	}
+
+	// Liveness probe: the recovered store must take new writes and a
+	// runtime checkpoint (which frees any pre-crash checkpoint block
+	// through the allocator — a path that only works if recovery left
+	// the blob accounted for).
+	probe := newTrialOn(re, model)
+	if err := probe.exec(Put(probeKey, []byte("post-recovery probe"))); err != nil {
+		return crashed, fmt.Errorf("post-recovery put: %w", err)
+	}
+	if err := probe.exec(Checkpoint()); err != nil {
+		return crashed, err
+	}
+
+	// Second crash: recovery's own persists (journal clears, descriptor
+	// repairs) must themselves be durable and consistent.
+	cfg2 := h.cfg
+	cfg2.Arena = re.Arena().Crash()
+	re2, err := core.Open(cfg2)
+	if err != nil {
+		return crashed, fmt.Errorf("second recovery failed: %w", err)
+	}
+	if _, err := Check(re2, probe.model, nil); err != nil {
+		return crashed, fmt.Errorf("after second crash: %w", err)
+	}
+	return crashed, nil
+}
+
+// SweepStats summarizes a Sweep.
+type SweepStats struct {
+	Points    uint64 // persist-ordering points the workload generates
+	Crashes   int    // trials that crashed at their armed point
+	Completed int    // trials whose run had fewer points (checked at end)
+	Torn      int    // additional torn-flush trials
+}
+
+// Sweep runs the workload once per crash point, checking every recovery
+// invariant each time. With tear set, every multi-word flush point is
+// additionally swept with torn (partial) flushes.
+func (h *Harness) Sweep(tear bool) (SweepStats, error) {
+	var stats SweepStats
+	total, points, err := h.CountPoints()
+	if err != nil {
+		return stats, err
+	}
+	stats.Points = total
+	for n := uint64(1); n <= total; n++ {
+		crashed, err := h.RunPoint(n, -1)
+		if err != nil {
+			return stats, fmt.Errorf("crash point %d/%d: %w", n, total, err)
+		}
+		if crashed {
+			stats.Crashes++
+		} else {
+			stats.Completed++
+		}
+	}
+	if tear {
+		for i, pi := range points {
+			if pi.Kind != pmem.PointFlush || pi.N <= 8 {
+				continue
+			}
+			n := uint64(i + 1)
+			keeps := []int{8, (pi.N / 2) &^ 7}
+			if keeps[1] <= keeps[0] || keeps[1] >= pi.N {
+				keeps = keeps[:1]
+			}
+			for _, keep := range keeps {
+				if _, err := h.RunPoint(n, keep); err != nil {
+					return stats, fmt.Errorf("torn flush at point %d (keep %d/%d): %w", n, keep, pi.N, err)
+				}
+				stats.Torn++
+			}
+		}
+	}
+	return stats, nil
+}

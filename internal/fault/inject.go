@@ -1,0 +1,104 @@
+// Package fault is a crash-point fault-injection harness for the engine.
+//
+// The pmem emulator reports every persist-ordering point — each cacheline
+// writeback, fence, and flush-event drain — through an arena hook. An
+// Injector counts those points and can stop the world at the N-th one by
+// panicking with a private sentinel, optionally after applying an
+// 8-byte-granular prefix of the in-flight flush to the media view (a torn
+// write, the worst state real hardware can leave behind). The surrounding
+// Harness then recovers the media image through the normal core.Open path
+// and checks the recovery invariants, for every N a workload generates.
+package fault
+
+import "flatstore/internal/pmem"
+
+// PointInfo describes one persist-ordering point observed while counting.
+type PointInfo struct {
+	Kind pmem.PointKind
+	N    int // bytes in flight for PointFlush, else 0
+}
+
+// Injector drives crash-point fault injection on one arena. It is not
+// safe for concurrent use: attach it only to stores driven from a single
+// goroutine.
+type Injector struct {
+	a       *pmem.Arena
+	points  uint64
+	crashAt uint64 // 0 = never
+	tear    int    // media bytes of the in-flight flush to keep, -1 = none
+	record  bool
+	seen    []PointInfo
+}
+
+// Attach installs an injector as the arena's persist-point hook. Attach
+// after formatting (core.New / core.Open) so setup persists are not
+// counted as crash points of the workload.
+func Attach(a *pmem.Arena) *Injector {
+	in := &Injector{a: a, tear: -1}
+	a.SetHook(in.point)
+	return in
+}
+
+// Detach removes the hook.
+func (in *Injector) Detach() { in.a.SetHook(nil) }
+
+// Points returns how many persist-ordering points have fired.
+func (in *Injector) Points() uint64 { return in.points }
+
+// Record makes the injector keep a PointInfo per observed point,
+// retrievable with Recorded (used by tear sweeps to find flush points).
+func (in *Injector) Record() { in.record = true }
+
+// Recorded returns the recorded points; index i is point number i+1.
+func (in *Injector) Recorded() []PointInfo { return in.seen }
+
+// CrashAt arms a crash at the n-th persist-ordering point (1-based).
+// The crash drops the in-flight flush entirely.
+func (in *Injector) CrashAt(n uint64) { in.crashAt = n; in.tear = -1 }
+
+// TearAt arms a crash at the n-th point; if that point is a flush, the
+// first keep bytes (rounded down to 8-byte store granularity) reach the
+// media before the crash — a torn write.
+func (in *Injector) TearAt(n uint64, keep int) { in.crashAt = n; in.tear = keep }
+
+// crashSignal is the sentinel panic value distinguishing an injected
+// crash from a genuine bug.
+type crashSignal struct{}
+
+func (in *Injector) point(kind pmem.PointKind, off, n int) {
+	in.points++
+	if in.record {
+		in.seen = append(in.seen, PointInfo{Kind: kind, N: n})
+	}
+	if in.crashAt == 0 || in.points != in.crashAt {
+		return
+	}
+	if in.tear >= 0 && kind == pmem.PointFlush {
+		keep := in.tear &^ 7
+		if keep > n {
+			keep = n
+		}
+		if keep > 0 {
+			in.a.CopyToMedia(off, keep)
+		}
+	}
+	panic(crashSignal{})
+}
+
+// Run executes fn, reporting whether an injected crash terminated it.
+// Any other panic is re-raised. After a crash the driven store must be
+// abandoned — exactly like a power failure — and the surviving state
+// reopened from Arena.Crash through the normal recovery path.
+func (in *Injector) Run(fn func()) (crashed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(crashSignal); ok {
+				crashed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return false
+}

@@ -180,8 +180,12 @@ func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
 	l.mu.Lock()
 	l.tailPos = padded
 	tail := l.tailChunk + int64(l.tailPos)
-	l.mu.Unlock()
+	// Persist the tail pointer under mu: the head pointer shares its
+	// cacheline, and the cleaner persists that word (LinkAtHead/Unlink)
+	// under mu — an unserialized flush would copy the line while the
+	// other word is mid-store.
 	f.PersistUint64(l.metaOff+8, uint64(tail))
+	l.mu.Unlock()
 	return offs, nil
 }
 
@@ -192,6 +196,13 @@ func (l *Log) Append(f *pmem.Flusher, e *Entry) (int64, error) {
 		return 0, err
 	}
 	return offs[0], nil
+}
+
+// ValidChunkHeader reports whether off holds a log-chunk header. Crash
+// recovery uses it to reject journal slots pointing at chunks that are
+// not (or no longer) log chunks.
+func ValidChunkHeader(arena *pmem.Arena, off int64) bool {
+	return arena.ReadUint64(int(off)) == chunkMagic
 }
 
 // ScanChunk iterates the entries of one chunk. tail is the log's absolute

@@ -1,0 +1,80 @@
+package pmem
+
+import "testing"
+
+func TestHookSeesOrderingPoints(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+	var flushes, fences, drains int
+	a.SetHook(func(k PointKind, off, n int) {
+		switch k {
+		case PointFlush:
+			flushes++
+			if n <= 0 {
+				t.Errorf("flush point with n=%d", n)
+			}
+		case PointFence:
+			fences++
+		case PointDrain:
+			drains++
+		}
+	})
+	f.PersistUint64(0, 42)           // flush + fence
+	f.Persist(128, []byte("abcdef")) // flush + fence
+	f.Flush(256, 64)
+	f.Fence()
+	f.FlushEvents()
+	_ = f.TakeEvents()
+	if flushes != 3 || fences != 3 || drains != 2 {
+		t.Fatalf("points = %d/%d/%d flush/fence/drain, want 3/3/2", flushes, fences, drains)
+	}
+	// Removing the hook silences it.
+	a.SetHook(nil)
+	f.PersistUint64(0, 43)
+	if flushes != 3 {
+		t.Fatalf("hook fired after removal")
+	}
+}
+
+func TestHookCrashDropsInFlightFlush(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+	f.PersistUint64(0, 1) // durable
+	type boom struct{}
+	a.SetHook(func(k PointKind, off, n int) {
+		if k == PointFlush {
+			panic(boom{})
+		}
+	})
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("hook panic did not propagate")
+			}
+		}()
+		f.PersistUint64(8, 2) // store lands in cache, flush aborted
+	}()
+	re := a.Crash()
+	if got := re.ReadUint64(0); got != 1 {
+		t.Fatalf("durable word lost: %d", got)
+	}
+	if got := re.ReadUint64(8); got != 0 {
+		t.Fatalf("aborted flush reached media: %d", got)
+	}
+}
+
+func TestCopyToMediaTearsFlush(t *testing.T) {
+	a := New(ChunkSize)
+	f := a.NewFlusher()
+	// A 3-word store whose flush tears after the first word.
+	a.WriteUint64(0, 0x11)
+	a.WriteUint64(8, 0x22)
+	a.WriteUint64(16, 0x33)
+	a.CopyToMedia(0, 8)
+	re := a.Crash()
+	if re.ReadUint64(0) != 0x11 || re.ReadUint64(8) != 0 || re.ReadUint64(16) != 0 {
+		t.Fatalf("torn flush applied wrong prefix: %x %x %x",
+			re.ReadUint64(0), re.ReadUint64(8), re.ReadUint64(16))
+	}
+	_ = f
+}

@@ -40,6 +40,34 @@ const (
 	ChunkSize = 4 << 20
 )
 
+// PointKind classifies a persist-ordering point — a moment at which the
+// engine's crash-consistency argument depends on what has (or has not)
+// reached the media view. Fault injectors hook these points to crash the
+// engine at every possible flush/fence boundary.
+type PointKind uint8
+
+const (
+	// PointFlush is a cacheline writeback about to take effect (clwb /
+	// clflushopt). The hook runs BEFORE the lines reach the media view,
+	// so a crash raised here drops the in-flight flush.
+	PointFlush PointKind = iota + 1
+	// PointFence is an ordering fence (sfence) after preceding flushes
+	// have taken effect.
+	PointFence
+	// PointDrain is a flush-event drain (TakeEvents/FlushEvents) — the
+	// engine's per-operation accounting boundary.
+	PointDrain
+)
+
+// Hook observes every persist-ordering point on an arena. For PointFlush,
+// off and n describe the byte range about to be flushed; for other kinds
+// they are zero. A hook may panic to simulate a power failure — the
+// engine state being driven must then be abandoned (exactly like
+// Arena.Crash) and the media view recovered through the normal open path.
+// Hooks are for single-goroutine fault drivers; SetHook must not be
+// called concurrently with arena use.
+type Hook func(kind PointKind, off, n int)
+
 // Clock supplies the notion of "now" used for repeated-flush detection.
 // The real engine uses a wall clock; the virtual-time simulator supplies
 // the virtual core clock so penalties are assessed in simulated time.
@@ -69,6 +97,10 @@ type Arena struct {
 
 	clock Clock
 	stats Stats
+
+	// hook, when set, observes every persist-ordering point (fault
+	// injection). Nil in production use.
+	hook Hook
 
 	// window is the time window (ns) within which a second flush of the
 	// same line counts as a repeated flush.
@@ -151,6 +183,20 @@ func (a *Arena) Read(off, n int) []byte {
 	out := make([]byte, n)
 	copy(out, a.mem[off:])
 	return out
+}
+
+// SetHook installs (or, with nil, removes) the persist-point hook. The
+// hook is not inherited by Crash — recovery runs uninstrumented.
+func (a *Arena) SetHook(h Hook) { a.hook = h }
+
+// CopyToMedia copies [off, off+n) verbatim from the cache view to the
+// media view without statistics or ordering-point accounting. Fault
+// injectors use it to apply a torn (partial) flush before crashing:
+// real hardware guarantees only 8-byte store atomicity, so any 8-byte-
+// granular prefix of an in-flight flush is a reachable crash state.
+func (a *Arena) CopyToMedia(off, n int) {
+	a.check(off, n)
+	copy(a.media[off:off+n], a.mem[off:off+n])
 }
 
 // IsPersisted reports whether the byte range matches between the cache and
@@ -250,14 +296,23 @@ func (a *Arena) NewFlusher() *Flusher {
 	return &Flusher{a: a, lastBlock: -2}
 }
 
-// Arena returns the arena this flusher operates on.
+// Flush writes back the cachelines covering [off, off+n). This is a
+// persist-ordering point: an installed hook runs before the lines reach
+// the media view.
 func (f *Flusher) Flush(off, n int) {
+	if f.a.hook != nil {
+		f.a.hook(PointFlush, off, n)
+	}
 	f.lastBlock = f.a.flushRange(off, n, &f.ev, f.lastBlock)
 }
 
 // Fence models sfence/mfence ordering. In the emulator flushes take effect
-// eagerly, so Fence only records the event for cost accounting.
+// eagerly, so Fence only records the event for cost accounting. It is a
+// persist-ordering point: all preceding flushes are on media here.
 func (f *Flusher) Fence() {
+	if f.a.hook != nil {
+		f.a.hook(PointFence, 0, 0)
+	}
 	f.ev.Fences++
 }
 
@@ -281,7 +336,11 @@ func (f *Flusher) Arena() *Arena { return f.a }
 
 // TakeEvents returns the events accumulated since the previous call and
 // clears the delta. It also folds the delta into the arena-wide totals.
+// The drain is a persist-ordering point (an operation boundary).
 func (f *Flusher) TakeEvents() Events {
+	if f.a.hook != nil {
+		f.a.hook(PointDrain, 0, 0)
+	}
 	ev := f.ev
 	f.ev = Events{}
 	f.a.stats.add(ev)
@@ -289,8 +348,12 @@ func (f *Flusher) TakeEvents() Events {
 }
 
 // FlushEvents folds any pending event delta into the arena totals without
-// returning it. Call when the per-op delta is not needed.
+// returning it. Call when the per-op delta is not needed. Like TakeEvents
+// it is a persist-ordering point.
 func (f *Flusher) FlushEvents() {
+	if f.a.hook != nil {
+		f.a.hook(PointDrain, 0, 0)
+	}
 	f.a.stats.add(f.ev)
 	f.ev = Events{}
 }

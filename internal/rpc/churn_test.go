@@ -1,0 +1,107 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConnectChurnReusesSlots pins the fix for the connection leak: before
+// Client.Close / Server.Disconnect existed, every Connect appended a slot
+// forever and each server core's poll sweep slowed by O(total clients
+// ever). Churning 1000 sessions must leave the slot table at the peak
+// concurrent width and the QP count at the live client count.
+func TestConnectChurnReusesSlots(t *testing.T) {
+	s := NewServer(2, 0)
+	keep := s.Connect()
+	port := s.Port(0)
+	for i := 0; i < 1000; i++ {
+		c := s.Connect()
+		c.Send(0, Request{Op: OpGet, Key: uint64(i)})
+		for {
+			if _, _, ok := port.Poll(); !ok {
+				break
+			}
+		}
+		c.Close()
+	}
+	if n := len(s.clients); n > 2 {
+		t.Fatalf("slot table grew to %d over a churn with peak 2 concurrent clients (ids not reused)", n)
+	}
+	if qp := s.Stats().QueuePairs; qp != 1 {
+		t.Fatalf("QueuePairs = %d after churn, want 1 (the surviving client)", qp)
+	}
+
+	// The survivor is still served end to end, including the delegated
+	// (non-agent core) response path.
+	keep.Send(1, Request{ID: 42, Op: OpGet, Key: 5})
+	p1 := s.Port(1)
+	req, id, ok := p1.Poll()
+	if !ok || req.ID != 42 {
+		t.Fatalf("surviving client's request lost after churn: %+v, %v", req, ok)
+	}
+	p1.Respond(id, Response{ID: 42, Status: StatusOK})
+	s.Port(0).DrainDelegated()
+	rs := keep.Poll(1)
+	if len(rs) != 1 || rs[0].ID != 42 {
+		t.Fatalf("surviving client's response lost after churn: %v", rs)
+	}
+
+	// Close is idempotent, and responses to a detached client are dropped
+	// rather than delivered into a dead ring.
+	keep.Close()
+	keep.Close()
+	if qp := s.Stats().QueuePairs; qp != 0 {
+		t.Fatalf("QueuePairs = %d after last client closed", qp)
+	}
+	d0 := s.Stats().Dropped
+	s.deliver(keep.id, Response{ID: 43})
+	if got := s.Stats().Dropped; got != d0+1 {
+		t.Fatalf("response to detached client not dropped: %d -> %d", d0, got)
+	}
+}
+
+// TestConnectChurnConcurrent races Connect/Send/Close against a serving
+// core's poll-and-respond loop: slot clears use atomic cells precisely so
+// this interleaving is safe under the race detector.
+func TestConnectChurnConcurrent(t *testing.T) {
+	s := NewServer(1, 0)
+	stop := make(chan struct{})
+	var serving sync.WaitGroup
+	serving.Add(1)
+	go func() {
+		defer serving.Done()
+		p := s.Port(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if req, id, ok := p.Poll(); ok {
+				p.Respond(id, Response{ID: req.ID, Status: StatusOK})
+			}
+		}
+	}()
+	var churn sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		churn.Add(1)
+		go func(g int) {
+			defer churn.Done()
+			for i := 0; i < 250; i++ {
+				c := s.Connect()
+				c.Send(0, Request{Op: OpGet, Key: uint64(g*1000 + i)})
+				c.Poll(1) // response may or may not have landed yet
+				c.Close()
+			}
+		}(g)
+	}
+	churn.Wait()
+	close(stop)
+	serving.Wait()
+	if n := len(s.clients); n > 8 {
+		t.Fatalf("slot table grew to %d with peak 4 concurrent clients", n)
+	}
+	if qp := s.Stats().QueuePairs; qp != 0 {
+		t.Fatalf("QueuePairs = %d after every client closed", qp)
+	}
+}

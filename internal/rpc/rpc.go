@@ -155,11 +155,12 @@ func (r *delRing) pop() (delegated, bool) {
 
 // Stats are the transport counters the §4.3 discussion is about.
 type Stats struct {
-	QueuePairs  int    // connections the NIC must cache
+	QueuePairs  int    // live connections the NIC must cache
 	MMIOs       uint64 // doorbells rung (all by the agent core)
 	Delegations uint64 // verbs forwarded agent-ward through shared memory
 	Requests    uint64
 	Responses   uint64
+	Dropped     uint64 // responses discarded because the client had detached
 }
 
 // Server is one FlatStore node's transport endpoint.
@@ -167,13 +168,21 @@ type Server struct {
 	ncores int
 	agent  int
 
-	mu      chan struct{} // connect mutex (buffered-1 semaphore)
-	clients []*Client
+	mu chan struct{} // connect mutex (buffered-1 semaphore)
+	// clients[i] is the slot for client id i; a detached client leaves a
+	// nil cell behind and its id on freeIDs for reuse, so the slot count
+	// (and the cost of every core's Poll sweep) is bounded by the peak
+	// number of CONCURRENT clients, not by the total ever connected.
+	// Cells are atomic so server cores can poll without taking mu per
+	// slot while Disconnect clears a cell.
+	clients []*atomic.Pointer[Client]
+	freeIDs []int
 
 	mmios       atomic.Uint64
 	delegations atomic.Uint64
 	requests    atomic.Uint64
 	responses   atomic.Uint64
+	dropped     atomic.Uint64
 
 	delRings []*delRing // one per core, drained by the agent
 }
@@ -202,34 +211,68 @@ func (s *Server) Cores() int { return s.ncores }
 // Client is one connected client: one QP to the agent, a request ring per
 // server core, one response ring.
 type Client struct {
-	s     *Server
-	id    int
-	reqs  []*reqRing
-	resps *respRing
-	next  atomic.Uint64 // request id generator
+	s      *Server
+	id     int
+	reqs   []*reqRing
+	resps  *respRing
+	next   atomic.Uint64 // request id generator
+	closed atomic.Bool
 }
 
-// Connect attaches a new client (one queue pair).
+// Connect attaches a new client (one queue pair). Ids of detached clients
+// are reused, so the server's per-core poll sweep stays proportional to
+// the peak concurrent client count.
 func (s *Server) Connect() *Client {
 	s.mu <- struct{}{}
 	defer func() { <-s.mu }()
 	c := &Client{
 		s:     s,
-		id:    len(s.clients),
 		reqs:  make([]*reqRing, s.ncores),
 		resps: &respRing{},
 	}
 	for i := range c.reqs {
 		c.reqs[i] = &reqRing{}
 	}
-	s.clients = append(s.clients, c)
+	if n := len(s.freeIDs); n > 0 {
+		c.id = s.freeIDs[n-1]
+		s.freeIDs = s.freeIDs[:n-1]
+	} else {
+		c.id = len(s.clients)
+		s.clients = append(s.clients, &atomic.Pointer[Client]{})
+	}
+	s.clients[c.id].Store(c)
 	return c
 }
+
+// Disconnect detaches a client: its slot is cleared (server cores skip it
+// on the next poll sweep) and its id becomes reusable. Idempotent. The
+// caller must have drained the responses it cares about first — an id can
+// be handed to a new client immediately, and undelivered responses for
+// the old one are dropped.
+func (s *Server) Disconnect(c *Client) {
+	if c == nil || !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu <- struct{}{}
+	defer func() { <-s.mu }()
+	if c.id < len(s.clients) && s.clients[c.id].Load() == c {
+		s.clients[c.id].Store(nil)
+		s.freeIDs = append(s.freeIDs, c.id)
+	}
+}
+
+// Close detaches the client from its server (see Server.Disconnect).
+func (c *Client) Close() { c.s.Disconnect(c) }
 
 // Stats snapshots the transport counters.
 func (s *Server) Stats() Stats {
 	s.mu <- struct{}{}
-	nc := len(s.clients)
+	nc := 0
+	for _, cell := range s.clients {
+		if cell.Load() != nil {
+			nc++
+		}
+	}
 	<-s.mu
 	return Stats{
 		QueuePairs:  nc, // FlatRPC: one QP per client (vs nc × ncores all-to-all)
@@ -237,6 +280,7 @@ func (s *Server) Stats() Stats {
 		Delegations: s.delegations.Load(),
 		Requests:    s.requests.Load(),
 		Responses:   s.responses.Load(),
+		Dropped:     s.dropped.Load(),
 	}
 }
 
@@ -245,8 +289,13 @@ func (c *Client) ID() int { return c.id }
 
 // Send posts a request to a specific server core's message buffer (the
 // client-side RDMA write). It reports false if the ring is full — the
-// client must poll completions first, like a full send queue.
+// client must poll completions first, like a full send queue. A request
+// sent after Close is silently dropped (reported as accepted so that
+// retry loops terminate): the server no longer polls this client.
 func (c *Client) Send(core int, req Request) bool {
+	if c.closed.Load() {
+		return true
+	}
 	if req.ID == 0 {
 		req.ID = c.next.Add(1)
 	}
@@ -282,6 +331,7 @@ func (s *Server) Port(core int) *CorePort { return &CorePort{s: s, core: core} }
 
 // Poll returns the next pending request from any client's ring for this
 // core (round-robin across clients, like scanning the message buffers).
+// Detached clients leave nil cells, which the sweep skips.
 func (p *CorePort) Poll() (Request, int, bool) {
 	s := p.s
 	s.mu <- struct{}{}
@@ -289,9 +339,13 @@ func (p *CorePort) Poll() (Request, int, bool) {
 	<-s.mu
 	n := len(clients)
 	for i := 0; i < n; i++ {
-		cl := clients[(p.rr+i)%n]
+		idx := (p.rr + i) % n
+		cl := clients[idx].Load()
+		if cl == nil {
+			continue
+		}
 		if req, ok := cl.reqs[p.core].pop(); ok {
-			p.rr = (p.rr + i + 1) % n
+			p.rr = (idx + 1) % n
 			return req, cl.id, true
 		}
 	}
@@ -316,14 +370,27 @@ func (p *CorePort) Respond(client int, resp Response) {
 }
 
 // deliver performs the agent-side MMIO write into the client's response
-// ring.
+// ring. Responses for a detached client are dropped — including while
+// blocked on a full ring, so the agent core can never spin forever on a
+// client that left without draining its completions.
 func (s *Server) deliver(client int, resp Response) {
 	s.mu <- struct{}{}
-	cl := s.clients[client]
+	var cl *Client
+	if client >= 0 && client < len(s.clients) {
+		cl = s.clients[client].Load()
+	}
 	<-s.mu
+	if cl == nil || cl.closed.Load() {
+		s.dropped.Add(1)
+		return
+	}
 	s.mmios.Add(1)
 	s.responses.Add(1)
 	for !cl.resps.push(resp) {
+		if cl.closed.Load() {
+			s.dropped.Add(1)
+			return
+		}
 		runtime.Gosched() // client must poll completions
 	}
 }

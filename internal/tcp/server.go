@@ -52,10 +52,21 @@ func (s *Server) Serve(lis net.Listener) error {
 			}
 			return err
 		}
+		// Register under the lock that Close sweeps with, re-checking
+		// closed: a connection accepted between Close's conn-map sweep
+		// and an unguarded insert would never be closed, and a wg.Add
+		// landing after Close's wg.Wait would race it. Holding mu for
+		// both makes Close's view atomic: any handler it must wait for
+		// is in wg, any conn it must close is in the map.
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
 		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
@@ -110,10 +121,13 @@ func (s *Server) handle(conn net.Conn) {
 	// Writer: poll the in-process client and push frames out. It must
 	// keep polling until every outstanding request has completed, even
 	// after the socket dies — otherwise the engine's agent core would
-	// spin forever trying to deliver into a full response ring.
+	// spin forever trying to deliver into a full response ring. Once
+	// drained it detaches the RPC client, so the connection's message
+	// buffers stop costing every server core a poll probe.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer cl.Close()
 		discard := false
 		for {
 			rs := cl.Poll(64)
