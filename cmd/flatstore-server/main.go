@@ -31,15 +31,23 @@ func main() {
 	ordered := flag.Bool("ordered", false, "FlatStore-M: ordered index with scans")
 	gc := flag.Bool("gc", true, "run the log cleaners")
 	ckptEvery := flag.Duration("checkpoint", 0, "periodic runtime checkpoint interval (0: off)")
+	connInflight := flag.Int("conn-inflight", 0, "per-connection in-flight cap before shedding (0: default, <0: off)")
+	maxInflight := flag.Int("max-inflight", 0, "global in-flight cap before shedding (0: default, <0: off)")
+	writeTimeout := flag.Duration("write-timeout", 0, "slow-client write deadline (0: default, <0: off)")
 	flag.Parse()
 
-	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery); err != nil {
+	sopts := tcp.ServerOptions{
+		MaxConnInFlight: *connInflight,
+		MaxInFlight:     *maxInflight,
+		WriteTimeout:    *writeTimeout,
+	}
+	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, sopts); err != nil {
 		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery time.Duration) error {
+func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery time.Duration, sopts tcp.ServerOptions) error {
 	idx := core.IndexHash
 	if ordered {
 		idx = core.IndexMasstree
@@ -82,7 +90,7 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery time.
 	if err != nil {
 		return err
 	}
-	srv := tcp.NewServer(st)
+	srv := tcp.NewServerOptions(st, sopts)
 	fmt.Printf("serving on %s\n", lis.Addr())
 
 	stopCkpt := make(chan struct{})

@@ -1,18 +1,22 @@
 // etcpool drives a FlatStore node with the Facebook ETC production
 // workload from §5.2 of the paper — the trimodal size distribution
 // (40 % tiny 1-13 B, 55 % small 14-300 B, 5 % large >300 B) with zipfian
-// popularity — using several concurrent client connections, and reports
-// throughput plus the batching behaviour that makes small writes cheap.
+// popularity — using several concurrent TCP client connections with the
+// resilient transport options (dial/request deadlines, reconnect with
+// backoff, write retry over server-side dedup), and reports throughput
+// plus the batching behaviour that makes small writes cheap.
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
 	"sync"
 	"time"
 
 	"flatstore/internal/batch"
 	"flatstore/internal/core"
+	"flatstore/internal/tcp"
 	"flatstore/internal/workload"
 )
 
@@ -37,7 +41,28 @@ func main() {
 	st.Run()
 	defer st.Stop()
 
-	// Preload every key so Gets hit.
+	// Serve the node over TCP on a loopback port; the workload clients
+	// dial it like any remote peer would.
+	srv := tcp.NewServer(st)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	// Explicit resilient-transport options: bounded dial and request
+	// deadlines, a handful of reconnect attempts with jittered backoff.
+	// Writes are safe to retry because the server dedups by session.
+	opts := tcp.Options{
+		DialTimeout:    5 * time.Second,
+		RequestTimeout: 10 * time.Second,
+		MaxAttempts:    5,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffMax:     100 * time.Millisecond,
+	}
+
+	// Preload every key so Gets hit (in-process: setup, not workload).
 	pre := workload.NewETC(1, keys, 0)
 	cl := st.Connect()
 	for k := uint64(0); k < keys; k++ {
@@ -60,7 +85,11 @@ func main() {
 		go func(seed int64) {
 			defer wg.Done()
 			gen := workload.NewETC(seed, keys, getRatio)
-			conn := st.Connect()
+			conn, err := tcp.DialOptions(lis.Addr().String(), opts)
+			if err != nil {
+				log.Fatalf("dial: %v", err)
+			}
+			defer conn.Close()
 			var g, p, miss int64
 			for i := 0; i < opsPerCli; i++ {
 				op := gen.Next()
@@ -88,9 +117,14 @@ func main() {
 	el := time.Since(start)
 
 	total := gets + puts
-	fmt.Printf("ran %d ops (%d gets, %d puts, %d misses) in %v — %.0f Kops/s wall-clock on this host\n",
+	fmt.Printf("ran %d ops over TCP (%d gets, %d puts, %d misses) in %v — %.0f Kops/s wall-clock on this host\n",
 		total, gets, puts, misses, el.Round(time.Millisecond), float64(total)/el.Seconds()/1e3)
+	if s := srv.Stats(); s.Shed > 0 || s.DedupHits > 0 || s.BadFrames > 0 {
+		fmt.Printf("transport: %d sheds, %d dedup hits, %d bad frames\n",
+			s.Shed, s.DedupHits, s.BadFrames)
+	}
 
+	srv.Close()
 	st.Stop()
 	for i := 0; i < st.Cores(); i++ {
 		st.Core(i).Flusher().FlushEvents()

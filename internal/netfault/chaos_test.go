@@ -1,0 +1,215 @@
+package netfault_test
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+	"flatstore/internal/fault"
+	"flatstore/internal/netfault"
+	"flatstore/internal/tcp"
+)
+
+// TestChaosSoakNoLostAckedWrites is the network-path analogue of the
+// crash-point sweeps in internal/fault: a multi-client workload runs
+// through a fault-injecting proxy that corrupts, resets, delays, and
+// partially delivers frames, while each client tracks the exact state
+// its ACKED operations imply. The client's retry/dedup machinery must
+// absorb every injected fault, and at the end — after faults are
+// switched off and indeterminate keys are settled — the store must hold
+// exactly the acked state, survive a crash with it (reusing the
+// internal/fault checker for the durability half), and leak no
+// goroutines.
+//
+// Specifically this asserts, under -race:
+//   - no acked write is lost and no write is applied twice (a duplicate
+//     or reordered replay would leave a key at a stale value, which the
+//     per-key model comparison and the post-crash checker both catch);
+//   - a corrupted frame surfaces as a CRC connection error, never a
+//     mis-decoded op (a mis-decode would corrupt some key's value or
+//     resurrect a deleted key — same detectors — and the server's
+//     BadFrames counter must match the injector's corruption count);
+//   - the whole stack winds down without goroutine leaks.
+func TestChaosSoakNoLostAckedWrites(t *testing.T) {
+	const (
+		clients = 4
+		ops     = 250
+		span    = 64 // keys per client: overwrites and deletes recur
+	)
+	baseGoroutines := runtime.NumGoroutine()
+
+	cfg := core.Config{Cores: 4, Mode: batch.ModePipelinedHB, ArenaChunks: 32}
+	st, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	srv := tcp.NewServer(st)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+
+	in := netfault.NewInjector(netfault.Config{
+		Seed:        1,
+		CorruptProb: 0.01,
+		ResetProb:   0.01,
+		PartialProb: 0.01,
+		DelayProb:   0.02,
+		DelayMax:    2 * time.Millisecond,
+	})
+	px, err := netfault.NewProxy(lis.Addr().String(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := tcp.Options{
+		DialTimeout:    2 * time.Second,
+		RequestTimeout: 5 * time.Second,
+		MaxAttempts:    20,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     20 * time.Millisecond,
+	}
+
+	// chaosValue makes every written value unique and self-describing, so
+	// a duplicate-applied or reordered replay leaves a mismatch a model
+	// comparison must catch. Sizes straddle the 256 B inline threshold so
+	// both inline entries and out-of-place records cross the wire.
+	chaosValue := func(c int, key uint64, seq int) []byte {
+		v := fmt.Sprintf("c%d-k%d-s%d|", c, key, seq)
+		if seq%5 == 0 {
+			return append([]byte(v), make([]byte, 400)...)
+		}
+		return []byte(v)
+	}
+
+	type clientState struct {
+		model     map[uint64][]byte // state implied by ACKED ops only
+		uncertain map[uint64]bool   // keys whose last write errored out
+		cl        *tcp.Client
+	}
+	states := make([]*clientState, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		cs := &clientState{model: map[uint64][]byte{}, uncertain: map[uint64]bool{}}
+		states[c] = cs
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := tcp.DialOptions(px.Addr(), opts)
+			if err != nil {
+				t.Errorf("client %d: dial: %v", c, err)
+				return
+			}
+			cs.cl = cl
+			for i := 0; i < ops; i++ {
+				key := uint64(c*1000 + i*13%span)
+				switch i % 4 {
+				case 0, 1: // 50% puts
+					v := chaosValue(c, key, i)
+					if err := cl.Put(key, v); err != nil {
+						cs.uncertain[key] = true
+					} else {
+						cs.model[key] = v
+						delete(cs.uncertain, key)
+					}
+				case 2: // 25% deletes
+					if _, err := cl.Delete(key); err != nil {
+						cs.uncertain[key] = true
+					} else {
+						delete(cs.model, key)
+						delete(cs.uncertain, key)
+					}
+				case 3: // 25% gets, checked against the acked model
+					got, ok, err := cl.Get(key)
+					if err != nil || cs.uncertain[key] {
+						continue
+					}
+					want, present := cs.model[key]
+					if ok != present || (present && string(got) != string(want)) {
+						t.Errorf("client %d key %d: got (%q,%v), acked model (%q,%v)",
+							c, key, got, ok, want, present)
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Let the dust settle: faults off, in-flight server work drained, and
+	// every indeterminate key overwritten with a known value so the final
+	// oracle is exact.
+	in.SetEnabled(false)
+	for deadline := time.Now().Add(10 * time.Second); srv.Stats().InFlight > 0; {
+		if time.Now().After(deadline) {
+			t.Fatalf("server in-flight count stuck at %d", srv.Stats().InFlight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for c, cs := range states {
+		for key := range cs.uncertain {
+			v := chaosValue(c, key, 1_000_000)
+			if err := cs.cl.Put(key, v); err != nil {
+				t.Fatalf("client %d: settle put key %d: %v", c, key, err)
+			}
+			cs.model[key] = v
+		}
+		if err := cs.cl.Close(); err != nil {
+			t.Fatalf("client %d: close: %v", c, err)
+		}
+	}
+
+	// The fault mix must actually have exercised every injection kind,
+	// and every corruption must have been caught by a CRC check (the
+	// model comparison above proves none was mis-decoded into an op).
+	fs := in.Stats()
+	t.Logf("injected: %+v over %d segments; server: %+v", fs, fs.Segments, srv.Stats())
+	if fs.Corruptions == 0 || fs.Resets == 0 || fs.Partials == 0 || fs.Delays == 0 {
+		t.Fatalf("fault mix incomplete: %+v", fs)
+	}
+	if ss := srv.Stats(); ss.BadFrames == 0 {
+		// Roughly half the corruptions hit the client→server direction;
+		// each of those must have been rejected by the server's CRC.
+		t.Fatalf("no corrupted frame was detected server-side: injector %+v, server %+v", fs, ss)
+	}
+
+	px.Close()
+	srv.Close()
+	st.Stop()
+
+	// No goroutine leaks: everything the soak spawned must wind down.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseGoroutines {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d > %d at start\n%s",
+				runtime.NumGoroutine(), baseGoroutines, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Durability half: simulate power loss and recover; every acked write
+	// must be there, nothing else, and all engine invariants must hold.
+	merged := map[uint64][]byte{}
+	for _, cs := range states {
+		for k, v := range cs.model {
+			merged[k] = v
+		}
+	}
+	re, err := core.Open(core.Config{Mode: cfg.Mode, Arena: st.Arena().Crash()})
+	if err != nil {
+		t.Fatalf("recovery after chaos soak: %v", err)
+	}
+	if _, err := fault.Check(re, merged, nil); err != nil {
+		t.Fatalf("post-crash invariant check: %v", err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package netfault injects network faults — connection resets, delays,
+// partial writes, and bit flips — into net.Conn traffic, so the TCP
+// transport's resilience machinery (deadlines, reconnect/backoff, write
+// retry with server-side dedup, CRC framing) can be proven rather than
+// assumed. It is the network-path sibling of internal/fault's
+// persist-point crash injection.
+//
+// The Injector decides, per traffic segment (one Read or Write call),
+// whether to inject and what; decisions come from a seeded RNG (so a
+// failing run is reproducible by seed) plus an optional scripted queue
+// of one-shot forced faults for deterministic tests. Wrap a single
+// net.Conn with Wrap, a whole accept stream with WrapListener, or run a
+// black-box forwarding Proxy between a real client and a real server.
+package netfault
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind int
+
+const (
+	// KindNone is the absence of a fault.
+	KindNone Kind = iota
+	// KindDelay stalls the segment for a random duration ≤ DelayMax.
+	KindDelay
+	// KindReset closes the connection abruptly mid-stream.
+	KindReset
+	// KindPartial delivers a strict prefix of the segment, then resets.
+	KindPartial
+	// KindCorrupt flips one random bit in the segment and delivers it.
+	KindCorrupt
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindDelay:
+		return "delay"
+	case KindReset:
+		return "reset"
+	case KindPartial:
+		return "partial"
+	case KindCorrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// Config sets the per-segment fault probabilities. Probabilities are
+// evaluated in the order corrupt, reset, partial, delay; at most one
+// fault fires per segment.
+type Config struct {
+	Seed        int64         // RNG seed (0 is a valid, fixed seed)
+	CorruptProb float64       // P(flip one bit in the segment)
+	ResetProb   float64       // P(abrupt close)
+	PartialProb float64       // P(prefix delivery then close)
+	DelayProb   float64       // P(stall)
+	DelayMax    time.Duration // upper bound for a stall (default 1ms)
+}
+
+// Stats counts injected faults; Segments is the number of fault
+// decisions taken (≈ Read/Write calls that saw data).
+type Stats struct {
+	Segments    uint64
+	Corruptions uint64
+	Resets      uint64
+	Partials    uint64
+	Delays      uint64
+}
+
+// Injected sums the faults of every kind.
+func (s Stats) Injected() uint64 {
+	return s.Corruptions + s.Resets + s.Partials + s.Delays
+}
+
+// Injector is a shared fault source; one injector may serve any number
+// of conns, listeners, and proxies concurrently.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	forced []Kind // one-shot scripted faults, consumed FIFO
+
+	enabled atomic.Bool
+
+	segments    atomic.Uint64
+	corruptions atomic.Uint64
+	resets      atomic.Uint64
+	partials    atomic.Uint64
+	delays      atomic.Uint64
+}
+
+// NewInjector builds an enabled injector for cfg.
+func NewInjector(cfg Config) *Injector {
+	if cfg.DelayMax <= 0 {
+		cfg.DelayMax = time.Millisecond
+	}
+	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in.enabled.Store(true)
+	return in
+}
+
+// SetEnabled turns fault injection on or off; off, every wrapped conn is
+// a transparent passthrough (used by chaos tests to let the dust settle).
+func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
+
+// Force schedules a one-shot fault: the next segment on any wrapped conn
+// suffers k regardless of the probabilities. Multiple Forces queue FIFO.
+func (in *Injector) Force(k Kind) {
+	in.mu.Lock()
+	in.forced = append(in.forced, k)
+	in.mu.Unlock()
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Segments:    in.segments.Load(),
+		Corruptions: in.corruptions.Load(),
+		Resets:      in.resets.Load(),
+		Partials:    in.partials.Load(),
+		Delays:      in.delays.Load(),
+	}
+}
+
+// decide picks the fault for one segment, plus the parameters a faulty
+// delivery needs (stall duration, bit index for corruption).
+func (in *Injector) decide() (k Kind, stall time.Duration, bit uint64) {
+	if !in.enabled.Load() {
+		return KindNone, 0, 0
+	}
+	in.segments.Add(1)
+	in.mu.Lock()
+	if len(in.forced) > 0 {
+		k = in.forced[0]
+		in.forced = in.forced[1:]
+	} else {
+		switch p := in.rng.Float64(); {
+		case p < in.cfg.CorruptProb:
+			k = KindCorrupt
+		case p < in.cfg.CorruptProb+in.cfg.ResetProb:
+			k = KindReset
+		case p < in.cfg.CorruptProb+in.cfg.ResetProb+in.cfg.PartialProb:
+			k = KindPartial
+		case p < in.cfg.CorruptProb+in.cfg.ResetProb+in.cfg.PartialProb+in.cfg.DelayProb:
+			k = KindDelay
+		}
+	}
+	stall = time.Duration(in.rng.Int63n(int64(in.cfg.DelayMax))) + 1
+	bit = in.rng.Uint64()
+	in.mu.Unlock()
+	switch k {
+	case KindCorrupt:
+		in.corruptions.Add(1)
+	case KindReset:
+		in.resets.Add(1)
+	case KindPartial:
+		in.partials.Add(1)
+	case KindDelay:
+		in.delays.Add(1)
+	}
+	return k, stall, bit
+}
+
+// Conn wraps a net.Conn, injecting faults on both directions. A fault on
+// either direction closes the underlying conn, so the peer observes a
+// reset too.
+type Conn struct {
+	net.Conn
+	in *Injector
+}
+
+// Wrap attaches an injector to a conn.
+func Wrap(c net.Conn, in *Injector) *Conn { return &Conn{Conn: c, in: in} }
+
+// errReset is returned for injected resets/partials; the conn is closed,
+// so the error surfaces as a normal connection failure.
+type resetError struct{}
+
+func (resetError) Error() string   { return "netfault: injected connection reset" }
+func (resetError) Timeout() bool   { return false }
+func (resetError) Temporary() bool { return false }
+
+// Read delivers inbound bytes, possibly delayed, corrupted, truncated,
+// or cut off entirely.
+func (c *Conn) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if n == 0 || err != nil {
+		return n, err
+	}
+	switch k, stall, bit := c.in.decide(); k {
+	case KindDelay:
+		time.Sleep(stall)
+	case KindCorrupt:
+		i := bit % uint64(n*8)
+		b[i/8] ^= 1 << (i % 8)
+	case KindPartial:
+		keep := 1 + int(bit%uint64(n)) // 1..n bytes survive
+		c.Conn.Close()
+		return keep, nil // the tail is gone; next Read hits the close
+	case KindReset:
+		c.Conn.Close()
+		return 0, resetError{}
+	}
+	return n, err
+}
+
+// Write delivers outbound bytes with the same fault model. A partial
+// write reports the short count with an error, per the net.Conn
+// contract.
+func (c *Conn) Write(b []byte) (int, error) {
+	if len(b) == 0 {
+		return c.Conn.Write(b)
+	}
+	switch k, stall, bit := c.in.decide(); k {
+	case KindDelay:
+		time.Sleep(stall)
+	case KindCorrupt:
+		mut := append([]byte(nil), b...)
+		i := bit % uint64(len(mut)*8)
+		mut[i/8] ^= 1 << (i % 8)
+		n, err := c.Conn.Write(mut)
+		return n, err
+	case KindPartial:
+		keep := 1 + int(bit%uint64(len(b)))
+		if keep == len(b) && len(b) > 1 {
+			keep--
+		}
+		n, _ := c.Conn.Write(b[:keep])
+		c.Conn.Close()
+		return n, resetError{}
+	case KindReset:
+		c.Conn.Close()
+		return 0, resetError{}
+	}
+	return c.Conn.Write(b)
+}
+
+// Listener wraps a net.Listener so every accepted conn carries the
+// injector.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// WrapListener attaches an injector to a listener.
+func WrapListener(l net.Listener, in *Injector) *Listener {
+	return &Listener{Listener: l, in: in}
+}
+
+// Accept wraps the next conn with the fault injector.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, l.in), nil
+}

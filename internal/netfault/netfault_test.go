@@ -1,0 +1,186 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of a real loopback TCP connection (net.Pipe
+// is synchronous and deadlocks the partial-write fault, which closes
+// before the peer reads).
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := lis.Accept()
+		ch <- res{c, err}
+	}()
+	a, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { a.Close(); r.c.Close() })
+	return a, r.c
+}
+
+func TestForcedCorruptFlipsExactlyOneBit(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 1})
+	fa := Wrap(a, in)
+	in.Force(KindCorrupt)
+	msg := bytes.Repeat([]byte{0x00}, 128)
+	if _, err := fa.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, x := range got {
+		for ; x != 0; x &= x - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("corrupt flipped %d bits, want 1", ones)
+	}
+	if s := in.Stats(); s.Corruptions != 1 || s.Injected() != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestForcedResetSurfacesAsConnError(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 1})
+	fa := Wrap(a, in)
+	in.Force(KindReset)
+	if _, err := fa.Write([]byte("boom")); err == nil {
+		t.Fatal("reset write succeeded")
+	}
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := b.Read(make([]byte, 8)); err == nil {
+		t.Fatal("peer read succeeded after reset")
+	}
+}
+
+func TestForcedPartialDeliversStrictPrefix(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 1})
+	fa := Wrap(a, in)
+	in.Force(KindPartial)
+	msg := bytes.Repeat([]byte{0xab}, 64)
+	n, err := fa.Write(msg)
+	if err == nil {
+		t.Fatal("partial write reported success")
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial wrote %d of %d bytes, want a strict prefix", n, len(msg))
+	}
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, _ := io.ReadAll(b)
+	if len(got) != n || !bytes.Equal(got, msg[:n]) {
+		t.Fatalf("peer got %d bytes, want the %d-byte prefix", len(got), n)
+	}
+}
+
+func TestDisabledInjectorIsTransparent(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 1, CorruptProb: 1}) // every segment would corrupt
+	in.SetEnabled(false)
+	fa := Wrap(a, in)
+	msg := []byte("pristine")
+	if _, err := fa.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("disabled injector altered data: %q", got)
+	}
+	if s := in.Stats(); s.Injected() != 0 {
+		t.Fatalf("disabled injector injected: %+v", s)
+	}
+}
+
+func TestProxyForwardsBothDirections(t *testing.T) {
+	// Echo backend.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	in := NewInjector(Config{Seed: 7}) // zero probabilities: passthrough
+	px, err := NewProxy(lis.Addr().String(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	c, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte("ping"), 1000)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("proxy corrupted a fault-free stream")
+	}
+	if s := in.Stats(); s.Segments == 0 {
+		t.Fatal("proxy traffic not counted as segments")
+	}
+}
+
+func TestSeededRunsAreReproducible(t *testing.T) {
+	run := func() []Kind {
+		in := NewInjector(Config{Seed: 42, CorruptProb: .1, ResetProb: .1, PartialProb: .1, DelayProb: .1})
+		var ks []Kind
+		for i := 0; i < 200; i++ {
+			k, _, _ := in.decide()
+			ks = append(ks, k)
+		}
+		return ks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

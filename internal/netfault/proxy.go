@@ -1,0 +1,122 @@
+package netfault
+
+import (
+	"io"
+	"net"
+	"sync"
+)
+
+// Proxy is a black-box TCP forwarder that injects faults on the wire
+// between a real client and a real server: clients dial Proxy.Addr(),
+// the proxy dials the backend, and every byte in both directions flows
+// through a fault-injecting Conn. Because the faulty side is the
+// client-facing conn, an injected reset looks to the client exactly like
+// a dead server, and to the server like a client hangup — the scenario
+// the tcp package's reconnect/retry/dedup path must survive.
+type Proxy struct {
+	in      *Injector
+	lis     net.Listener
+	backend string
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to backend.
+func NewProxy(backend string, in *Injector) (*Proxy, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{in: in, lis: lis, backend: backend, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr is the address clients should dial.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Close stops accepting, severs every forwarded connection, and waits
+// for the pumps to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.lis.Close()
+	p.wg.Wait()
+	return nil
+}
+
+// track registers a conn for Close's sweep; it reports false (and closes
+// the conn) when the proxy is already shutting down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		if !p.track(cc) {
+			return
+		}
+		p.wg.Add(1)
+		go p.forward(cc)
+	}
+}
+
+// forward pumps one client connection to a fresh backend connection
+// through the fault injector until either side dies, then severs both.
+func (p *Proxy) forward(cc net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(cc)
+	defer cc.Close()
+	bc, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	if !p.track(bc) {
+		return
+	}
+	defer p.untrack(bc)
+	defer bc.Close()
+
+	fc := Wrap(cc, p.in)
+	done := make(chan struct{}, 2)
+	go func() { // client → server (Read faults)
+		io.Copy(bc, fc)
+		cc.Close()
+		bc.Close()
+		done <- struct{}{}
+	}()
+	go func() { // server → client (Write faults)
+		io.Copy(fc, bc)
+		cc.Close()
+		bc.Close()
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

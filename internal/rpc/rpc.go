@@ -34,6 +34,11 @@ const (
 	StatusOK uint8 = iota
 	StatusNotFound
 	StatusError
+	// StatusBusy is an overload shed: the server refused to queue the
+	// request (per-connection or global in-flight cap hit, or a write
+	// replay raced its first attempt). The op was NOT applied; the
+	// client should back off and retry.
+	StatusBusy
 )
 
 // Request is one client message. Value aliases the client's buffer until

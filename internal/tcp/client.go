@@ -2,11 +2,15 @@ package tcp
 
 import (
 	"bufio"
+	"context"
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"flatstore/internal/core"
 )
@@ -15,123 +19,324 @@ import (
 // concurrent goroutines may issue requests on one connection, and a
 // background reader dispatches responses by id — the TCP analogue of the
 // paper's clients posting async requests and polling completions.
+//
+// The client is resilient by default: dials and round trips carry
+// deadlines, a dead connection is redialled with exponential backoff and
+// jitter, and failed attempts are retried within Options.MaxAttempts.
+// Reads retry transparently; writes retry safely because every request
+// keeps its id across attempts and the server dedups (session, id), so a
+// replayed Put/Delete is applied and acknowledged exactly once.
 type Client struct {
-	conn  net.Conn
-	bw    *bufio.Writer
-	cores int
+	addr    string
+	opts    Options
+	session uint64 // random identity the server keys write-dedup on
 
-	wmu    sync.Mutex // serializes frame writes
-	pmu    sync.Mutex // guards pending + nextID + closed
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter
+
+	mu     sync.Mutex
+	conn   *clientConn // current connection; nil while down
+	cores  int         // from the latest handshake
 	nextID uint64
-	pend   map[uint64]chan response
-	closed error
+	closed bool
+
+	dialMu sync.Mutex // serializes reconnect attempts
+}
+
+// clientConn is one live connection: socket, write path, and the pending
+// table its readLoop resolves.
+type clientConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu         sync.Mutex // guards pend + err
+	pend       map[uint64]chan response
+	err        error
+	readerDone chan struct{} // closed when readLoop exits
 }
 
 // ErrClosed reports use of a closed client.
 var ErrClosed = errors.New("tcp: client closed")
 
-// Dial connects to a FlatStore TCP server.
+// Dial connects to a FlatStore TCP server with default Options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr, Options{})
+}
+
+// DialOptions connects with explicit resilience options.
+func DialOptions(addr string, o Options) (*Client, error) {
+	return DialContext(context.Background(), addr, o)
+}
+
+// DialContext connects to a FlatStore TCP server. The initial connect is
+// retried within o.MaxAttempts (a flaky network may eat the first
+// handshake), each attempt bounded by o.DialTimeout and ctx.
+func DialContext(ctx context.Context, addr string, o Options) (*Client, error) {
+	var sb [8]byte
+	if _, err := crand.Read(sb[:]); err != nil {
+		binary.LittleEndian.PutUint64(sb[:], uint64(time.Now().UnixNano()))
+	}
+	c := &Client{
+		addr:    addr,
+		opts:    o.withDefaults(),
+		session: binary.LittleEndian.Uint64(sb[:]),
+	}
+	c.rng = newRNG(c.session)
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := sleep(ctx, c.backoff(attempt-1)); err != nil {
+				return nil, fmt.Errorf("tcp: dial %s: %w (last error: %v)", addr, err, lastErr)
+			}
+		}
+		if _, err := c.connection(ctx); err == nil {
+			return c, nil
+		} else if ctx.Err() != nil {
+			return nil, err
+		} else {
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("tcp: dial %s failed after %d attempts: %w", addr, c.opts.MaxAttempts, lastErr)
+}
+
+// Cores reports the server's core count (from the latest handshake).
+func (c *Client) Cores() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cores
+}
+
+// Session returns the client's wire identity (the write-dedup key).
+func (c *Client) Session() uint64 { return c.session }
+
+// Close tears the connection down and joins the background reader;
+// in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	cc := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if cc != nil {
+		cc.fail(ErrClosed)
+		<-cc.readerDone // join: readLoop must not touch the reader after Close
+	}
+	return nil
+}
+
+// connection returns the live connection, dialling a fresh one if the
+// previous died. Only one goroutine dials at a time; the others wait and
+// share the result.
+func (c *Client) connection(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cc := c.conn
+	c.mu.Unlock()
+	if cc != nil && cc.alive() {
+		return cc, nil
+	}
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cc = c.conn
+	c.mu.Unlock()
+	if cc != nil && cc.alive() {
+		return cc, nil
+	}
+	cc, cores, err := c.dialConn(ctx)
 	if err != nil {
 		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cc.fail(ErrClosed)
+		<-cc.readerDone
+		return nil, ErrClosed
+	}
+	c.conn = cc
+	c.cores = cores
+	c.mu.Unlock()
+	return cc, nil
+}
+
+// dropConn marks cc dead and detaches it so the next call redials. The
+// dead readLoop drains on its own once the socket is closed.
+func (c *Client) dropConn(cc *clientConn, err error) {
+	cc.fail(err)
+	c.mu.Lock()
+	if c.conn == cc {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// dialConn performs one connect attempt: TCP dial, handshake read, and
+// hello write, all under the dial deadline so a black-holed address or a
+// mute server cannot hang the caller.
+func (c *Client) dialConn(ctx context.Context) (*clientConn, int, error) {
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if c.opts.DialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
 	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	hs, err := readFrame(br)
 	if err != nil || len(hs) != 12 {
 		conn.Close()
-		return nil, fmt.Errorf("tcp: bad handshake: %v", err)
+		return nil, 0, fmt.Errorf("tcp: bad handshake: %v", err)
 	}
 	if binary.LittleEndian.Uint64(hs) != wireMagic {
 		conn.Close()
-		return nil, errors.New("tcp: not a FlatStore server")
+		return nil, 0, errors.New("tcp: not a FlatStore server (or wire protocol mismatch)")
 	}
-	c := &Client{
-		conn:  conn,
-		bw:    bufio.NewWriterSize(conn, 64<<10),
-		cores: int(binary.LittleEndian.Uint32(hs[8:])),
-		pend:  map[uint64]chan response{},
+	cores := int(binary.LittleEndian.Uint32(hs[8:]))
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	if err := writeFrame(bw, encodeHello(c.session)); err == nil {
+		err = bw.Flush()
+	} else {
+		bw.Flush()
 	}
-	go c.readLoop(br)
-	return c, nil
+	if err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("tcp: hello: %w", err)
+	}
+	conn.SetDeadline(time.Time{})
+	cc := &clientConn{
+		c:          conn,
+		bw:         bw,
+		pend:       map[uint64]chan response{},
+		readerDone: make(chan struct{}),
+	}
+	go cc.readLoop(br)
+	return cc, cores, nil
 }
 
-// Cores reports the server's core count (from the handshake).
-func (c *Client) Cores() int { return c.cores }
-
-// Close tears the connection down; in-flight calls fail with ErrClosed.
-func (c *Client) Close() error {
-	c.fail(ErrClosed)
-	return c.conn.Close()
+// alive reports whether the connection has not failed yet.
+func (cc *clientConn) alive() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err == nil
 }
 
-// fail marks the client dead and releases every waiter.
-func (c *Client) fail(err error) {
-	c.pmu.Lock()
-	if c.closed == nil {
-		c.closed = err
-		for id, ch := range c.pend {
+// fail marks the connection dead, closes the socket (unblocking the
+// readLoop), and releases every waiter. Idempotent.
+func (cc *clientConn) fail(err error) {
+	cc.mu.Lock()
+	if cc.err == nil {
+		cc.err = err
+		for id, ch := range cc.pend {
 			close(ch)
-			delete(c.pend, id)
+			delete(cc.pend, id)
 		}
 	}
-	c.pmu.Unlock()
+	cc.mu.Unlock()
+	cc.c.Close()
 }
 
-func (c *Client) readLoop(br *bufio.Reader) {
+// forget abandons a pending request (its attempt timed out); a late
+// response for the id is dropped by the readLoop.
+func (cc *clientConn) forget(id uint64) {
+	cc.mu.Lock()
+	if ch, ok := cc.pend[id]; ok {
+		close(ch)
+		delete(cc.pend, id)
+	}
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) readLoop(br *bufio.Reader) {
+	defer close(cc.readerDone)
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
-			c.fail(fmt.Errorf("tcp: connection lost: %w", err))
+			cc.fail(fmt.Errorf("tcp: connection lost: %w", err))
 			return
 		}
 		rs, err := decodeResponse(payload)
 		if err != nil {
-			c.fail(err)
+			cc.fail(err)
 			return
 		}
-		c.pmu.Lock()
-		ch := c.pend[rs.id]
-		delete(c.pend, rs.id)
-		c.pmu.Unlock()
+		cc.mu.Lock()
+		ch := cc.pend[rs.id]
+		delete(cc.pend, rs.id)
+		cc.mu.Unlock()
 		if ch != nil {
 			ch <- rs
 		}
 	}
 }
 
-// call sends one request and waits for its response.
-func (c *Client) call(q request) (response, error) {
+// roundTrip sends one attempt of one request and waits for its response,
+// the per-request deadline, or ctx cancellation.
+func (cc *clientConn) roundTrip(ctx context.Context, q request, d time.Duration) (response, error) {
 	ch := make(chan response, 1)
-	c.pmu.Lock()
-	if c.closed != nil {
-		err := c.closed
-		c.pmu.Unlock()
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
 		return response{}, err
 	}
-	c.nextID++
-	q.id = c.nextID
-	c.pend[q.id] = ch
-	c.pmu.Unlock()
+	cc.pend[q.id] = ch
+	cc.mu.Unlock()
 
-	c.wmu.Lock()
-	err := writeFrame(c.bw, encodeRequest(q))
+	cc.wmu.Lock()
+	err := writeFrame(cc.bw, encodeRequest(q))
 	if err == nil {
-		err = c.bw.Flush()
+		err = cc.bw.Flush()
 	}
-	c.wmu.Unlock()
+	cc.wmu.Unlock()
 	if err != nil {
-		c.fail(fmt.Errorf("tcp: write: %w", err))
+		cc.fail(fmt.Errorf("tcp: write: %w", err))
 		return response{}, err
 	}
-	rs, ok := <-ch
-	if !ok {
-		c.pmu.Lock()
-		err := c.closed
-		c.pmu.Unlock()
-		return response{}, err
+
+	var expire <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		expire = t.C
 	}
-	return rs, nil
+	select {
+	case rs, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.err
+			cc.mu.Unlock()
+			if err == nil {
+				err = ErrTimeout // forgotten by a racing attempt
+			}
+			return response{}, err
+		}
+		return rs, nil
+	case <-ctx.Done():
+		cc.forget(q.id)
+		return response{}, ctx.Err()
+	case <-expire:
+		cc.forget(q.id)
+		return response{}, ErrTimeout
+	}
 }
 
 // Wire op codes (match internal/rpc).
@@ -146,17 +351,24 @@ const (
 const (
 	statusOK uint8 = iota
 	statusNotFound
+	statusError
+	statusBusy
 )
 
 // route picks the owning core for a key.
 func (c *Client) route(key uint64) uint32 {
-	return uint32(core.RouteKey(key, c.cores))
+	return uint32(core.RouteKey(key, c.Cores()))
 }
 
 // Put stores a key-value pair; it returns after the server made it
 // durable.
 func (c *Client) Put(key uint64, value []byte) error {
-	rs, err := c.call(request{op: opPut, core: c.route(key), key: key, value: value})
+	return c.PutCtx(context.Background(), key, value)
+}
+
+// PutCtx is Put bounded by ctx (on top of the per-request deadline).
+func (c *Client) PutCtx(ctx context.Context, key uint64, value []byte) error {
+	rs, err := c.call(ctx, request{op: opPut, key: key, value: value})
 	if err != nil {
 		return err
 	}
@@ -168,7 +380,12 @@ func (c *Client) Put(key uint64, value []byte) error {
 
 // Get fetches a value.
 func (c *Client) Get(key uint64) (value []byte, ok bool, err error) {
-	rs, err := c.call(request{op: opGet, core: c.route(key), key: key})
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get bounded by ctx.
+func (c *Client) GetCtx(ctx context.Context, key uint64) (value []byte, ok bool, err error) {
+	rs, err := c.call(ctx, request{op: opGet, key: key})
 	if err != nil {
 		return nil, false, err
 	}
@@ -183,7 +400,12 @@ func (c *Client) Get(key uint64) (value []byte, ok bool, err error) {
 
 // Delete removes a key.
 func (c *Client) Delete(key uint64) (ok bool, err error) {
-	rs, err := c.call(request{op: opDelete, core: c.route(key), key: key})
+	return c.DeleteCtx(context.Background(), key)
+}
+
+// DeleteCtx is Delete bounded by ctx.
+func (c *Client) DeleteCtx(ctx context.Context, key uint64) (ok bool, err error) {
+	rs, err := c.call(ctx, request{op: opDelete, key: key})
 	if err != nil {
 		return false, err
 	}
@@ -204,7 +426,12 @@ type Pair struct {
 
 // Scan returns up to limit pairs in [lo, hi] (FlatStore-M servers only).
 func (c *Client) Scan(lo, hi uint64, limit int) ([]Pair, error) {
-	rs, err := c.call(request{op: opScan, core: c.route(lo), key: lo, scanHi: hi, limit: uint32(limit)})
+	return c.ScanCtx(context.Background(), lo, hi, limit)
+}
+
+// ScanCtx is Scan bounded by ctx.
+func (c *Client) ScanCtx(ctx context.Context, lo, hi uint64, limit int) ([]Pair, error) {
+	rs, err := c.call(ctx, request{op: opScan, key: lo, scanHi: hi, limit: uint32(limit)})
 	if err != nil {
 		return nil, err
 	}

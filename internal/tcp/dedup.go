@@ -1,0 +1,134 @@
+package tcp
+
+import "sync"
+
+// The write-dedup table gives the retry path exactly-once ack semantics
+// for Puts and Deletes: a client replays a write with the same request id
+// (possibly on a brand-new connection after a reconnect), and the server
+// answers a replay of an already-applied write from this table instead of
+// re-executing it. Sessions are the client-chosen 64-bit identities from
+// the hello frame; within a session, ids are assigned once per logical
+// request and never reused.
+//
+// Memory is bounded twice over: per session, only the most recent
+// dedupWindow write outcomes are retained (retries target recent ids);
+// across sessions, the least-recently-active sessions are evicted beyond
+// maxSessions. An evicted entry degrades gracefully — the replay is
+// simply executed again, which for Put re-applies the same bytes and for
+// Delete can at worst report NotFound instead of OK.
+
+// dedup entry states (the int16 value in session.res).
+const dedupInFlight int16 = -1 // first attempt submitted, not yet completed
+
+// begin() outcomes.
+const (
+	dedupNew     = iota // caller must execute and later complete() or abort()
+	dedupPending        // first attempt still executing: shed the replay
+	dedupDone           // already applied: ack with the recorded status
+)
+
+type dedupTable struct {
+	mu          sync.Mutex
+	sessions    map[uint64]*dedupSession
+	seq         uint64 // LRU clock
+	maxSessions int
+	window      int
+}
+
+func newDedupTable(maxSessions, window int) *dedupTable {
+	return &dedupTable{
+		sessions:    map[uint64]*dedupSession{},
+		maxSessions: maxSessions,
+		window:      window,
+	}
+}
+
+// session returns (creating if needed) the dedup state for a client
+// identity, evicting the least-recently-active session over the cap.
+func (t *dedupTable) session(id uint64) *dedupSession {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	if s, ok := t.sessions[id]; ok {
+		s.touch = t.seq
+		return s
+	}
+	if len(t.sessions) >= t.maxSessions {
+		var oldID uint64
+		oldest := t.seq
+		for sid, s := range t.sessions {
+			if s.touch < oldest {
+				oldest, oldID = s.touch, sid
+			}
+		}
+		delete(t.sessions, oldID)
+	}
+	s := &dedupSession{res: map[uint64]int16{}, window: t.window, touch: t.seq}
+	t.sessions[id] = s
+	return s
+}
+
+// dedupSession is one client identity's recent write outcomes.
+type dedupSession struct {
+	mu     sync.Mutex
+	res    map[uint64]int16 // id → status, or dedupInFlight
+	fifo   []uint64         // insertion order, for window eviction
+	window int
+	touch  uint64 // LRU clock value (guarded by dedupTable.mu)
+}
+
+// begin registers a write id. It returns dedupNew the first time (the
+// caller owns executing it), dedupPending while the first attempt is
+// still in flight (the replay must be shed, not double-submitted), and
+// dedupDone with the recorded status once applied.
+func (s *dedupSession) begin(id uint64) (uint8, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.res[id]; ok {
+		if v == dedupInFlight {
+			return 0, dedupPending
+		}
+		return uint8(v), dedupDone
+	}
+	s.res[id] = dedupInFlight
+	s.fifo = append(s.fifo, id)
+	// Evict beyond the window, skipping in-flight entries (they complete
+	// soon and must not lose their slot); bounded scan so a pathological
+	// all-in-flight state cannot loop.
+	for scans := 0; len(s.fifo) > s.window && scans < s.window; scans++ {
+		old := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		if s.res[old] == dedupInFlight {
+			s.fifo = append(s.fifo, old)
+			continue
+		}
+		delete(s.res, old)
+	}
+	return 0, dedupNew
+}
+
+// complete records the outcome of a write previously begun. Ids that were
+// never registered (reads, or entries evicted meanwhile) are ignored.
+func (s *dedupSession) complete(id uint64, status uint8) {
+	s.mu.Lock()
+	if v, ok := s.res[id]; ok && v == dedupInFlight {
+		s.res[id] = int16(status)
+	}
+	s.mu.Unlock()
+}
+
+// abort forgets a write that was begun but never submitted (shed by the
+// capacity check), so a retry is treated as new.
+func (s *dedupSession) abort(id uint64) {
+	s.mu.Lock()
+	if v, ok := s.res[id]; ok && v == dedupInFlight {
+		delete(s.res, id)
+		for i, fid := range s.fifo {
+			if fid == id {
+				s.fifo = append(s.fifo[:i], s.fifo[i+1:]...)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+}

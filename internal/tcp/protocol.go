@@ -3,7 +3,9 @@
 // FlatRPC client — one "queue pair" carrying asynchronously pipelined
 // requests that the client routes to server cores by key hash, exactly
 // like §4.3's message buffers. The wire format is a simple
-// length-prefixed binary framing (stdlib only).
+// length-prefixed binary framing (stdlib only), CRC32C-protected so a
+// corrupted frame is detected and surfaces as a connection error rather
+// than a mis-decoded op.
 //
 //	server:  st, _ := core.New(cfg); st.Run()
 //	         lis, _ := net.Listen("tcp", ":7399")
@@ -16,15 +18,32 @@ package tcp
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Frame layout (little-endian). Every frame starts with a u32 payload
-// length (not counting the length field itself).
+// Frame layout (little-endian). Every frame is
+//
+//	u32 payload length | payload | u32 CRC32C(payload)
+//
+// The trailing checksum (Castagnoli polynomial, the one PM hardware and
+// NVMe use) covers the payload only: a corrupted length either exceeds
+// maxFrame or shifts the checksum window, both of which fail the check
+// with overwhelming probability, while any corruption strictly inside
+// the payload or checksum is detected with certainty (CRC32 catches all
+// single-bit and burst-≤32 errors).
 //
 // Handshake (server → client on connect):
 //	u64 magic, u32 cores
+//
+// Hello (client → server, immediately after the handshake):
+//	u64 magic, u64 session
+//
+// The session id names the client across reconnects: the server keys its
+// write-dedup table on it, so a Put/Delete replayed by the client's retry
+// path after a reconnect is acknowledged exactly once.
 //
 // Request:
 //	u8 op, u32 core, u64 id, u64 key, u64 scanHi, u32 limit,
@@ -33,12 +52,23 @@ import (
 // Response:
 //	u64 id, u8 status, u32 vlen, vlen bytes,
 //	u32 npairs, npairs × (u64 key, u32 vlen, vlen bytes)
+//
+// The magic's low bits version the protocol; v1 (…0001) had no frame
+// checksum and no hello, so a v1 peer is rejected at the handshake.
 const (
-	wireMagic uint64 = 0xF1A7_7C9_0000_0001
+	wireMagic uint64 = 0xF1A7_7C9_0000_0002
 
 	// maxFrame bounds a single frame (a 4 MB value plus headroom).
 	maxFrame = 8 << 20
 )
+
+// castagnoli is the CRC32C table shared by both frame directions.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errCRC marks a frame whose checksum did not verify; the connection is
+// unusable from that byte on (framing may be lost), so both ends tear it
+// down and the client's retry path redials.
+var errCRC = errors.New("tcp: frame checksum mismatch")
 
 // request is the decoded wire request.
 type request struct {
@@ -71,7 +101,12 @@ func writeFrame(w *bufio.Writer, payload []byte) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
+	_, err := w.Write(sum[:])
 	return err
 }
 
@@ -84,11 +119,30 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	buf := make([]byte, n+4)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	payload := buf[:n]
+	if binary.LittleEndian.Uint32(buf[n:]) != crc32.Checksum(payload, castagnoli) {
+		return nil, errCRC
+	}
+	return payload, nil
+}
+
+// encodeHello builds the client's post-handshake identification frame.
+func encodeHello(session uint64) []byte {
+	buf := make([]byte, 0, 16)
+	buf = binary.LittleEndian.AppendUint64(buf, wireMagic)
+	return binary.LittleEndian.AppendUint64(buf, session)
+}
+
+// decodeHello parses the hello frame, returning the client session id.
+func decodeHello(b []byte) (uint64, error) {
+	if len(b) != 16 || binary.LittleEndian.Uint64(b) != wireMagic {
+		return 0, errors.New("tcp: bad hello frame")
+	}
+	return binary.LittleEndian.Uint64(b[8:]), nil
 }
 
 func encodeRequest(q request) []byte {

@@ -8,17 +8,81 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flatstore/internal/core"
 	"flatstore/internal/rpc"
 )
+
+// ServerOptions tunes the server's overload and fault behaviour. The
+// zero value means the defaults below; negative values disable a cap or
+// timeout where that is meaningful.
+type ServerOptions struct {
+	// MaxConnInFlight caps unanswered requests per connection; beyond
+	// it the server sheds with StatusBusy instead of queueing. Default
+	// 256; negative: unlimited.
+	MaxConnInFlight int
+	// MaxInFlight caps unanswered requests across all connections.
+	// Default 4096; negative: unlimited.
+	MaxInFlight int
+	// WriteTimeout bounds every response write, so one stalled reader
+	// cannot wedge its connection's response fan-out forever: on expiry
+	// the connection is torn down. Default 10s; negative: none.
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the handshake write and the hello read.
+	// Default 5s.
+	HandshakeTimeout time.Duration
+	// DedupWindow is how many recent write outcomes are retained per
+	// client session for replay dedup. Default 4096.
+	DedupWindow int
+	// MaxSessions bounds the number of client sessions the dedup table
+	// retains (LRU-evicted beyond it). Default 1024.
+	MaxSessions int
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.MaxConnInFlight == 0 {
+		o.MaxConnInFlight = 256
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 4096
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.DedupWindow <= 0 {
+		o.DedupWindow = 4096
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	return o
+}
+
+// ServerStats snapshots the resilience counters.
+type ServerStats struct {
+	Shed      uint64 // StatusBusy responses (capacity or replay-in-flight)
+	DedupHits uint64 // write replays answered from the dedup table
+	BadFrames uint64 // frames rejected by the CRC check
+	InFlight  int64  // currently queued requests across all connections
+}
 
 // Server bridges TCP connections onto a running store's FlatRPC
 // transport: each connection becomes one in-process RPC client, so the
 // engine sees network clients exactly like local ones (same per-core
 // message buffers, same agent-core response path).
 type Server struct {
-	st *core.Store
+	st   *core.Store
+	opts ServerOptions
+
+	inflight  atomic.Int64 // global unanswered requests
+	shed      atomic.Uint64
+	dedupHits atomic.Uint64
+	badFrames atomic.Uint64
+	dedup     *dedupTable
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -27,9 +91,31 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer creates a TCP front end for a store (which must be Run).
+// NewServer creates a TCP front end for a store (which must be Run) with
+// default ServerOptions.
 func NewServer(st *core.Store) *Server {
-	return &Server{st: st, conns: map[net.Conn]struct{}{}}
+	return NewServerOptions(st, ServerOptions{})
+}
+
+// NewServerOptions creates a TCP front end with explicit options.
+func NewServerOptions(st *core.Store, o ServerOptions) *Server {
+	o = o.withDefaults()
+	return &Server{
+		st:    st,
+		opts:  o,
+		dedup: newDedupTable(o.MaxSessions, o.DedupWindow),
+		conns: map[net.Conn]struct{}{},
+	}
+}
+
+// Stats snapshots the server's resilience counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Shed:      s.shed.Load(),
+		DedupHits: s.dedupHits.Load(),
+		BadFrames: s.badFrames.Load(),
+		InFlight:  s.inflight.Load(),
+	}
 }
 
 // Serve accepts connections until the listener is closed (by Close).
@@ -91,6 +177,33 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// localQueue carries responses the reader generates without touching the
+// engine (busy sheds, dedup-cached acks) to the connection's writer.
+type localQueue struct {
+	mu sync.Mutex
+	q  []response
+}
+
+func (l *localQueue) push(rs response) {
+	l.mu.Lock()
+	l.q = append(l.q, rs)
+	l.mu.Unlock()
+}
+
+func (l *localQueue) take() []response {
+	l.mu.Lock()
+	q := l.q
+	l.q = nil
+	l.mu.Unlock()
+	return q
+}
+
+func (l *localQueue) empty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.q) == 0
+}
+
 // handle runs one connection: a reader loop feeding the in-process RPC
 // client, and a writer loop draining its completions back to the socket.
 func (s *Server) handle(conn net.Conn) {
@@ -100,11 +213,13 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	cl := s.st.Connect().Raw()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 
 	// Handshake: magic + core count, so the client can route by key.
+	// Bounded by the handshake deadline, as is the hello the client
+	// must answer with — a mute or byzantine peer is cut off here.
+	conn.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	var hs []byte
 	hs = binary.LittleEndian.AppendUint64(hs, wireMagic)
 	hs = binary.LittleEndian.AppendUint32(hs, uint32(s.st.Cores()))
@@ -114,9 +229,33 @@ func (s *Server) handle(conn net.Conn) {
 	if err := bw.Flush(); err != nil {
 		return
 	}
+	hello, err := readFrame(br)
+	if err != nil {
+		if errors.Is(err, errCRC) {
+			s.badFrames.Add(1)
+		}
+		return
+	}
+	session, err := decodeHello(hello)
+	if err != nil {
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	sess := s.dedup.session(session)
 
+	cl := s.st.Connect().Raw()
 	done := make(chan struct{})
-	var outstanding atomic.Int64 // unanswered requests
+	var outstanding atomic.Int64 // unanswered engine requests on this conn
+	var lq localQueue            // reader-generated responses (shed/dedup)
+
+	// armWrite sets the slow-client write deadline for the next write
+	// burst; a client that stops reading makes the deadline fire, which
+	// kills the connection instead of wedging the writer forever.
+	armWrite := func() {
+		if s.opts.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
+		}
+	}
 
 	// Writer: poll the in-process client and push frames out. It must
 	// keep polling until every outstanding request has completed, even
@@ -129,12 +268,17 @@ func (s *Server) handle(conn net.Conn) {
 		defer s.wg.Done()
 		defer cl.Close()
 		discard := false
+		fail := func() {
+			discard = true
+			conn.Close() // unblock the reader too: the conn is dead
+		}
 		for {
+			loc := lq.take()
 			rs := cl.Poll(64)
-			if len(rs) == 0 {
+			if len(loc) == 0 && len(rs) == 0 {
 				select {
 				case <-done:
-					if outstanding.Load() == 0 {
+					if outstanding.Load() == 0 && lq.empty() {
 						return
 					}
 				default:
@@ -142,8 +286,14 @@ func (s *Server) handle(conn net.Conn) {
 				runtime.Gosched()
 				continue
 			}
+			armWrite()
 			for _, r := range rs {
 				outstanding.Add(-1)
+				s.inflight.Add(-1)
+				// Record write outcomes even when the socket is gone:
+				// the client will replay on a new connection and must
+				// be answered from the table, not re-applied.
+				sess.complete(r.ID, r.Status)
 				if discard {
 					continue
 				}
@@ -152,12 +302,20 @@ func (s *Server) handle(conn net.Conn) {
 					out.pairs = append(out.pairs, pair{key: p.Key, value: p.Value})
 				}
 				if err := writeFrame(bw, encodeResponse(out)); err != nil {
-					discard = true
+					fail()
+				}
+			}
+			for _, out := range loc {
+				if discard {
+					continue
+				}
+				if err := writeFrame(bw, encodeResponse(out)); err != nil {
+					fail()
 				}
 			}
 			if !discard {
 				if err := bw.Flush(); err != nil {
-					discard = true
+					fail()
 				}
 			}
 		}
@@ -167,6 +325,11 @@ func (s *Server) handle(conn net.Conn) {
 	for {
 		payload, err := readFrame(br)
 		if err != nil {
+			if errors.Is(err, errCRC) {
+				// Corruption detected: framing may be lost from here, so
+				// the connection dies rather than risk a mis-decoded op.
+				s.badFrames.Add(1)
+			}
 			return
 		}
 		q, err := decodeRequest(payload)
@@ -176,6 +339,39 @@ func (s *Server) handle(conn net.Conn) {
 		if int(q.core) >= s.st.Cores() {
 			q.core = uint32(core.RouteKey(q.key, s.st.Cores()))
 		}
+
+		// Write replay dedup (exactly-once ack for the retry path).
+		isWrite := q.op == opPut || q.op == opDelete
+		if isWrite {
+			status, state := sess.begin(q.id)
+			switch state {
+			case dedupDone:
+				s.dedupHits.Add(1)
+				lq.push(response{id: q.id, status: status})
+				continue
+			case dedupPending:
+				// First attempt still executing (likely on the previous
+				// connection's drain): shed; the client backs off and
+				// replays, by which time the outcome is recorded.
+				s.shed.Add(1)
+				lq.push(response{id: q.id, status: statusBusy})
+				continue
+			}
+		}
+
+		// Overload shedding: refuse work beyond the in-flight caps so
+		// a flood degrades into cheap busy acks instead of unbounded
+		// queueing in the engine's rings.
+		if (s.opts.MaxConnInFlight > 0 && outstanding.Load() >= int64(s.opts.MaxConnInFlight)) ||
+			(s.opts.MaxInFlight > 0 && s.inflight.Load() >= int64(s.opts.MaxInFlight)) {
+			if isWrite {
+				sess.abort(q.id)
+			}
+			s.shed.Add(1)
+			lq.push(response{id: q.id, status: statusBusy})
+			continue
+		}
+
 		req := rpc.Request{
 			ID:     q.id,
 			Op:     q.op,
@@ -185,6 +381,7 @@ func (s *Server) handle(conn net.Conn) {
 			Value:  q.value,
 		}
 		outstanding.Add(1)
+		s.inflight.Add(1)
 		for !cl.Send(int(q.core), req) {
 			runtime.Gosched() // ring full: engine backpressure
 		}

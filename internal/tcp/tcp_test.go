@@ -6,6 +6,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"flatstore/internal/batch"
 	"flatstore/internal/core"
@@ -214,7 +215,10 @@ func TestDialRejectsNonFlatStore(t *testing.T) {
 		conn.Write([]byte("HTTP/1.1 200 OK\r\n\r\n"))
 		conn.Close()
 	}()
-	if _, err := Dial(lis.Addr().String()); err == nil {
+	// One attempt with a short timeout: rejection is the point here, not
+	// the retry machinery.
+	o := Options{MaxAttempts: 1, DialTimeout: time.Second}
+	if _, err := DialOptions(lis.Addr().String(), o); err == nil {
 		t.Fatal("Dial accepted a non-FlatStore server")
 	}
 }
