@@ -34,6 +34,8 @@ func main() {
 	connInflight := flag.Int("conn-inflight", 0, "per-connection in-flight cap before shedding (0: default, <0: off)")
 	maxInflight := flag.Int("max-inflight", 0, "global in-flight cap before shedding (0: default, <0: off)")
 	writeTimeout := flag.Duration("write-timeout", 0, "slow-client write deadline (0: default, <0: off)")
+	scrubEvery := flag.Duration("scrub-interval", 0, "online scrubber interval: verify log and record checksums in the background (0: off)")
+	salvage := flag.Bool("salvage", false, "repair media corruption on recovery (truncate + quarantine) instead of refusing to start")
 	flag.Parse()
 
 	sopts := tcp.ServerOptions{
@@ -41,13 +43,13 @@ func main() {
 		MaxInFlight:     *maxInflight,
 		WriteTimeout:    *writeTimeout,
 	}
-	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, sopts); err != nil {
+	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *salvage, sopts); err != nil {
 		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery time.Duration, sopts tcp.ServerOptions) error {
+func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery time.Duration, salvage bool, sopts tcp.ServerOptions) error {
 	idx := core.IndexHash
 	if ordered {
 		idx = core.IndexMasstree
@@ -55,6 +57,7 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery time.
 	cfg := core.Config{
 		Cores: cores, Mode: batch.ModePipelinedHB, Index: idx,
 		ArenaChunks: chunks, GC: core.GCConfig{Enabled: gc},
+		Salvage: salvage, ScrubEvery: scrubEvery,
 	}
 
 	var st *core.Store
@@ -67,12 +70,16 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery time.
 			}
 			start := time.Now()
 			st, rerr = core.Open(core.Config{Mode: cfg.Mode, Index: idx,
-				GC: cfg.GC, Arena: arena})
+				GC: cfg.GC, Arena: arena,
+				Salvage: salvage, ScrubEvery: scrubEvery})
 			if rerr != nil {
-				return fmt.Errorf("recovering %s: %w", data, rerr)
+				return fmt.Errorf("recovering %s: %w (rerun with -salvage to repair)", data, rerr)
 			}
 			fmt.Printf("recovered %d keys from %s in %v\n",
 				st.Len(), data, time.Since(start).Round(time.Millisecond))
+			if rep := st.SalvageReport(); rep != nil && !rep.Clean() {
+				fmt.Printf("salvage repaired media damage:\n%s\n", rep)
+			}
 		}
 	}
 	if st == nil {

@@ -91,9 +91,10 @@ type Allocator struct {
 	base  int // first managed byte (chunk-aligned)
 	n     int // managed chunks
 
-	mu     sync.Mutex
-	free   []int // free chunk indices (LIFO)
-	chunks []chunkState
+	mu       sync.Mutex
+	free     []int // free chunk indices (LIFO)
+	chunks   []chunkState
+	recStats RecoveryStats // integrity events since BeginRecovery
 
 	cores []*CoreAlloc
 }
@@ -206,9 +207,14 @@ func (al *Allocator) AllocRawChunk() (off int64, err error) {
 	return int64(al.chunkOff(i)), nil
 }
 
-// FreeRawChunk returns a raw chunk to the pool.
-func (al *Allocator) FreeRawChunk(off int64) {
+// FreeRawChunk returns a raw chunk to the pool, clearing its first word.
+// Raw chunks are log segments whose header magic would otherwise persist
+// after the free: a later salvage recovery scanning for orphaned log
+// chunks must not mistake a freed (possibly reused and stale) segment for
+// one holding acknowledged data.
+func (al *Allocator) FreeRawChunk(off int64, f *pmem.Flusher) {
 	i := al.chunkIndex(off)
+	f.PersistUint64(int(off), magicFree)
 	al.mu.Lock()
 	al.chunks[i] = chunkState{class: -1, owner: -1}
 	al.mu.Unlock()

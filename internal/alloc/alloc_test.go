@@ -181,7 +181,7 @@ func TestHugeAllocFree(t *testing.T) {
 }
 
 func TestRawChunk(t *testing.T) {
-	al, _, _ := newTestAlloc(t, 4, 1)
+	al, _, f := newTestAlloc(t, 4, 1)
 	off, err := al.AllocRawChunk()
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestRawChunk(t *testing.T) {
 		t.Errorf("raw chunk at %d not chunk-aligned", off)
 	}
 	before := al.FreeChunks()
-	al.FreeRawChunk(off)
+	al.FreeRawChunk(off, f)
 	if al.FreeChunks() != before+1 {
 		t.Error("raw chunk not returned")
 	}

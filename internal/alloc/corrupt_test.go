@@ -1,0 +1,118 @@
+package alloc
+
+import (
+	"testing"
+
+	"flatstore/internal/pmem"
+)
+
+// TestRecoveryCountsCorruptHeaders is the regression test for the silent
+// corrupt-header swallow: BeginRecovery used to treat a chunk whose header
+// failed validation as plain free space with no trace. It must now count
+// the event so salvage can report it, and every pointer into the chunk
+// must come back MarkDangling instead of being marked.
+func TestRecoveryCountsCorruptHeaders(t *testing.T) {
+	al, a, f := newTestAlloc(t, 4, 1)
+	ca := al.Core(0)
+	off, err := ca.Alloc(300, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the class payload of the chunk's header: the magic prefix still
+	// matches, but the class size is no longer a valid power of two.
+	chunk := off &^ (pmem.ChunkSize - 1)
+	a.Corrupt(int(chunk), 8, func(b []byte) { b[0] ^= 0x07 })
+
+	al.BeginRecovery()
+	if rs := al.RecoveryStats(); rs.CorruptHeaders != 1 {
+		t.Fatalf("CorruptHeaders = %d, want 1", rs.CorruptHeaders)
+	}
+	if got := al.RecoverMark(off, 300); got != MarkDangling {
+		t.Fatalf("RecoverMark into corrupt chunk = %v, want MarkDangling", got)
+	}
+	if rs := al.RecoveryStats(); rs.DanglingPtrs != 1 {
+		t.Fatalf("DanglingPtrs = %d, want 1", rs.DanglingPtrs)
+	}
+	al.FinishRecovery()
+
+	// A class payload rotted to exactly zero used to panic classIndex
+	// before the validity check could reject it.
+	al3, a3, f3 := newTestAlloc(t, 4, 1)
+	off3, err := al3.Core(0).Alloc(300, f3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk3 := off3 &^ (pmem.ChunkSize - 1)
+	a3.Corrupt(int(chunk3), 8, func(b []byte) { b[0], b[1] = 0, 0 }) // class size 512 -> 0
+	al3.BeginRecovery()
+	if rs := al3.RecoveryStats(); rs.CorruptHeaders != 1 {
+		t.Fatalf("zero-class CorruptHeaders = %d, want 1", rs.CorruptHeaders)
+	}
+	if got := al3.RecoverMark(off3, 300); got != MarkDangling {
+		t.Fatalf("RecoverMark into zero-class chunk = %v, want MarkDangling", got)
+	}
+	if got := al3.RecoverMark(off3, 0); got != MarkDangling {
+		t.Fatalf("RecoverMark with rotted zero length = %v, want MarkDangling", got)
+	}
+	al3.FinishRecovery()
+
+	// A huge-span header whose chunk count runs past the arena is the
+	// other corrupt-header shape.
+	al2, a2, f2 := newTestAlloc(t, 6, 1)
+	hoff, err := al2.Core(0).Alloc(2*pmem.ChunkSize, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hchunk := (hoff - headerReserve) &^ (pmem.ChunkSize - 1)
+	a2.Corrupt(int(hchunk), 8, func(b []byte) { b[0] = 0xFF }) // chunk count 255 ≫ arena
+	al2.BeginRecovery()
+	if rs := al2.RecoveryStats(); rs.CorruptHeaders != 1 {
+		t.Fatalf("huge CorruptHeaders = %d, want 1", rs.CorruptHeaders)
+	}
+	if got := al2.RecoverMark(hoff, 2*pmem.ChunkSize); got != MarkDangling {
+		t.Fatalf("RecoverMark into corrupt huge span = %v, want MarkDangling", got)
+	}
+	al2.FinishRecovery()
+}
+
+// TestBlockAllocated covers the descriptor-validation helper both ways.
+func TestBlockAllocated(t *testing.T) {
+	al, _, f := newTestAlloc(t, 4, 1)
+	ca := al.Core(0)
+	off, err := ca.Alloc(300, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !al.BlockAllocated(off, 300) {
+		t.Fatal("live block reported not allocated")
+	}
+	if al.BlockAllocated(off, 5000) {
+		t.Fatal("size/class mismatch not rejected")
+	}
+	if al.BlockAllocated(off+1, 300) {
+		t.Fatal("misaligned pointer not rejected")
+	}
+	if al.BlockAllocated(int64(4*pmem.ChunkSize)+512, 300) {
+		t.Fatal("out-of-range pointer not rejected")
+	}
+	ca.Free(off, 300, f)
+	if al.BlockAllocated(off, 300) {
+		t.Fatal("freed block reported allocated")
+	}
+
+	hoff, err := ca.Alloc(2*pmem.ChunkSize, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !al.BlockAllocated(hoff, 2*pmem.ChunkSize) {
+		t.Fatal("huge span reported not allocated")
+	}
+	if al.BlockAllocated(hoff+pmem.ChunkSize, 2*pmem.ChunkSize) {
+		t.Fatal("mid-span pointer not rejected")
+	}
+	ca.Free(hoff, 2*pmem.ChunkSize, f)
+	if al.BlockAllocated(hoff, 2*pmem.ChunkSize) {
+		t.Fatal("freed huge span reported allocated")
+	}
+}

@@ -2,6 +2,72 @@ package alloc
 
 import "flatstore/internal/pmem"
 
+// RecoveryStats counts integrity events observed while rebuilding the
+// allocator. Historically a corrupt or torn chunk header was silently
+// treated as free space; now every such event is counted so salvage can
+// report it instead of swallowing it.
+type RecoveryStats struct {
+	// CorruptHeaders is the number of chunk headers that were unreadable
+	// at BeginRecovery (bad magic payload, impossible class size, huge
+	// span running past the arena) and were therefore treated as free.
+	CorruptHeaders int
+	// DanglingPtrs is the number of RecoverMark calls whose pointer did
+	// not resolve to a valid block (out of the managed range, chunk not
+	// cut, slot out of range or misaligned).
+	DanglingPtrs int
+}
+
+// RecoveryStats returns the counters accumulated since BeginRecovery.
+func (al *Allocator) RecoveryStats() RecoveryStats {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	return al.recStats
+}
+
+// MarkResult classifies a RecoverMark outcome.
+type MarkResult int
+
+const (
+	// MarkLive: the block was newly marked allocated.
+	MarkLive MarkResult = iota
+	// MarkDuplicate: the block was already marked (duplicate log entries
+	// for the same pointer are normal — e.g. a survivor chunk plus the
+	// original batch).
+	MarkDuplicate
+	// MarkDangling: the pointer did not resolve to a valid block. The
+	// record it claimed to reference cannot be trusted.
+	MarkDangling
+)
+
+// headerClass resolves a class-size payload read from a persisted chunk
+// header to its class index, or -1 when the payload is not a valid class
+// size. Unlike classIndex it never panics: the payload comes off media
+// and may have rotted into anything, including zero.
+func headerClass(cs int) int {
+	if cs <= 0 || cs > MaxClass {
+		return -1
+	}
+	class := classIndex(cs)
+	if class < 0 || ClassSize(class) != cs {
+		return -1
+	}
+	return class
+}
+
+// chunkIndexBounded is the defensive chunkIndex used on pointers
+// reconstructed from possibly-corrupt media: it reports ok=false instead
+// of indexing out of range.
+func (al *Allocator) chunkIndexBounded(off int64) (int, bool) {
+	if off < int64(al.base) {
+		return 0, false
+	}
+	i := (int(off) - al.base) / pmem.ChunkSize
+	if i >= al.n {
+		return 0, false
+	}
+	return i, true
+}
+
 // BeginRecovery prepares the allocator for post-crash reconstruction: it
 // reads the persisted chunk headers (class cuts and huge spans survive a
 // crash because they are flushed when written), zeroes every bitmap, and
@@ -11,6 +77,7 @@ func (al *Allocator) BeginRecovery() {
 	al.mu.Lock()
 	defer al.mu.Unlock()
 	al.free = al.free[:0]
+	al.recStats = RecoveryStats{}
 	mem := al.arena.Mem()
 	for i := 0; i < al.n; i++ {
 		off := al.chunkOff(i)
@@ -18,9 +85,12 @@ func (al *Allocator) BeginRecovery() {
 		switch magic & magicMask {
 		case magicClass & magicMask:
 			cs := int(magic &^ magicMask)
-			class := classIndex(cs)
-			if class < 0 || ClassSize(class) != cs {
-				// Corrupt or torn header; treat as free.
+			class := headerClass(cs)
+			if class < 0 {
+				// Corrupt or torn header: treated as free, but COUNTED —
+				// every pointer into this chunk will surface as dangling
+				// and its key will be quarantined, so reuse is safe.
+				al.recStats.CorruptHeaders++
 				al.chunks[i] = chunkState{class: -1, owner: -1}
 				continue
 			}
@@ -35,6 +105,7 @@ func (al *Allocator) BeginRecovery() {
 			// chunks, whose leading bytes are payload, not headers.
 			n := int(magic &^ magicMask)
 			if n <= 0 || i+n > al.n {
+				al.recStats.CorruptHeaders++
 				al.chunks[i] = chunkState{class: -1, owner: -1}
 				continue
 			}
@@ -49,57 +120,140 @@ func (al *Allocator) BeginRecovery() {
 	}
 }
 
+// BlockAllocated reports whether the DRAM state records a live block of
+// the given size at off: the chunk is cut to the matching class and the
+// slot's bitmap bit is set, or the offset is a recorded in-use huge span.
+// Callers use it to validate pointers taken from persisted descriptors
+// before freeing them — after media rot, a descriptor can outlive the
+// accounting that backs it, and freeing through a rotted header would
+// corrupt (or panic on) another chunk's bookkeeping.
+func (al *Allocator) BlockAllocated(off int64, size int) bool {
+	if size <= 0 {
+		return false
+	}
+	class := classIndex(size)
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if class < 0 {
+		i, ok := al.chunkIndexBounded(off - headerReserve)
+		if !ok || int(off-headerReserve) != al.chunkOff(i) {
+			return false
+		}
+		return al.chunks[i].hugeLen > 0
+	}
+	ci, ok := al.chunkIndexBounded(off)
+	if !ok {
+		return false
+	}
+	st := al.chunks[ci]
+	if st.class != class {
+		return false
+	}
+	cs := ClassSize(class)
+	base := al.chunkOff(ci)
+	rel := int(off) - base - headerReserve
+	if rel < 0 || rel%cs != 0 || rel/cs >= st.capacity {
+		return false
+	}
+	slot := rel / cs
+	return al.arena.Mem()[base+64+slot/8]&(1<<(slot%8)) != 0
+}
+
 // RecoverMark re-marks the block at off (allocated with the given size) as
 // live. It derives the chunk and slot exactly as described in §3.2: the
 // chunk base is off &^ (ChunkSize-1) and the slot follows from the
-// persisted class size.
-func (al *Allocator) RecoverMark(off int64, size int) {
-	if classIndex(size) < 0 {
-		al.recoverMarkHuge(off)
-		return
+// persisted class size. The pointer comes from a replayed log entry and
+// may reference media that has since rotted: every failure to resolve it
+// is reported as MarkDangling (and counted) instead of being marked —
+// the caller decides whether to quarantine the key.
+func (al *Allocator) RecoverMark(off int64, size int) MarkResult {
+	if size <= 0 {
+		return al.dangling() // length decoded from rotted media
 	}
-	ci := al.chunkIndex(off)
+	if classIndex(size) < 0 {
+		return al.recoverMarkHuge(off)
+	}
+	ci, ok := al.chunkIndexBounded(off)
+	if !ok {
+		return al.dangling()
+	}
 	st := &al.chunks[ci]
 	if st.class < 0 {
 		// The pointer references a chunk whose header says it is not
-		// cut — possible only for stale log entries; ignore.
-		return
+		// cut — a stale log entry, or a chunk whose header rotted.
+		return al.dangling()
 	}
 	cs := ClassSize(st.class)
 	base := al.chunkOff(ci)
-	slot := (int(off) - base - headerReserve) / cs
-	if slot < 0 || slot >= st.capacity {
-		return
+	rel := int(off) - base - headerReserve
+	slot := rel / cs
+	if rel < 0 || rel%cs != 0 || slot >= st.capacity {
+		return al.dangling()
 	}
 	mem := al.arena.Mem()
 	byteIdx := base + 64 + slot/8
 	mask := byte(1 << (slot % 8))
 	if mem[byteIdx]&mask != 0 {
-		return // already marked (duplicate log entries are fine)
+		return MarkDuplicate // duplicate log entries are fine
 	}
 	mem[byteIdx] |= mask
 	st.used++
+	return MarkLive
+}
+
+func (al *Allocator) dangling() MarkResult {
+	al.mu.Lock()
+	al.recStats.DanglingPtrs++
+	al.mu.Unlock()
+	return MarkDangling
 }
 
 // RecoverMarkRawChunk re-marks a whole chunk as in use by a raw-chunk
 // owner (the OpLog's segments). Call between BeginRecovery and
-// FinishRecovery, or before RecoverFromCleanShutdown.
-func (al *Allocator) RecoverMarkRawChunk(off int64) {
+// FinishRecovery, or before RecoverFromCleanShutdown. Reports false when
+// off is outside the managed range (a corrupt chain pointer).
+func (al *Allocator) RecoverMarkRawChunk(off int64) bool {
 	al.mu.Lock()
 	defer al.mu.Unlock()
-	i := al.chunkIndex(off)
+	i, ok := al.chunkIndexBounded(off)
+	if !ok {
+		return false
+	}
 	al.chunks[i] = chunkState{class: -1, owner: -2, used: 1}
+	return true
 }
 
-func (al *Allocator) recoverMarkHuge(off int64) {
-	start := al.chunkIndex(off - headerReserve)
+// RecoverUnmarkRawChunk reverses RecoverMarkRawChunk for a chunk that
+// salvage decided to drop (a log chunk past a truncation point). The
+// chunk is NOT pushed to the free pool here — FinishRecovery pools every
+// unowned, unused chunk, and pushing it twice would hand the same chunk
+// to two owners.
+func (al *Allocator) RecoverUnmarkRawChunk(off int64) {
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	if i, ok := al.chunkIndexBounded(off); ok {
+		al.chunks[i] = chunkState{class: -1, owner: -1}
+	}
+}
+
+func (al *Allocator) recoverMarkHuge(off int64) MarkResult {
+	start, ok := al.chunkIndexBounded(off - headerReserve)
+	if !ok || int(off-headerReserve) != al.chunkOff(start) {
+		// Huge payloads start exactly headerReserve into their first
+		// chunk; anything else is a rotted pointer.
+		return al.dangling()
+	}
 	st := &al.chunks[start]
 	if st.hugeLen <= 0 {
-		return // not a huge span recorded by BeginRecovery
+		return al.dangling() // not a huge span recorded by BeginRecovery
+	}
+	if st.used != 0 {
+		return MarkDuplicate
 	}
 	for j := start; j < start+st.hugeLen; j++ {
 		al.chunks[j].used = 1
 	}
+	return MarkLive
 }
 
 // FinishRecovery rebuilds the free pool and redistributes partially-filled
@@ -185,8 +339,8 @@ func (al *Allocator) RecoverFromCleanShutdown() {
 		switch magic & magicMask {
 		case magicClass & magicMask:
 			cs := int(magic &^ magicMask)
-			class := classIndex(cs)
-			if class < 0 || ClassSize(class) != cs {
+			class := headerClass(cs)
+			if class < 0 {
 				al.chunks[i] = chunkState{class: -1, owner: -1}
 				al.free = append(al.free, i)
 				continue

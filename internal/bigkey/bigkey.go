@@ -6,10 +6,17 @@
 // recovery), while the engine is addressed by a 64-bit hash of the key,
 // with bounded open-addressing probes to resolve hash collisions.
 //
-// Records are encoded as [klen u32][key][value]. Deleting a key leaves a
-// bridge record (klen = 2^32-1) so probe chains through the deleted slot
-// stay intact; bridges are reused by later inserts and reclaimed when the
-// chain end shrinks past them.
+// Records are encoded as [klen u32][crc u32][key][value], where crc is
+// CRC32C over key++value — the same polynomial as the wire frames, the
+// value records, and the OpLog batch trailers. The blob-level checksum
+// matters because small values are stored inline in log entries, outside
+// the record-layer CRC: without it, a rotted blob could decode as a
+// different key, or — worse — as a bridge, silently splicing a probe
+// chain. A blob that fails its checksum surfaces as ErrCorruptBlob.
+// Deleting a key leaves a bridge record (klen = 2^32-1, 4 bytes, no
+// checksum) so probe chains through the deleted slot stay intact; bridges
+// are reused by later inserts and reclaimed when the chain end shrinks
+// past them.
 //
 // Concurrency: operations on the same byte-string key serialize through
 // the engine's per-core conflict machinery (same hash → same slots →
@@ -24,9 +31,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"flatstore/internal/core"
 )
+
+// castagnoli is the shared CRC32C polynomial table.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // maxProbes bounds the open-addressing chain per slot window.
 const maxProbes = 16
@@ -37,6 +48,12 @@ const bridgeKlen = ^uint32(0)
 // ErrTooManyCollisions reports an exhausted probe window — practically
 // unreachable below billions of keys with a 64-bit hash.
 var ErrTooManyCollisions = errors.New("bigkey: too many hash collisions")
+
+// ErrCorruptBlob reports a stored record whose framing or CRC32C failed
+// to verify: the slot's bytes rotted after they were written. The key
+// that lived in the slot is effectively lost (which key it was cannot be
+// trusted either); the slot is NOT silently treated as a bridge.
+var ErrCorruptBlob = errors.New("bigkey: corrupt record (checksum mismatch)")
 
 // Store wraps a FlatStore node with byte-string keys.
 type Store struct {
@@ -68,25 +85,33 @@ var slot = func(h uint64, i int) uint64 {
 	return x ^ x>>32
 }
 
-// encode builds the on-PM record.
+// encode builds the on-PM record: [klen][crc32c(key++value)][key][value].
 func encode(key, value []byte) []byte {
-	buf := make([]byte, 4+len(key)+len(value))
+	buf := make([]byte, 8+len(key)+len(value))
 	binary.LittleEndian.PutUint32(buf, uint32(len(key)))
-	copy(buf[4:], key)
-	copy(buf[4+len(key):], value)
+	copy(buf[8:], key)
+	copy(buf[8+len(key):], value)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(buf[8:], castagnoli))
 	return buf
 }
 
-// decode splits a record; ok=false for bridges.
-func decode(rec []byte) (key, value []byte, ok bool) {
-	if len(rec) < 4 {
-		return nil, nil, false
+// decode splits a record; ok=false with a nil error for bridges, and
+// ErrCorruptBlob for anything that fails framing or checksum.
+func decode(rec []byte) (key, value []byte, ok bool, err error) {
+	if len(rec) == 4 && binary.LittleEndian.Uint32(rec) == bridgeKlen {
+		return nil, nil, false, nil
+	}
+	if len(rec) < 8 {
+		return nil, nil, false, ErrCorruptBlob
 	}
 	klen := binary.LittleEndian.Uint32(rec)
-	if klen == bridgeKlen || int(klen) > len(rec)-4 {
-		return nil, nil, false
+	if klen == bridgeKlen || int(klen) > len(rec)-8 {
+		return nil, nil, false, ErrCorruptBlob
 	}
-	return rec[4 : 4+klen], rec[4+klen:], true
+	if crc32.Checksum(rec[8:], castagnoli) != binary.LittleEndian.Uint32(rec[4:]) {
+		return nil, nil, false, ErrCorruptBlob
+	}
+	return rec[8 : 8+klen], rec[8+klen:], true, nil
 }
 
 var bridge = binary.LittleEndian.AppendUint32(nil, bridgeKlen)
@@ -111,10 +136,13 @@ func (s *Store) Put(key, value []byte) error {
 			}
 			return s.cl.Put(slot(h, target), encode(key, value))
 		}
-		k, _, ok := decode(rec)
+		k, _, ok, _ := decode(rec)
 		if !ok {
+			// A bridge — or a corrupt blob, whose resident key is already
+			// unreadable; reusing the slot lets writes heal it without
+			// losing anything that was still retrievable.
 			if firstFree < 0 {
-				firstFree = i // reusable bridge
+				firstFree = i
 			}
 			continue
 		}
@@ -139,7 +167,13 @@ func (s *Store) Get(key []byte) (value []byte, present bool, err error) {
 		if !ok {
 			return nil, false, nil // end of chain
 		}
-		k, v, valid := decode(rec)
+		k, v, valid, derr := decode(rec)
+		if derr != nil {
+			// The slot's bytes rotted; whether they held this key cannot
+			// be determined, so report the corruption rather than a
+			// silent not-found.
+			return nil, false, derr
+		}
 		if valid && bytes.Equal(k, key) {
 			return v, true, nil
 		}
@@ -159,7 +193,10 @@ func (s *Store) Delete(key []byte) (present bool, err error) {
 		if !ok {
 			return false, nil
 		}
-		k, _, valid := decode(rec)
+		k, _, valid, derr := decode(rec)
+		if derr != nil {
+			return false, derr
+		}
 		if !valid || !bytes.Equal(k, key) {
 			continue
 		}
@@ -173,7 +210,9 @@ func (s *Store) Delete(key []byte) (present bool, err error) {
 			if !ok2 {
 				break
 			}
-			if _, _, valid2 := decode(rec2); valid2 {
+			// Corrupt slots count as bridges here: their resident key is
+			// already lost, so they never need the chain kept alive.
+			if _, _, valid2, _ := decode(rec2); valid2 {
 				tail = true
 				break
 			}
@@ -195,7 +234,7 @@ func (s *Store) Delete(key []byte) (present bool, err error) {
 			if !ok2 {
 				break
 			}
-			if _, _, valid2 := decode(rec2); valid2 {
+			if _, _, valid2, _ := decode(rec2); valid2 {
 				break // unreachable given tail==false; defensive
 			}
 			if _, err := s.cl.Delete(slot(h, j)); err != nil {
@@ -210,7 +249,7 @@ func (s *Store) Delete(key []byte) (present bool, err error) {
 			if !ok2 {
 				break
 			}
-			if _, _, valid2 := decode(rec2); valid2 {
+			if _, _, valid2, _ := decode(rec2); valid2 {
 				break
 			}
 			if _, err := s.cl.Delete(slot(h, j)); err != nil {

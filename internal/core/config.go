@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"flatstore/internal/batch"
 	"flatstore/internal/pmem"
@@ -76,6 +77,17 @@ type Config struct {
 	MaxPoll int
 	// GC tunes the cleaner.
 	GC GCConfig
+	// Salvage makes recovery repair media corruption instead of failing:
+	// each log is truncated at its first invalid batch, keys whose last
+	// acknowledged value is lost or doubtful are quarantined (reads
+	// return a corruption error until the key is overwritten), and a
+	// SalvageReport describes everything that was dropped. Without it,
+	// corruption surfaces as a typed Open error.
+	Salvage bool
+	// ScrubEvery starts a background scrubber that walks the logs and
+	// out-of-place records verifying checksums at this interval,
+	// quarantining keys whose bytes rotted at rest. Zero disables it.
+	ScrubEvery time.Duration
 }
 
 // MaxCores bounds the per-core metadata slots in the superblock.
@@ -127,13 +139,18 @@ const (
 	superMagic = 0xF1A7_5708_2020_0001
 
 	offMagic    = 0
-	offFlag     = 64   // shutdown flag: 1 = clean, 0 = dirty
+	offFlag     = 64   // shutdown flag: flagClean = clean, else dirty
 	offCkpt     = 128  // checkpoint descriptor: ptr, len
 	offCores    = 192  // number of server cores the arena was formatted for
-	offCoreMeta = 4096 // + core*64: per-core log metadata (head, tail)
+	offCoreMeta = 4096 // + core*64: per-core log metadata (head, tail, crc)
 	offJournal  = 8192 // + group*64: cleaner journal slot (survivor chunk)
 
-	flagClean = 1
+	// flagClean is a high-Hamming-weight magic rather than 1: a clean flag
+	// gates trusting the persisted bitmaps and checkpoint wholesale, and a
+	// single flipped bit in a crashed arena's flag word must not be able
+	// to fake a clean shutdown (any single flip of flagClean is also
+	// detectably not-clean).
+	flagClean = 0xC1EA_A5A5_5A5A_EA1C
 	flagDirty = 0
 )
 

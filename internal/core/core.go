@@ -40,6 +40,13 @@ type Core struct {
 	// reg tracks per-key version continuity and stale-entry counts for
 	// tombstone reclamation (rebuilt on recovery).
 	reg map[uint64]*keyMeta
+	// quar maps quarantined keys — media corruption destroyed (or cast
+	// doubt on) their last acknowledged value — to the highest version
+	// that value may have carried. Guarded by idxMu. Reads answer
+	// StatusCorrupt; a successful Put or Delete clears the entry and
+	// continues the version sequence past the recorded high-water mark,
+	// so the lost value can never resurface as "newer".
+	quar map[uint64]uint32
 
 	pending []*batch.PendingOp // own published ops, FIFO
 	outbox  []Outgoing         // responses awaiting transmission
@@ -210,31 +217,85 @@ func (c *Core) Submit(req rpc.Request, client int) {
 }
 
 // readEntry decodes the log entry at ref and materializes its value.
-func (c *Core) readEntry(ref int64) ([]byte, bool) {
+// corrupt reports an out-of-place record that failed its CRC: the bytes
+// rotted at rest, and the caller must not treat the key as merely absent.
+func (c *Core) readEntry(ref int64) (val []byte, ok, corrupt bool) {
 	c.st.reclaimMu.RLock()
 	defer c.st.reclaimMu.RUnlock()
 	mem := c.st.arena.Mem()
 	e, _, err := oplog.Decode(mem[ref:])
 	if err != nil || e.Op != oplog.OpPut {
-		return nil, false
+		return nil, false, false
 	}
 	c.reads++
 	if e.Inline {
 		out := make([]byte, len(e.Value))
 		copy(out, e.Value)
-		return out, true
+		return out, true, false
 	}
 	c.reads++
-	return record.Read(c.st.arena, e.Ptr), true
+	if record.Verify(c.st.arena, e.Ptr) != nil {
+		return nil, false, true
+	}
+	return record.Read(c.st.arena, e.Ptr), true, false
+}
+
+// quarantine removes key from the index and records it as corrupt, with
+// ver (and anything higher the registry or index knew) as the version
+// high-water mark a future overwrite must exceed.
+func (c *Core) quarantine(key uint64, ver uint32) {
+	c.idxMu.Lock()
+	c.quarantineLocked(key, ver)
+	c.idxMu.Unlock()
+}
+
+// Quarantined reports whether key is currently quarantined: its last
+// acknowledged state was lost to media corruption and reads fail with a
+// corruption status until the key is overwritten or deleted.
+func (c *Core) Quarantined(key uint64) bool {
+	c.idxMu.Lock()
+	_, ok := c.quar[key]
+	c.idxMu.Unlock()
+	return ok
+}
+
+// quarantineLocked is quarantine for callers already holding idxMu (the
+// scrubber quarantines while iterating the index under the lock).
+func (c *Core) quarantineLocked(key uint64, ver uint32) {
+	qv := ver
+	if _, v, ok := c.idx.Get(key); ok {
+		if v > qv {
+			qv = v
+		}
+		c.idx.Delete(key)
+	}
+	if m := c.reg[key]; m != nil && m.lastVer > qv {
+		qv = m.lastVer
+	}
+	if prev, ok := c.quar[key]; ok && prev >= qv {
+		return
+	}
+	c.quar[key] = qv
 }
 
 func (c *Core) respondGet(req rpc.Request, client int) {
 	c.idxMu.Lock()
-	ref, _, ok := c.idx.Get(req.Key)
+	ref, ver, ok := c.idx.Get(req.Key)
+	_, quarantined := c.quar[req.Key]
 	c.idxMu.Unlock()
 	resp := rpc.Response{ID: req.ID, Status: rpc.StatusNotFound}
-	if ok {
-		if v, vok := c.readEntry(ref); vok {
+	if quarantined {
+		resp.Status = rpc.StatusCorrupt
+	} else if ok {
+		v, vok, corrupt := c.readEntry(ref)
+		switch {
+		case corrupt:
+			// Detected on the read path (rot since the last scrub):
+			// quarantine now rather than serve garbage or a false miss.
+			c.quarantine(req.Key, ver)
+			c.st.noteChecksumErrors(1)
+			resp.Status = rpc.StatusCorrupt
+		case vok:
 			resp = rpc.Response{ID: req.ID, Status: rpc.StatusOK, Value: v}
 		}
 	}
@@ -252,8 +313,11 @@ func (c *Core) respondScan(req rpc.Request, client int) {
 		limit = 1 << 20
 	}
 	var pairs []rpc.Pair
+	// Quarantined keys are absent from the index and therefore silently
+	// skipped by scans; corrupt records discovered mid-scan are skipped
+	// too (the scrubber or a direct Get quarantines them).
 	ordered.Scan(req.Key, req.ScanHi, func(k uint64, ref int64, _ uint32) bool {
-		if v, vok := c.readEntry(ref); vok {
+		if v, vok, _ := c.readEntry(ref); vok {
 			pairs = append(pairs, rpc.Pair{Key: k, Value: v})
 		}
 		return len(pairs) < limit
@@ -274,16 +338,23 @@ func (c *Core) startModify(req rpc.Request, client int) {
 	} else {
 		c.idxMu.Lock()
 		_, oldVer, exists := c.idx.Get(req.Key)
+		qver, quarantined := c.quar[req.Key]
 		switch {
 		case exists:
 			ctx.version = oldVer + 1
+		case quarantined:
+			// Continue past the highest version the lost value may have
+			// carried, so this write durably supersedes it everywhere.
+			ctx.version = qver + 1
 		case c.reg[req.Key] != nil:
 			ctx.version = c.reg[req.Key].lastVer + 1
 		default:
 			ctx.version = 1
 		}
 		c.idxMu.Unlock()
-		if req.Op == rpc.OpDelete && !exists {
+		// Deleting a quarantined key proceeds: it writes the tombstone the
+		// client asked for and clears the quarantine.
+		if req.Op == rpc.OpDelete && !exists && !quarantined {
 			c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusNotFound}})
 			return
 		}
@@ -435,6 +506,7 @@ func (c *Core) complete(op *batch.PendingOp) {
 		// in version order on the owning core).
 		var oldRef, oldPtr int64 = -1, -1
 		var oldSize, oldLen int
+		rotted := false
 		c.idxMu.Lock()
 		if ref, _, ok := c.idx.Get(ctx.key); ok {
 			oldRef = ref
@@ -442,8 +514,16 @@ func (c *Core) complete(op *batch.PendingOp) {
 			if e, n, err := oplog.Decode(c.st.arena.Mem()[oldRef:]); err == nil && e.Op == oplog.OpPut {
 				oldSize = n
 				if !e.Inline {
-					oldPtr = e.Ptr
-					oldLen = record.Size(record.Len(c.st.arena, e.Ptr))
+					// Verify before freeing: a rotted length would derive
+					// the wrong size class and corrupt the allocator. A
+					// block whose record rotted is leaked instead (salvage
+					// recovery reclaims it as unreferenced).
+					if record.Verify(c.st.arena, e.Ptr) == nil {
+						oldPtr = e.Ptr
+						oldLen = record.Size(record.Len(c.st.arena, e.Ptr))
+					} else {
+						rotted = true
+					}
 				}
 			}
 			c.st.reclaimMu.RUnlock()
@@ -476,7 +556,21 @@ func (c *Core) complete(op *batch.PendingOp) {
 			m.lastVer = ctx.version
 			m.deleted = true
 		}
+		cleared := false
+		if _, ok := c.quar[ctx.key]; ok {
+			// The acknowledged overwrite (or tombstone) supersedes whatever
+			// the corruption destroyed: the quarantine has served its
+			// purpose.
+			delete(c.quar, ctx.key)
+			cleared = true
+		}
 		c.idxMu.Unlock()
+		if cleared {
+			c.st.noteQuarantineClears(1)
+		}
+		if rotted {
+			c.st.noteChecksumErrors(1)
+		}
 		if oldRef >= 0 {
 			c.st.usage.markDead(chunkOf(oldRef), oldSize)
 		}

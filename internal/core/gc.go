@@ -192,7 +192,7 @@ func (cl *Cleaner) CleanOnce() int {
 	// deferred registry effects of the dropped ones.
 	cl.applyDropped(entries)
 	st.reclaimMu.Lock()
-	st.al.FreeRawChunk(victim)
+	st.al.FreeRawChunk(victim, cl.f)
 	st.reclaimMu.Unlock()
 	st.usage.drop(victim)
 	// 7. Clear the journal slot.

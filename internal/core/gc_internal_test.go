@@ -103,8 +103,9 @@ func TestCleanOnceIdempotentOnSurvivorFailure(t *testing.T) {
 	}
 
 	// Space returns; the retried victim must now clean successfully.
+	f := st.arena.NewFlusher()
 	for _, off := range hoard {
-		st.al.FreeRawChunk(off)
+		st.al.FreeRawChunk(off, f)
 	}
 	for i := 0; i < 50 && cleaner.CleanOnce() > 0; i++ {
 	}

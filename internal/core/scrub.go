@@ -1,0 +1,185 @@
+package core
+
+import (
+	"flatstore/internal/oplog"
+	"flatstore/internal/pmem"
+	"flatstore/internal/record"
+)
+
+// ScrubResult summarizes one scrubber pass.
+type ScrubResult struct {
+	// Batches and Entries count verified log batches and the entries they
+	// delivered.
+	Batches, Entries int
+	// Records counts out-of-place records whose CRC was re-verified.
+	Records int
+	// CorruptRegions counts log regions that failed batch verification.
+	CorruptRegions int
+	// CorruptRecords counts live records that failed their CRC.
+	CorruptRecords int
+	// KeysQuarantined counts keys this pass quarantined.
+	KeysQuarantined int
+}
+
+// Clean reports whether the pass found no corruption.
+func (r ScrubResult) Clean() bool {
+	return r.CorruptRegions == 0 && r.CorruptRecords == 0 && r.KeysQuarantined == 0
+}
+
+// scrubRegion is a log region that failed batch verification, pending
+// attribution to the live keys whose index references fall inside it.
+type scrubRegion struct {
+	log    *oplog.Log
+	chunk  int64
+	lo, hi int64
+}
+
+// ScrubOnce walks every log chunk verifying batch trailers and every live
+// out-of-place record verifying its value CRC, quarantining the keys whose
+// last acknowledged state turns out to have rotted at rest. It runs
+// concurrently with serving: chunk scans hold the reclaim lock in read
+// mode so the cleaner cannot free a chunk mid-scan, and index work takes
+// the per-core index locks in short, bounded holds.
+func (st *Store) ScrubOnce() ScrubResult {
+	var res ScrubResult
+	var regions []scrubRegion
+
+	// Pass 1: batch-verify every chunk of every log. Holding reclaimMu.R
+	// across a core's scan pins its chunk snapshot: unlinking can still
+	// happen (harmless — the bytes stay), but freeing and reuse need W.
+	for _, c := range st.cores {
+		st.reclaimMu.RLock()
+		tail := c.log.Tail()
+		for _, chunk := range c.log.Chunks() {
+			sv := oplog.SalvageChunk(st.arena, chunk, tail, func(int64, oplog.Entry) bool {
+				res.Entries++
+				return true
+			})
+			res.Batches += sv.Batches
+			if sv.CorruptAt < 0 {
+				continue
+			}
+			res.CorruptRegions++
+			end := chunk + int64(pmem.ChunkSize)
+			if tail >= chunk && tail < end {
+				end = tail
+			}
+			regions = append(regions, scrubRegion{log: c.log, chunk: chunk, lo: sv.CorruptAt, hi: end})
+		}
+		st.reclaimMu.RUnlock()
+	}
+
+	// Pass 2: attribute corrupt regions. A key is damaged exactly when its
+	// index reference (always the latest acknowledged write) points into
+	// the region. Lock order matches complete(): idx locks, then reclaim R.
+	for _, r := range regions {
+		st.lockAllIdx()
+		st.reclaimMu.RLock()
+		var bad []uint64
+		if r.log.Contains(r.chunk) { // freed+reused since the scan? then stale verdict — skip
+			rangeIdx := func(key uint64, ref int64, _ uint32) bool {
+				if ref >= r.lo && ref < r.hi {
+					bad = append(bad, key)
+				}
+				return true
+			}
+			if st.tree != nil {
+				st.tree.Range(rangeIdx)
+			} else {
+				for _, c := range st.cores {
+					c.idx.Range(rangeIdx)
+				}
+			}
+		}
+		st.reclaimMu.RUnlock()
+		for _, key := range bad {
+			st.cores[st.CoreOf(key)].quarantineLocked(key, 0)
+			res.KeysQuarantined++
+		}
+		st.unlockAllIdx()
+	}
+
+	// Pass 3: re-verify live out-of-place records. Snapshot (key, ref,
+	// version) triples first, then verify in bounded lock holds, skipping
+	// any key whose reference moved in the meantime.
+	type liveRef struct {
+		key uint64
+		ref int64
+		ver uint32
+	}
+	var refs []liveRef
+	st.lockAllIdx()
+	collect := func(key uint64, ref int64, ver uint32) bool {
+		refs = append(refs, liveRef{key, ref, ver})
+		return true
+	}
+	if st.tree != nil {
+		st.tree.Range(collect)
+	} else {
+		for _, c := range st.cores {
+			c.idx.Range(collect)
+		}
+	}
+	st.unlockAllIdx()
+
+	const scrubStride = 512
+	for lo := 0; lo < len(refs); lo += scrubStride {
+		hi := lo + scrubStride
+		if hi > len(refs) {
+			hi = len(refs)
+		}
+		st.lockAllIdx()
+		st.reclaimMu.RLock()
+		mem := st.arena.Mem()
+		var bad []liveRef
+		for _, lr := range refs[lo:hi] {
+			oc := st.cores[st.CoreOf(lr.key)]
+			cur, ver, ok := oc.idx.Get(lr.key)
+			if !ok || cur != lr.ref || ver != lr.ver {
+				continue // overwritten or deleted since the snapshot
+			}
+			e, _, err := oplog.Decode(mem[lr.ref:])
+			switch {
+			case err != nil || e.Op != oplog.OpPut:
+				bad = append(bad, lr) // the entry itself no longer decodes
+			case e.Inline:
+				// Inline values are covered by the batch trailer (pass 1).
+			case record.Verify(st.arena, e.Ptr) != nil:
+				res.Records++
+				bad = append(bad, lr)
+			default:
+				res.Records++
+			}
+		}
+		st.reclaimMu.RUnlock()
+		for _, lr := range bad {
+			res.CorruptRecords++
+			st.cores[st.CoreOf(lr.key)].quarantineLocked(lr.key, lr.ver)
+			res.KeysQuarantined++
+		}
+		st.unlockAllIdx()
+	}
+
+	st.integMu.Lock()
+	st.integ.ScrubRuns++
+	st.integ.ScrubBatches += uint64(res.Batches)
+	st.integ.ScrubRecords += uint64(res.Records)
+	st.integ.ChecksumErrors += uint64(res.CorruptRegions + res.CorruptRecords)
+	st.integMu.Unlock()
+	return res
+}
+
+// lockAllIdx acquires every core's index lock in core order — quiescing
+// both index layouts (per-core hash tables and the shared masstree, which
+// is only mutated by cores holding their own lock).
+func (st *Store) lockAllIdx() {
+	for _, c := range st.cores {
+		c.idxMu.Lock()
+	}
+}
+
+func (st *Store) unlockAllIdx() {
+	for _, c := range st.cores {
+		c.idxMu.Unlock()
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"flatstore/internal/alloc"
 	"flatstore/internal/batch"
@@ -11,6 +12,7 @@ import (
 	"flatstore/internal/oplog"
 	"flatstore/internal/pmem"
 	"flatstore/internal/rpc"
+	"flatstore/internal/stats"
 )
 
 // Store is one FlatStore node.
@@ -31,8 +33,16 @@ type Store struct {
 
 	// reclaimMu lets readers decode log entries without racing the
 	// cleaner's chunk frees: readers hold R, the cleaner holds W only
-	// around returning a victim chunk to the pool.
+	// around returning a victim chunk to the pool. The scrubber holds R
+	// across each chunk scan for the same reason.
 	reclaimMu sync.RWMutex
+
+	// integMu guards integ, the cumulative storage-integrity counters
+	// (updated by cores, the scrubber, and salvage recovery), and salvage,
+	// the report of the last salvage recovery (nil if none ran).
+	integMu sync.Mutex
+	integ   stats.Integrity
+	salvage *SalvageReport
 
 	// lifeMu serializes Run/Stop (and guards running): the flatstore
 	// front end stops the store from a signal handler while monitoring
@@ -107,6 +117,7 @@ func (st *Store) newCore(i int) (*Core, error) {
 		member: i % st.cfg.GroupSize,
 		busy:   map[uint64]*inflight{},
 		reg:    map[uint64]*keyMeta{},
+		quar:   map[uint64]uint32{},
 	}
 	if st.cfg.Index == IndexMasstree {
 		c.idx = st.tree
@@ -214,6 +225,22 @@ func (st *Store) Run() {
 			}(g)
 		}
 	}
+	if st.cfg.ScrubEvery > 0 {
+		st.stopped.Add(1)
+		go func() {
+			defer st.stopped.Done()
+			t := time.NewTicker(st.cfg.ScrubEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-st.stop:
+					return
+				case <-t.C:
+					st.ScrubOnce()
+				}
+			}
+		}()
+	}
 }
 
 // Stop halts the goroutines started by Run without checkpointing (used
@@ -237,6 +264,7 @@ type StatsSnapshot struct {
 	PM         pmem.StatsSnapshot
 	Groups     []batch.GroupStats
 	FreeChunks int
+	Integrity  stats.Integrity
 }
 
 // Stats snapshots engine statistics. Safe to call while the store is
@@ -250,7 +278,43 @@ func (st *Store) Stats() StatsSnapshot {
 	for _, g := range st.groups {
 		s.Groups = append(s.Groups, g.Stats())
 	}
+	s.Integrity = st.Integrity()
 	return s
+}
+
+// Integrity snapshots the storage-integrity counters. Quarantined is
+// derived live from the per-core quarantine maps.
+func (st *Store) Integrity() stats.Integrity {
+	st.integMu.Lock()
+	s := st.integ
+	st.integMu.Unlock()
+	for _, c := range st.cores {
+		c.idxMu.Lock()
+		s.Quarantined += uint64(len(c.quar))
+		c.idxMu.Unlock()
+	}
+	return s
+}
+
+// SalvageReport returns the report of the salvage recovery that opened
+// this store, or nil when recovery found nothing to repair (or salvage
+// mode was off).
+func (st *Store) SalvageReport() *SalvageReport {
+	st.integMu.Lock()
+	defer st.integMu.Unlock()
+	return st.salvage
+}
+
+func (st *Store) noteChecksumErrors(n uint64) {
+	st.integMu.Lock()
+	st.integ.ChecksumErrors += n
+	st.integMu.Unlock()
+}
+
+func (st *Store) noteQuarantineClears(n uint64) {
+	st.integMu.Lock()
+	st.integ.QuarantineClears += n
+	st.integMu.Unlock()
 }
 
 // Len returns the number of live keys. Safe to call live; exact while

@@ -179,5 +179,8 @@ func lookupValue(st *core.Store, key uint64) ([]byte, bool, error) {
 	if e.Inline {
 		return append([]byte(nil), e.Value...), true, nil
 	}
+	if verr := record.Verify(st.Arena(), e.Ptr); verr != nil {
+		return nil, false, fmt.Errorf("fault: key %#x: record at %#x fails verification: %w", key, e.Ptr, verr)
+	}
 	return record.Read(st.Arena(), e.Ptr), true, nil
 }

@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"flatstore/internal/core"
+	"flatstore/internal/oplog"
+	"flatstore/internal/pmem"
+	"flatstore/internal/record"
+)
+
+// MediaFault injects at-rest media corruption — the failure mode the
+// crash-point Injector cannot produce: bytes that were durably persisted
+// and later rot on the medium (bit flips, a dead cacheline, a stuck-at
+// region). All damage goes through the arena's corruption hooks; the
+// generator is seeded so every run of a test reproduces the same faults.
+type MediaFault struct {
+	rng *rand.Rand
+}
+
+// NewMediaFault builds a deterministic media-fault source.
+func NewMediaFault(seed int64) *MediaFault {
+	return &MediaFault{rng: rand.New(rand.NewSource(seed))}
+}
+
+// FlipBit flips one bit of the media view.
+func (m *MediaFault) FlipBit(a *pmem.Arena, off int, bit uint) {
+	a.CorruptMedia(off, 1, func(b []byte) { b[0] ^= 1 << (bit & 7) })
+}
+
+// FlipRandomBits flips n random bits in [lo, hi) of the media view.
+func (m *MediaFault) FlipRandomBits(a *pmem.Arena, lo, hi, n int) {
+	for i := 0; i < n; i++ {
+		off := lo + m.rng.Intn(hi-lo)
+		m.FlipBit(a, off, uint(m.rng.Intn(8)))
+	}
+}
+
+// ZeroCacheline zeroes the whole 64-byte cacheline containing off — a
+// line the DIMM lost entirely.
+func (m *MediaFault) ZeroCacheline(a *pmem.Arena, off int) {
+	base := off &^ (pmem.CachelineSize - 1)
+	a.CorruptMedia(base, pmem.CachelineSize, func(b []byte) {
+		for i := range b {
+			b[i] = 0
+		}
+	})
+}
+
+// StuckRange forces every byte of [off, off+n) to v — a stuck-at region
+// (failed row, all-ones or all-zeros are the common cases).
+func (m *MediaFault) StuckRange(a *pmem.Arena, off, n int, v byte) {
+	a.CorruptMedia(off, n, func(b []byte) {
+		for i := range b {
+			b[i] = v
+		}
+	})
+}
+
+// History is the per-key list of every value a client ever saw
+// acknowledged, in order; a nil entry records an acknowledged delete.
+// CheckSalvage uses it as the oracle of "data that was ever true".
+type History map[uint64][][]byte
+
+// RecordPut appends an acknowledged value.
+func (h History) RecordPut(key uint64, val []byte) {
+	h[key] = append(h[key], append([]byte(nil), val...))
+}
+
+// RecordDelete appends an acknowledged delete.
+func (h History) RecordDelete(key uint64) { h[key] = append(h[key], nil) }
+
+// CheckSalvage verifies the integrity contract of a store opened (in
+// salvage mode) from corrupted media against the final acknowledged model
+// and the full value history:
+//
+//  1. NOTHING WRONG: a readable key must carry a value that was at some
+//     point acknowledged for that key — never garbage, never another
+//     key's bytes. Out-of-place records are CRC-verified before being
+//     compared, exactly as the read path does.
+//  2. NOTHING INVENTED: no key outside the history may be readable.
+//     (Quarantined keys — including suspects whose decoded key is itself
+//     rotted garbage — are absent from the index, so they cannot trip
+//     this.)
+//  3. NOTHING SILENT: if the salvage report is clean (and no key is
+//     quarantined), the state must EXACTLY match the final acknowledged
+//     model — damage may only degrade data when it is also reported.
+//
+// Reverting to an older acknowledged value, disappearing, or reading as
+// quarantined are all acceptable for a damaged key: the contract is that
+// corruption is loud and never fabricates data, not that every last
+// write survives arbitrary rot.
+func CheckSalvage(st *core.Store, model map[uint64][]byte, hist History) error {
+	rep := st.SalvageReport()
+	strict := rep.Clean() && st.Integrity().Quarantined == 0
+	return checkHistory(st, model, hist, strict)
+}
+
+// checkHistory is CheckSalvage with the strictness chosen by the caller
+// (non-salvage sweeps verify only the never-wrong-data rules: their loss
+// reporting surfaces as a typed Open error instead of a report).
+func checkHistory(st *core.Store, model map[uint64][]byte, hist History, strict bool) error {
+	seen := map[uint64]bool{}
+	for i := 0; i < st.Cores(); i++ {
+		ok := true
+		var ferr error
+		st.Core(i).Index().Range(func(k uint64, ref int64, _ uint32) bool {
+			if seen[k] {
+				return true
+			}
+			seen[k] = true
+			got, gotOK, err := lookupVerified(st, k, ref)
+			if err != nil {
+				ferr = err
+				ok = false
+				return false
+			}
+			if !gotOK {
+				// Index points at an unreadable record: the read path
+				// would quarantine; not wrong data.
+				return true
+			}
+			past, known := hist[k]
+			if !known {
+				ferr = fmt.Errorf("fault: key %#x readable but never acknowledged (fabricated)", k)
+				ok = false
+				return false
+			}
+			matched := false
+			for _, v := range past {
+				if v != nil && bytes.Equal(got, v) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				ferr = fmt.Errorf("fault: key %#x reads %d bytes matching no acknowledged value", k, len(got))
+				ok = false
+				return false
+			}
+			if strict {
+				want, live := model[k]
+				if !live || !bytes.Equal(got, want) {
+					ferr = fmt.Errorf("fault: clean salvage report but key %#x deviates from the acknowledged state", k)
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return ferr
+		}
+	}
+	if strict {
+		for k := range model {
+			if !seen[k] {
+				return fmt.Errorf("fault: clean salvage report but acknowledged key %#x is gone", k)
+			}
+		}
+	}
+	return nil
+}
+
+// lookupVerified reads a key's value through its index ref with the same
+// verification the serving read path applies — it must never return
+// unverified bytes, or the checker itself would launder garbage.
+func lookupVerified(st *core.Store, key uint64, ref int64) ([]byte, bool, error) {
+	arena := st.Arena()
+	if ref < 0 || ref+8 > int64(arena.Size()) {
+		return nil, false, fmt.Errorf("fault: key %#x: index ref %#x out of bounds", key, ref)
+	}
+	e, _, err := oplog.Decode(arena.Mem()[ref:])
+	if err != nil || e.Op != oplog.OpPut || e.Key != key {
+		return nil, false, nil // read path would quarantine
+	}
+	if e.Inline {
+		return append([]byte(nil), e.Value...), true, nil
+	}
+	if record.Verify(arena, e.Ptr) != nil {
+		return nil, false, nil
+	}
+	return record.Read(arena, e.Ptr), true, nil
+}

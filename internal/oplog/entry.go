@@ -10,6 +10,7 @@ package oplog
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Op is the operation type recorded in a log entry.
@@ -54,6 +55,63 @@ const (
 
 // ErrCorrupt reports an undecodable log entry.
 var ErrCorrupt = errors.New("oplog: corrupt log entry")
+
+// ErrChecksum reports a batch whose CRC32C trailer failed to verify —
+// at-rest media corruption somewhere inside the batch or its trailer.
+var ErrChecksum = errors.New("oplog: batch checksum mismatch")
+
+// Batch trailer. Every persisted batch is followed by a 16-byte trailer
+// that shares the entry word grid, so the 16-byte entry format itself is
+// untouched while corruption becomes detectable at batch granularity:
+//
+//	word0 bits 0..1   OpEnd (3)
+//	      bit  2      1 (distinguishes a trailer from the chunk end marker,
+//	                  which is written with word0 == OpEnd exactly)
+//	      bits 24..63 batch length in bytes (batch start → trailer start)
+//	word1 bits 0..31  CRC32C over the batch bytes followed by word0's
+//	                  8 encoded bytes (so a flipped length bit is caught
+//	                  directly, not only by the shifted checksum window)
+//	      bits 32..63 zero
+const TrailerSize = HeaderSize
+
+// castagnoli is the CRC32C table shared with the wire format and the
+// value-record format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// IsTrailerWord reports whether a first entry word marks a batch trailer.
+func IsTrailerWord(w0 uint64) bool {
+	return Op(w0&3) == OpEnd && w0>>2&1 == 1
+}
+
+// PutTrailer writes the trailer for batch (the encoded batch bytes that
+// precede it) into buf, which must have room for TrailerSize bytes.
+func PutTrailer(buf, batch []byte) {
+	w0 := uint64(OpEnd) | 1<<2 | uint64(len(batch))<<24
+	putUint64(buf, w0)
+	sum := crc32.Checksum(batch, castagnoli)
+	sum = crc32.Update(sum, castagnoli, buf[:8])
+	putUint64(buf[8:], uint64(sum))
+}
+
+// CheckTrailer verifies the trailer at buf against batch. It returns
+// false on any mismatch: wrong marker, wrong recorded length, nonzero
+// reserved bits, or checksum failure.
+func CheckTrailer(buf, batch []byte) bool {
+	if len(buf) < TrailerSize {
+		return false
+	}
+	w0 := getUint64(buf)
+	if !IsTrailerWord(w0) || w0>>3&VersionMask != 0 || int(w0>>24) != len(batch) {
+		return false
+	}
+	w1 := getUint64(buf[8:])
+	if w1>>32 != 0 {
+		return false
+	}
+	sum := crc32.Checksum(batch, castagnoli)
+	sum = crc32.Update(sum, castagnoli, buf[:8])
+	return uint32(w1) == sum
+}
 
 // Entry is one decoded operation-log record.
 type Entry struct {

@@ -3,6 +3,7 @@ package oplog
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 
 	"flatstore/internal/alloc"
@@ -31,7 +32,7 @@ var ErrBatchTooLarge = errors.New("oplog: batch exceeds chunk capacity")
 var ErrUnlinkTail = errors.New("oplog: cannot unlink the tail chunk")
 
 // Log is one core's operation log: a chain of 4 MB chunks with a persisted
-// head pointer and tail pointer (both in an 16-byte metadata slot).
+// head pointer and tail pointer (in a checksummed 24-byte metadata slot).
 //
 // Concurrency: the owning core appends; a background cleaner may link
 // survivor chunks at the head and unlink victims. The chunk chain is
@@ -48,9 +49,50 @@ type Log struct {
 	tailPos   int // next write offset within the tail chunk
 }
 
-// MetaSize is the persistent footprint of a log's metadata slot
-// (head pointer + tail pointer).
-const MetaSize = 16
+// MetaSize is the persistent footprint of a log's metadata slot:
+// word0 head pointer, word1 tail pointer, word2 CRC32C over the first
+// two words. The checksum lets recovery tell a rotted head/tail apart
+// from a healthy one; all three words share one cacheline, so keeping it
+// current costs no extra persist point.
+const MetaSize = 24
+
+// metaSum computes the metadata slot checksum.
+func metaSum(head, tail uint64) uint64 {
+	var b [16]byte
+	putUint64(b[:8], head)
+	putUint64(b[8:], tail)
+	return uint64(crc32.Checksum(b[:], castagnoli))
+}
+
+// MetaOK reports whether the metadata slot at metaOff passes its
+// checksum. A mismatch means the slot is torn (a crash mid-flush) or
+// rotted; the head/tail values may still be structurally usable.
+func MetaOK(arena *pmem.Arena, metaOff int) bool {
+	head := arena.ReadUint64(metaOff)
+	tail := arena.ReadUint64(metaOff + 8)
+	return arena.ReadUint64(metaOff+16) == metaSum(head, tail)
+}
+
+// persistMetaLocked writes head, tail and their checksum and persists the
+// slot with one flush. Callers hold l.mu (or own the log exclusively).
+func (l *Log) persistMetaLocked(f *pmem.Flusher) {
+	head := uint64(l.chunks[0])
+	tail := uint64(l.tailChunk) + uint64(l.tailPos)
+	l.arena.WriteUint64(l.metaOff, head)
+	l.arena.WriteUint64(l.metaOff+8, tail)
+	l.arena.WriteUint64(l.metaOff+16, metaSum(head, tail))
+	f.Flush(l.metaOff, MetaSize)
+	f.Fence()
+}
+
+// RepairMeta rewrites the metadata slot from the in-memory chain state —
+// salvage uses it to heal a slot whose checksum failed but whose pointers
+// validated structurally.
+func (l *Log) RepairMeta(f *pmem.Flusher) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.persistMetaLocked(f)
+}
 
 // New creates an empty log whose metadata lives at metaOff, allocating the
 // first chunk and persisting the chain.
@@ -64,8 +106,7 @@ func New(arena *pmem.Arena, al *alloc.Allocator, metaOff int, f *pmem.Flusher) (
 	l.chunks = []int64{c}
 	l.tailChunk = c
 	l.tailPos = chunkHeader
-	f.PersistUint64(metaOff, uint64(c))                       // head
-	f.PersistUint64(metaOff+8, uint64(c)+uint64(chunkHeader)) // tail
+	l.persistMetaLocked(f)
 	return l, nil
 }
 
@@ -107,17 +148,35 @@ func (l *Log) Chunks() []int64 {
 	return out
 }
 
+// Contains reports whether c is currently in the chain (the scrubber
+// re-checks membership before attributing a corrupt region to live keys:
+// a chunk unlinked and freed since the scan may have been reused).
+func (l *Log) Contains(c int64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ch := range l.chunks {
+		if ch == c {
+			return true
+		}
+	}
+	return false
+}
+
 // roll terminates the tail chunk with an OpEnd marker and starts a new
 // one. The order of persists keeps every crash window recoverable: the
 // marker and the new chunk's link become durable before the tail pointer
 // ever advances into the new chunk.
 func (l *Log) roll(f *pmem.Flusher) error {
-	// 1. End marker in the old chunk.
-	pos := int(l.tailChunk) + l.tailPos
-	l.arena.WriteUint64(pos, uint64(OpEnd))
-	l.arena.WriteUint64(pos+8, 0)
-	f.Flush(pos, HeaderSize)
-	f.Fence()
+	// 1. End marker in the old chunk. A salvage-rebuilt tail can sit at
+	// the exact chunk end, where no marker fits (or is needed — the
+	// scanner stops at the chunk boundary).
+	if l.tailPos+HeaderSize <= pmem.ChunkSize {
+		pos := int(l.tailChunk) + l.tailPos
+		l.arena.WriteUint64(pos, uint64(OpEnd))
+		l.arena.WriteUint64(pos+8, 0)
+		f.Flush(pos, HeaderSize)
+		f.Fence()
+	}
 	// 2. Fresh chunk, linked from the old tail.
 	c, err := l.al.AllocRawChunk()
 	if err != nil {
@@ -133,15 +192,18 @@ func (l *Log) roll(f *pmem.Flusher) error {
 	return nil
 }
 
-// AppendBatch encodes the entries contiguously at the tail, pads the batch
-// to a cacheline boundary (§3.2 "Padding": adjacent batches must not share
-// a line or the second flush stalls), persists the whole batch with a
-// single flush+fence, and finally persists the tail pointer. It returns
-// the absolute offset of each entry.
+// AppendBatch encodes the entries contiguously at the tail, appends the
+// batch's CRC32C trailer, pads to a cacheline boundary (§3.2 "Padding":
+// adjacent batches must not share a line or the second flush stalls),
+// persists the whole batch with a single flush+fence, and finally
+// persists the tail pointer. It returns the absolute offset of each
+// entry.
 //
 // Per batch this costs exactly two persist points — the batch lines and
 // the tail pointer — regardless of how many entries the batch carries,
-// which is the core of FlatStore's write-amortization argument.
+// which is the core of FlatStore's write-amortization argument. The
+// 16-byte trailer rides inside the batch flush, so integrity coverage
+// adds bytes but no persist points.
 func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
 	if len(entries) == 0 {
 		return nil, nil
@@ -150,10 +212,10 @@ func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
 	for _, e := range entries {
 		total += e.EncodedSize()
 	}
-	if total > pmem.ChunkSize-chunkHeader-endMarkerReserve {
+	if total+TrailerSize > pmem.ChunkSize-chunkHeader-endMarkerReserve {
 		return nil, ErrBatchTooLarge
 	}
-	if l.tailPos+total > pmem.ChunkSize-endMarkerReserve {
+	if l.tailPos+total+TrailerSize > pmem.ChunkSize-endMarkerReserve {
 		if err := l.roll(f); err != nil {
 			return nil, err
 		}
@@ -166,6 +228,8 @@ func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
 		offs[i] = l.tailChunk + int64(pos)
 		pos += e.EncodeTo(mem[int(l.tailChunk)+pos:])
 	}
+	PutTrailer(mem[int(l.tailChunk)+pos:], mem[int(l.tailChunk)+start:int(l.tailChunk)+pos])
+	pos += TrailerSize
 	// Pad to the next cacheline so the following batch starts on a fresh
 	// line (avoids the repeated-flush-same-line stall).
 	padded := (pos + pmem.CachelineSize - 1) &^ (pmem.CachelineSize - 1)
@@ -179,12 +243,11 @@ func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
 	f.Fence()
 	l.mu.Lock()
 	l.tailPos = padded
-	tail := l.tailChunk + int64(l.tailPos)
-	// Persist the tail pointer under mu: the head pointer shares its
-	// cacheline, and the cleaner persists that word (LinkAtHead/Unlink)
-	// under mu — an unserialized flush would copy the line while the
-	// other word is mid-store.
-	f.PersistUint64(l.metaOff+8, uint64(tail))
+	// Persist the tail pointer (with the slot checksum) under mu: the head
+	// pointer shares the metadata cacheline, and the cleaner persists that
+	// word (LinkAtHead/Unlink) under mu — an unserialized flush would copy
+	// the line while the other word is mid-store.
+	l.persistMetaLocked(f)
 	l.mu.Unlock()
 	return offs, nil
 }
@@ -200,39 +263,191 @@ func (l *Log) Append(f *pmem.Flusher, e *Entry) (int64, error) {
 
 // ValidChunkHeader reports whether off holds a log-chunk header. Crash
 // recovery uses it to reject journal slots pointing at chunks that are
-// not (or no longer) log chunks.
+// not (or no longer) log chunks. Out-of-arena offsets are simply invalid,
+// never a panic — the offset may come from corrupt media.
 func ValidChunkHeader(arena *pmem.Arena, off int64) bool {
+	if off < 0 || off%pmem.ChunkSize != 0 || off+8 > int64(arena.Size()) {
+		return false
+	}
 	return arena.ReadUint64(int(off)) == chunkMagic
 }
 
-// ScanChunk iterates the entries of one chunk. tail is the log's absolute
-// tail: iteration stops there if the chunk contains it, otherwise at the
-// OpEnd marker (or chunk end). fn returning false stops the scan early.
-func ScanChunk(arena *pmem.Arena, chunkOff, tail int64, fn func(off int64, e Entry) bool) error {
+// batchEntry is one decoded entry buffered until its batch verifies.
+type batchEntry struct {
+	off int64
+	e   Entry
+}
+
+// scanChunk is the batch-verifying walk shared by ScanChunk and
+// SalvageChunk. Entries are buffered per batch and delivered to fn only
+// after the batch's trailer checksum verifies; the first invalid batch
+// (bad structure, undecodable entry, missing trailer, or checksum
+// mismatch) stops the walk. It returns the absolute offset at which the
+// walk stopped cleanly (the truncation-safe point), the error describing
+// the invalidity (nil when the chunk scanned clean), and whether fn asked
+// to stop early.
+func scanChunk(arena *pmem.Arena, chunkOff, tail int64, fn func(off int64, e Entry) bool) (validEnd int64, batches int, err error, stopped bool) {
 	mem := arena.Mem()
 	end := int(chunkOff) + pmem.ChunkSize
 	if tail >= chunkOff && tail < chunkOff+pmem.ChunkSize {
 		end = int(tail)
 	}
 	pos := int(chunkOff) + chunkHeader
+	corrupt := func(at int, cause error) (int64, int, error, bool) {
+		return int64(at), batches, fmt.Errorf("oplog: chunk %#x offset %d: %w", chunkOff, at-int(chunkOff), cause), false
+	}
+	var batch []batchEntry
 	for pos < end {
-		e, n, err := Decode(mem[pos:end])
-		if err != nil {
-			return fmt.Errorf("oplog: chunk %#x offset %d: %w", chunkOff, pos-int(chunkOff), err)
+		if pos+8 > end {
+			return corrupt(pos, ErrCorrupt)
 		}
-		switch e.Op {
-		case OpEnd:
-			return nil
-		case OpPad:
-			pos += n
+		w0 := getUint64(mem[pos:])
+		if w0 == 0 {
+			pos += 8 // inter-batch cacheline padding
 			continue
 		}
-		if !fn(int64(pos), e) {
-			return nil
+		if Op(w0&3) == OpEnd && !IsTrailerWord(w0) {
+			// Chunk end marker; Decode validates its exact form.
+			if _, _, derr := Decode(mem[pos:end]); derr != nil {
+				return corrupt(pos, derr)
+			}
+			return int64(pos), batches, nil, false
 		}
-		pos += n
+		// Start of a batch: buffer entries until its trailer verifies.
+		start := pos
+		batch = batch[:0]
+		for {
+			if pos+8 > end {
+				return corrupt(start, ErrCorrupt)
+			}
+			w0 = getUint64(mem[pos:])
+			if IsTrailerWord(w0) {
+				if pos+TrailerSize > end || !CheckTrailer(mem[pos:pos+TrailerSize], mem[start:pos]) {
+					return corrupt(start, ErrChecksum)
+				}
+				pos += TrailerSize
+				break
+			}
+			e, n, derr := Decode(mem[pos:end])
+			if derr != nil {
+				return corrupt(start, derr)
+			}
+			if e.Op == OpPad || e.Op == OpEnd {
+				// Padding or an end marker inside an unterminated batch:
+				// the trailer never made it — treat the batch as invalid.
+				return corrupt(start, ErrCorrupt)
+			}
+			batch = append(batch, batchEntry{off: int64(pos), e: e})
+			pos += n
+		}
+		batches++
+		for _, be := range batch {
+			if !fn(be.off, be.e) {
+				return int64(pos), batches, nil, true
+			}
+		}
 	}
-	return nil
+	return int64(pos), batches, nil, false
+}
+
+// ScanChunk iterates the entries of one chunk, verifying each batch's
+// CRC32C trailer before delivering its entries. tail is the log's
+// absolute tail: iteration stops there if the chunk contains it,
+// otherwise at the OpEnd marker (or chunk end). fn returning false stops
+// the scan early. Any structural corruption or checksum mismatch returns
+// a typed error (wrapping ErrCorrupt or ErrChecksum); entries of an
+// invalid batch are never delivered.
+func ScanChunk(arena *pmem.Arena, chunkOff, tail int64, fn func(off int64, e Entry) bool) error {
+	_, _, err, _ := scanChunk(arena, chunkOff, tail, fn)
+	return err
+}
+
+// ChunkSalvage is the outcome of a salvage scan of one chunk.
+type ChunkSalvage struct {
+	// Entries is the number of entries delivered from verified batches.
+	Entries int
+	// Batches is the number of batches whose trailer checksum verified.
+	Batches int
+	// ValidEnd is the absolute offset where the verified walk stopped —
+	// the end marker, the tail, the chunk end, or the first invalid batch.
+	ValidEnd int64
+	// CorruptAt is the absolute offset of the first invalid batch (the
+	// log-truncation point), or -1 when the chunk scanned clean.
+	CorruptAt int64
+	// Err describes the invalidity when CorruptAt >= 0.
+	Err error
+	// Suspects holds a best-effort decode of the invalid region. The
+	// bytes failed verification, so nothing in a suspect can be trusted —
+	// salvage uses the keys only to quarantine, never to resurrect.
+	Suspects []Entry
+}
+
+// SalvageChunk scans like ScanChunk but never fails: verified batches are
+// delivered to fn, and on the first invalid batch the scan stops and the
+// remainder of the chunk is harvested with SuspectScan for quarantine
+// attribution.
+func SalvageChunk(arena *pmem.Arena, chunkOff, tail int64, fn func(off int64, e Entry) bool) ChunkSalvage {
+	res := ChunkSalvage{CorruptAt: -1}
+	validEnd, batches, err, _ := scanChunk(arena, chunkOff, tail, func(off int64, e Entry) bool {
+		res.Entries++
+		return fn(off, e)
+	})
+	res.ValidEnd = validEnd
+	res.Batches = batches
+	if err == nil {
+		return res
+	}
+	res.CorruptAt = validEnd
+	res.Err = err
+	end := chunkOff + int64(pmem.ChunkSize)
+	if tail >= chunkOff && tail < end {
+		end = tail
+	}
+	res.Suspects = SuspectScan(arena, validEnd, end)
+	return res
+}
+
+// SuspectScan best-effort-decodes [lo, hi): it steps through the region
+// collecting every plausibly decodable Put/Delete entry, resynchronizing
+// on the 8-byte entry grid after undecodable words. The results are
+// UNTRUSTED — a single flipped bit may have changed a key, a version, or
+// the framing — and exist only so salvage can quarantine the keys whose
+// acknowledged writes may have lived in the region.
+func SuspectScan(arena *pmem.Arena, lo, hi int64) []Entry {
+	mem := arena.Mem()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int64(arena.Size()) {
+		hi = int64(arena.Size())
+	}
+	var out []Entry
+	for pos := lo; pos+8 <= hi; {
+		e, n, err := Decode(mem[pos:hi])
+		if err != nil {
+			pos += 8
+			continue
+		}
+		switch e.Op {
+		case OpPut, OpDelete:
+			out = append(out, e)
+			pos += int64(n)
+		case OpEnd:
+			return out
+		default: // OpPad
+			pos += int64(n)
+		}
+	}
+	return out
+}
+
+// OrphanSuspects harvests quarantine candidates from a log chunk that is
+// not reachable from any chain. Salvage calls it when a chain broke: a
+// chunk severed from its chain may hold the only copy of acknowledged
+// writes, and the keys plausibly decoded from it must not be served from
+// older state as if those writes never happened.
+func OrphanSuspects(arena *pmem.Arena, chunkOff int64) []Entry {
+	return SuspectScan(arena, chunkOff+chunkHeader, chunkOff+int64(pmem.ChunkSize))
 }
 
 // Scan iterates every entry of the log in chain order.
@@ -255,7 +470,7 @@ func (l *Log) WriteSurvivorChunk(f *pmem.Flusher, entries []*Entry) (int64, []in
 	for _, e := range entries {
 		total += e.EncodedSize()
 	}
-	if total > pmem.ChunkSize-chunkHeader-endMarkerReserve {
+	if total+TrailerSize > pmem.ChunkSize-chunkHeader-endMarkerReserve {
 		return 0, nil, ErrBatchTooLarge
 	}
 	c, err := l.al.AllocRawChunk()
@@ -271,11 +486,53 @@ func (l *Log) WriteSurvivorChunk(f *pmem.Flusher, entries []*Entry) (int64, []in
 		offs[i] = c + int64(pos)
 		pos += e.EncodeTo(mem[int(c)+pos:])
 	}
+	PutTrailer(mem[int(c)+pos:], mem[int(c)+chunkHeader:int(c)+pos])
+	pos += TrailerSize
 	l.arena.WriteUint64(int(c)+pos, uint64(OpEnd))
 	l.arena.WriteUint64(int(c)+pos+8, 0)
 	f.Flush(int(c), pos+HeaderSize)
 	f.Fence()
 	return c, offs, nil
+}
+
+// Truncate cuts the log at absolute offset at — the truncation-safe point
+// a salvage scan reported — dropping every chunk linked after the one
+// containing at and re-terminating that chunk as the new tail. The
+// dropped chunks are returned so the caller can release them; they are
+// NOT freed here. Used only during salvage recovery, before the store
+// goes live.
+func (l *Log) Truncate(f *pmem.Flusher, at int64) ([]int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := -1
+	for i, c := range l.chunks {
+		if at >= c+chunkHeader && at <= c+pmem.ChunkSize {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("oplog: truncate point %#x outside chain", at)
+	}
+	c := l.chunks[idx]
+	dropped := make([]int64, len(l.chunks)-idx-1)
+	copy(dropped, l.chunks[idx+1:])
+	l.chunks = l.chunks[:idx+1]
+	l.tailChunk = c
+	l.tailPos = int(at - c)
+	// Re-terminate the new tail chunk: an end marker over the start of the
+	// invalid region (when there is room) and a cleared next link, so the
+	// persisted chain no longer reaches the dropped chunks.
+	if l.tailPos <= pmem.ChunkSize-endMarkerReserve {
+		pos := int(c) + l.tailPos
+		l.arena.WriteUint64(pos, uint64(OpEnd))
+		l.arena.WriteUint64(pos+8, 0)
+		f.Flush(pos, HeaderSize)
+		f.Fence()
+	}
+	f.PersistUint64(int(c)+8, 0)
+	l.persistMetaLocked(f)
+	return dropped, nil
 }
 
 // LinkAtHead inserts a (persisted) chunk at the head of the chain. Chain
@@ -285,8 +542,8 @@ func (l *Log) LinkAtHead(f *pmem.Flusher, c int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	f.PersistUint64(int(c)+8, uint64(l.chunks[0]))
-	f.PersistUint64(l.metaOff, uint64(c))
 	l.chunks = append([]int64{c}, l.chunks...)
+	l.persistMetaLocked(f)
 }
 
 // Unlink removes a chunk from the chain, persisting the repaired link.
@@ -312,12 +569,38 @@ func (l *Log) Unlink(f *pmem.Flusher, victim int64) error {
 		next = uint64(l.chunks[idx+1])
 	}
 	if idx == 0 {
-		f.PersistUint64(l.metaOff, next)
+		l.chunks = l.chunks[1:]
+		l.persistMetaLocked(f)
 	} else {
 		f.PersistUint64(int(l.chunks[idx-1])+8, next)
+		l.chunks = append(l.chunks[:idx], l.chunks[idx+1:]...)
 	}
-	l.chunks = append(l.chunks[:idx], l.chunks[idx+1:]...)
 	return nil
+}
+
+// ChainDamage records what salvage recovery had to repair (or could not)
+// while rebuilding one log's chain.
+type ChainDamage struct {
+	// MetaSuspect: the metadata slot's checksum failed. Head and tail
+	// still validated structurally and were used; a crash can tear the
+	// slot legitimately, but rot in the tail word can silently hide the
+	// newest batches, so salvage reports the suspicion.
+	MetaSuspect bool
+	// ChainTruncated: the chain walk hit a bad link (cycle or invalid
+	// chunk header) and kept only the prefix.
+	ChainTruncated bool
+	// ChainLost: not even the first chunk was recoverable; the log is
+	// gone and the caller must create a fresh one.
+	ChainLost bool
+	// TailRebuilt: the tail pointer was unusable (rot, or the chain broke
+	// before the tail chunk); the whole last chunk is scanned and the
+	// batch checksums decide where valid data ends.
+	TailRebuilt bool
+}
+
+// Any reports whether any damage was observed.
+func (d ChainDamage) Any() bool {
+	return d.MetaSuspect || d.ChainTruncated || d.ChainLost || d.TailRebuilt
 }
 
 // Recover rebuilds a Log from its persisted metadata after a restart.
@@ -325,18 +608,49 @@ func (l *Log) Unlink(f *pmem.Flusher, victim int64) error {
 // them not already in the chain are prepended (their entries carry
 // versions, so order is immaterial). Every chunk is re-marked as in use
 // with the allocator.
+//
+// A metadata-slot checksum mismatch alone is NOT an error here: a crash
+// between the tail-word store and the checksum store tears the slot
+// legitimately, and head/tail are still validated structurally exactly as
+// before the checksum existed. Only salvage mode acts on the suspicion.
 func Recover(arena *pmem.Arena, al *alloc.Allocator, metaOff int, extra []int64) (*Log, error) {
+	l, _, err := recoverLog(arena, al, metaOff, extra, false)
+	return l, err
+}
+
+// RecoverSalvage is Recover that never fails: structural damage is
+// repaired (prefix kept, tail rebuilt from batch checksums) and reported
+// instead of returned as an error. A nil Log (with ChainLost set) means
+// nothing was recoverable; the caller creates a fresh log after allocator
+// recovery finishes.
+func RecoverSalvage(arena *pmem.Arena, al *alloc.Allocator, metaOff int, extra []int64) (*Log, ChainDamage) {
+	l, d, _ := recoverLog(arena, al, metaOff, extra, true)
+	return l, d
+}
+
+func recoverLog(arena *pmem.Arena, al *alloc.Allocator, metaOff int, extra []int64, salvage bool) (*Log, ChainDamage, error) {
+	var d ChainDamage
 	head := int64(arena.ReadUint64(metaOff))
 	tail := int64(arena.ReadUint64(metaOff + 8))
+	if !MetaOK(arena, metaOff) {
+		d.MetaSuspect = true
+	}
 	l := &Log{arena: arena, al: al, metaOff: metaOff}
 
 	seen := map[int64]bool{}
+	tailInChain := false
 	for c := head; c != 0; {
-		if seen[c] {
-			return nil, fmt.Errorf("oplog: chunk chain cycle at %#x", c)
-		}
-		if magic := arena.ReadUint64(int(c)); magic != chunkMagic {
-			return nil, fmt.Errorf("oplog: bad chunk magic %#x at %#x", magic, c)
+		// The chain pointers come straight off (possibly corrupt) media:
+		// bounds- and alignment-check before dereferencing.
+		if seen[c] || !ValidChunkHeader(arena, c) {
+			if !salvage {
+				if seen[c] {
+					return nil, d, fmt.Errorf("oplog: chunk chain cycle at %#x", c)
+				}
+				return nil, d, fmt.Errorf("oplog: bad chunk %#x in chain", c)
+			}
+			d.ChainTruncated = true
+			break
 		}
 		seen[c] = true
 		l.chunks = append(l.chunks, c)
@@ -344,27 +658,58 @@ func Recover(arena *pmem.Arena, al *alloc.Allocator, metaOff int, extra []int64)
 			// The tail chunk is by construction the last chunk
 			// holding acknowledged data; ignore any chunk linked
 			// beyond it (an unacknowledged roll).
+			tailInChain = true
 			break
 		}
 		c = int64(arena.ReadUint64(int(c) + 8))
 	}
 	if len(l.chunks) == 0 {
-		return nil, errors.New("oplog: empty chain")
+		if !salvage {
+			return nil, d, errors.New("oplog: empty chain")
+		}
+		d.ChainLost = true
+		return nil, d, nil
 	}
 	last := l.chunks[len(l.chunks)-1]
-	if tail < last+chunkHeader || tail > last+pmem.ChunkSize {
-		return nil, fmt.Errorf("oplog: tail %#x outside tail chunk %#x", tail, last)
+	switch {
+	case tailInChain && tail >= last+chunkHeader:
+		// Normal: the tail points into the last chain chunk.
+	case !salvage:
+		return nil, d, fmt.Errorf("oplog: tail %#x outside tail chunk %#x", tail, last)
+	default:
+		// The tail pointer is unusable (rot, or the chain broke before the
+		// true tail chunk). Scan the whole last chunk; the batch trailers
+		// decide where valid data ends, and the caller re-truncates there.
+		d.TailRebuilt = true
+		tailInChain = false
+		tail = last + pmem.ChunkSize
 	}
 	for _, c := range extra {
-		if !seen[c] && arena.ReadUint64(int(c)) == chunkMagic {
+		if !seen[c] && ValidChunkHeader(arena, c) {
 			l.chunks = append([]int64{c}, l.chunks...)
 			seen[c] = true
 		}
 	}
 	for c := range seen {
-		al.RecoverMarkRawChunk(c)
+		if !al.RecoverMarkRawChunk(c) {
+			return nil, d, fmt.Errorf("oplog: chunk %#x outside allocator range", c)
+		}
+	}
+	if tailInChain {
+		// Chunks linked beyond the tail (an unacknowledged roll) are about
+		// to be freed by FinishRecovery; clear their headers so a stale log
+		// magic cannot make a freed chunk look like a salvageable orphan to
+		// a future recovery.
+		f := arena.NewFlusher()
+		for c := int64(arena.ReadUint64(int(last) + 8)); c != 0 && !seen[c] && ValidChunkHeader(arena, c); {
+			next := int64(arena.ReadUint64(int(c) + 8))
+			f.PersistUint64(int(c), 0)
+			seen[c] = true // cycle guard
+			c = next
+		}
+		f.FlushEvents()
 	}
 	l.tailChunk = last
 	l.tailPos = int(tail - last)
-	return l, nil
+	return l, d, nil
 }

@@ -221,13 +221,15 @@ func TestBatchFlushCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	ev := f.TakeEvents()
-	// 16 entries × 16 B = 256 B = 4 lines, one flush call; plus the tail
-	// pointer persist: 2 flush calls, 2 fences, 5 lines total.
+	// 16 entries × 16 B + 16 B trailer = 272 B = 5 lines, one flush call;
+	// plus the tail pointer persist: 2 flush calls, 2 fences, 6 lines.
+	// The integrity trailer costs one line of bandwidth but no extra
+	// persist point.
 	if ev.Flushes != 2 || ev.Fences != 2 {
 		t.Errorf("batch cost: %+v (want 2 flushes, 2 fences)", ev)
 	}
-	if ev.Lines != 5 {
-		t.Errorf("lines = %d, want 5 (4 batch + 1 tail)", ev.Lines)
+	if ev.Lines != 6 {
+		t.Errorf("lines = %d, want 6 (5 batch+trailer + 1 tail)", ev.Lines)
 	}
 }
 
@@ -375,7 +377,7 @@ func TestUnlinkChunk(t *testing.T) {
 	if err := l.Unlink(f, victim); err != nil {
 		t.Fatal(err)
 	}
-	al.FreeRawChunk(victim)
+	al.FreeRawChunk(victim, f)
 	// Unlinking the tail chunk must fail.
 	if err := l.Unlink(f, l.TailChunk()); err != ErrUnlinkTail {
 		t.Errorf("unlink tail: err = %v", err)

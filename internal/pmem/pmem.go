@@ -199,6 +199,24 @@ func (a *Arena) CopyToMedia(off, n int) {
 	copy(a.media[off:off+n], a.mem[off:off+n])
 }
 
+// CorruptMedia applies fn to the media-view bytes [off, off+n) in place —
+// at-rest media corruption (bit rot, a failing DIMM region). The cache
+// view is untouched, so the damage surfaces only after a Crash/restart,
+// exactly like an error on the medium under a still-warm CPU cache.
+func (a *Arena) CorruptMedia(off, n int, fn func(b []byte)) {
+	a.check(off, n)
+	fn(a.media[off : off+n])
+}
+
+// Corrupt applies fn to BOTH views of [off, off+n): a media error that a
+// read would observe immediately (nothing caches the line). Online
+// scrub/quarantine tests use it; CorruptMedia models the at-rest variant.
+func (a *Arena) Corrupt(off, n int, fn func(b []byte)) {
+	a.check(off, n)
+	fn(a.media[off : off+n])
+	fn(a.mem[off : off+n])
+}
+
 // IsPersisted reports whether the byte range matches between the cache and
 // media views, i.e. whether every store in the range has been flushed.
 // Intended for tests.

@@ -1,19 +1,32 @@
 // Package record defines the out-of-place value record format shared by
 // the FlatStore engine and the baseline stores: a 4-byte little-endian
-// length followed by the value bytes ("(v_len, value)" in §3.2). Records
-// live in allocator data blocks; the on-PM length makes allocation sizes
-// recoverable from a bare pointer, which the lazy-persist allocator's
-// recovery depends on.
+// length, a CRC32C of the value bytes, and the value itself
+// ("(v_len, value)" in §3.2, hardened with a media-integrity checksum).
+// Records live in allocator data blocks; the on-PM length makes
+// allocation sizes recoverable from a bare pointer, which the
+// lazy-persist allocator's recovery depends on, and the checksum lets
+// recovery and the online scrubber detect at-rest bit rot in a value
+// without trusting any volatile state.
 package record
 
 import (
 	"encoding/binary"
+	"errors"
+	"hash/crc32"
 
 	"flatstore/internal/pmem"
 )
 
-// HeaderSize is the length prefix in bytes.
-const HeaderSize = 4
+// HeaderSize is the record header: u32 length + u32 CRC32C(value).
+const HeaderSize = 8
+
+// castagnoli is the CRC32C polynomial table — the same one the wire
+// format and the OpLog batch trailers use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a record whose header is implausible or whose value
+// bytes fail the checksum.
+var ErrCorrupt = errors.New("record: corrupt record")
 
 // Size returns the allocation size needed for a value of vlen bytes.
 func Size(vlen int) int { return HeaderSize + vlen }
@@ -22,6 +35,7 @@ func Size(vlen int) int { return HeaderSize + vlen }
 func Write(a *pmem.Arena, off int64, value []byte) {
 	mem := a.Mem()
 	binary.LittleEndian.PutUint32(mem[off:], uint32(len(value)))
+	binary.LittleEndian.PutUint32(mem[off+4:], crc32.Checksum(value, castagnoli))
 	copy(mem[off+HeaderSize:], value)
 }
 
@@ -32,9 +46,41 @@ func Persist(f *pmem.Flusher, off int64, value []byte) {
 	f.Fence()
 }
 
-// Len reads the record length at off.
+// Len reads the record length at off. The caller must have validated the
+// record (Verify) or trust the pointer; for arbitrary pointers use
+// LenBounded.
 func Len(a *pmem.Arena, off int64) int {
 	return int(binary.LittleEndian.Uint32(a.Mem()[off:]))
+}
+
+// LenBounded reads the record length at off, reporting ok=false instead
+// of panicking when off is out of the arena or the stored length would
+// run past its end — the defensive variant recovery and scrubbing use on
+// pointers reconstructed from possibly-corrupt media.
+func LenBounded(a *pmem.Arena, off int64) (n int, ok bool) {
+	if off < 0 || off+HeaderSize > int64(a.Size()) {
+		return 0, false
+	}
+	n = Len(a, off)
+	if n < 0 || off+HeaderSize+int64(n) > int64(a.Size()) {
+		return 0, false
+	}
+	return n, true
+}
+
+// Verify checks the record at off: header within bounds and value bytes
+// matching the stored CRC32C. Returns ErrCorrupt on any mismatch.
+func Verify(a *pmem.Arena, off int64) error {
+	n, ok := LenBounded(a, off)
+	if !ok {
+		return ErrCorrupt
+	}
+	mem := a.Mem()
+	want := binary.LittleEndian.Uint32(mem[off+4:])
+	if crc32.Checksum(mem[off+HeaderSize:off+HeaderSize+int64(n)], castagnoli) != want {
+		return ErrCorrupt
+	}
+	return nil
 }
 
 // Read returns a copy of the record's value bytes.

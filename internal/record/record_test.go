@@ -45,7 +45,7 @@ func TestWriteWithoutFlushIsVolatile(t *testing.T) {
 }
 
 func TestSize(t *testing.T) {
-	if Size(0) != 4 || Size(100) != 104 {
+	if Size(0) != HeaderSize || Size(100) != HeaderSize+100 {
 		t.Fatal("Size wrong")
 	}
 }

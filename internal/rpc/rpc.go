@@ -39,6 +39,12 @@ const (
 	// replay raced its first attempt). The op was NOT applied; the
 	// client should back off and retry.
 	StatusBusy
+	// StatusCorrupt reports a quarantined key: media corruption destroyed
+	// (or cast doubt on) the key's last acknowledged value, and the store
+	// refuses to serve a possibly-wrong one. Distinct from StatusNotFound —
+	// the key may well have existed. A successful Put or Delete of the key
+	// clears the quarantine.
+	StatusCorrupt
 )
 
 // Request is one client message. Value aliases the client's buffer until

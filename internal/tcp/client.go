@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"flatstore/internal/core"
+	"flatstore/internal/stats"
 )
 
 // Client is a network client for a FlatStore TCP server. It pipelines:
@@ -339,12 +340,14 @@ func (cc *clientConn) roundTrip(ctx context.Context, q request, d time.Duration)
 	}
 }
 
-// Wire op codes (match internal/rpc).
+// Wire op codes (match internal/rpc). opIntegrity is server-local: it
+// never reaches the engine, the reader answers it directly.
 const (
 	opGet uint8 = iota + 1
 	opPut
 	opDelete
 	opScan
+	opIntegrity
 )
 
 // statusOK mirrors rpc.StatusOK etc.
@@ -416,6 +419,25 @@ func (c *Client) DeleteCtx(ctx context.Context, key uint64) (ok bool, err error)
 		return false, nil
 	}
 	return false, fmt.Errorf("tcp: delete failed (status %d)", rs.status)
+}
+
+// Integrity fetches the server's storage-integrity counters (scrubber
+// progress, checksum errors, quarantined keys, salvage events), so an
+// operator or monitoring agent can watch for media rot remotely.
+func (c *Client) Integrity() (stats.Integrity, error) {
+	return c.IntegrityCtx(context.Background())
+}
+
+// IntegrityCtx is Integrity bounded by ctx.
+func (c *Client) IntegrityCtx(ctx context.Context) (stats.Integrity, error) {
+	rs, err := c.call(ctx, request{op: opIntegrity})
+	if err != nil {
+		return stats.Integrity{}, err
+	}
+	if rs.status != statusOK {
+		return stats.Integrity{}, fmt.Errorf("tcp: integrity failed (status %d)", rs.status)
+	}
+	return stats.UnmarshalIntegrity(rs.value)
 }
 
 // Pair is one scan result.

@@ -340,6 +340,14 @@ func (s *Server) handle(conn net.Conn) {
 			q.core = uint32(core.RouteKey(q.key, s.st.Cores()))
 		}
 
+		// Integrity snapshot: answered by the reader without touching the
+		// engine, so it works even when the data path is saturated (the
+		// moment an operator most wants the counters).
+		if q.op == opIntegrity {
+			lq.push(response{id: q.id, status: statusOK, value: s.st.Integrity().Marshal()})
+			continue
+		}
+
 		// Write replay dedup (exactly-once ack for the retry path).
 		isWrite := q.op == opPut || q.op == opDelete
 		if isWrite {

@@ -103,6 +103,37 @@ func TestScanOverTCP(t *testing.T) {
 	}
 }
 
+func TestIntegrityOverTCP(t *testing.T) {
+	st, _, addr := startServer(t, core.Config{Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 8})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	big := bytes.Repeat([]byte{0x5a}, 400) // out-of-place, so the scrubber has records to verify
+	for i := uint64(0); i < 16; i++ {
+		if err := cl.Put(i, big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := st.ScrubOnce(); !res.Clean() {
+		t.Fatalf("scrub of healthy store found damage: %+v", res)
+	}
+	integ, err := cl.Integrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if integ.ScrubRuns == 0 || integ.ScrubBatches == 0 || integ.ScrubRecords == 0 {
+		t.Fatalf("scrub counters missing over the wire: %+v", integ)
+	}
+	if !integ.Clean() {
+		t.Fatalf("healthy store reported anomalies: %+v", integ)
+	}
+	if local := st.Integrity(); local != integ {
+		t.Fatalf("wire snapshot %+v != local snapshot %+v", integ, local)
+	}
+}
+
 func TestConcurrentClientsOverTCP(t *testing.T) {
 	st, _, addr := startServer(t, core.Config{Cores: 4, Mode: batch.ModePipelinedHB, ArenaChunks: 32})
 	const clients, per = 4, 300
