@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,7 +38,19 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "slow-client write deadline (0: default, <0: off)")
 	scrubEvery := flag.Duration("scrub-interval", 0, "online scrubber interval: verify log and record checksums in the background (0: off)")
 	salvage := flag.Bool("salvage", false, "repair media corruption on recovery (truncate + quarantine) instead of refusing to start")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. 127.0.0.1:6060 (empty: off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The default mux already carries the /debug/pprof handlers via
+		// the blank import; profiles of the serving hot path come from
+		// e.g.: go tool pprof http://127.0.0.1:6060/debug/pprof/profile
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
 
 	sopts := tcp.ServerOptions{
 		MaxConnInFlight: *connInflight,

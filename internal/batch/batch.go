@@ -69,6 +69,17 @@ type PendingOp struct {
 	done atomic.Bool
 }
 
+// Reset re-initializes a recycled PendingOp for a new operation. (A
+// struct-literal assignment would copy the atomic.Bool; this is the
+// copylocks-clean form freelists use.)
+func (p *PendingOp) Reset(e *oplog.Entry, owner int, ctx any) {
+	p.Entry = e
+	p.Off = 0
+	p.Owner = owner
+	p.Ctx = ctx
+	p.done.Store(false)
+}
+
 // MarkDone publishes completion (leader side, after the flush).
 func (p *PendingOp) MarkDone() { p.done.Store(true) }
 
@@ -91,6 +102,12 @@ func (p *pool) publish(op *PendingOp) {
 func (p *pool) collect(into []*PendingOp) []*PendingOp {
 	p.mu.Lock()
 	into = append(into, p.ops...)
+	// Clear the collected cells: owners recycle PendingOps after
+	// completion, and a stale pointer here would pin a recycled op (and
+	// whatever its Ctx references) until the cell is overwritten.
+	for i := range p.ops {
+		p.ops[i] = nil
+	}
 	p.ops = p.ops[:0]
 	p.mu.Unlock()
 	return into
@@ -166,7 +183,13 @@ func (g *Group) TryLead() bool {
 // Collect steals every published entry in the group (leader only). The
 // leader's own entries are included — it "steals from itself" too.
 func (g *Group) Collect(leader int) []*PendingOp {
-	var ops []*PendingOp
+	return g.CollectInto(leader, nil)
+}
+
+// CollectInto is Collect appending into a caller-provided slice (usually
+// the leader's recycled scratch), returning the extended slice.
+func (g *Group) CollectInto(leader int, into []*PendingOp) []*PendingOp {
+	ops := into
 	for i, p := range g.pools {
 		before := len(ops)
 		ops = p.collect(ops)
@@ -174,7 +197,7 @@ func (g *Group) Collect(leader int) []*PendingOp {
 			g.stolen.Add(uint64(len(ops) - before))
 		}
 	}
-	if len(ops) > 0 {
+	if len(ops) > len(into) {
 		g.batches.Add(1)
 	}
 	return ops

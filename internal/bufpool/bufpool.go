@@ -1,0 +1,90 @@
+// Package bufpool is a size-classed free list of byte buffers for the
+// request hot path. Frame buffers, decoded values, and response values
+// all pass through here so that the steady state allocates nothing.
+//
+// Ownership rules (see also DESIGN.md §perf):
+//
+//   - Get hands the caller exclusive ownership of the returned slice.
+//   - Put transfers ownership back; the caller must not touch the slice
+//     (or any alias of it, such as a sub-slice) afterwards.
+//   - A buffer must be Put at most once. Double-Put is the classic pool
+//     corruption: two owners later Get the same bytes.
+//   - Put accepts slices that did not come from Get (it quietly drops
+//     odd-sized ones), so release paths don't need to track provenance.
+package bufpool
+
+import "sync"
+
+// Size classes are powers of two from 64 B (one cacheline, covers the
+// 16-byte log entries and small inline values) to 8 MB (maxFrame on the
+// wire). Requests above the largest class fall through to the allocator.
+const (
+	minShift = 6  // 64 B
+	maxShift = 23 // 8 MB
+)
+
+// pools[i] holds buffers of capacity exactly 1<<(minShift+i). The pool
+// stores *[]byte headers (boxed once in New) so that Get and Put are
+// themselves allocation-free: putting a bare []byte into a sync.Pool
+// would box the slice header on every call.
+var pools [maxShift - minShift + 1]sync.Pool
+
+func init() {
+	for i := range pools {
+		shift := minShift + i
+		pools[i].New = func() any {
+			b := make([]byte, 1<<shift)
+			return &b
+		}
+	}
+}
+
+// class returns the pool index whose buffers have capacity >= n, or -1
+// if n is larger than the biggest class.
+func class(n int) int {
+	if n > 1<<maxShift {
+		return -1
+	}
+	c := 0
+	for 1<<(minShift+c) < n {
+		c++
+	}
+	return c
+}
+
+// Get returns a buffer with len n. The contents are unspecified (pooled
+// buffers come back dirty); callers must overwrite before reading.
+func Get(n int) []byte {
+	c := class(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	bp := pools[c].Get().(*[]byte)
+	b := (*bp)[:n]
+	*bp = nil
+	headerPool.Put(bp)
+	return b
+}
+
+// Put returns b's backing array to its size class. Buffers whose
+// capacity is not an exact class size (they didn't come from Get, or
+// were re-sliced from a different origin) are dropped for the GC, which
+// keeps Put safe to call on any slice. nil and zero-capacity slices are
+// ignored.
+func Put(b []byte) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	cl := class(c)
+	if cl < 0 || 1<<(minShift+cl) != c {
+		return
+	}
+	bp := headerPool.Get().(*[]byte)
+	*bp = b[:c:c]
+	pools[cl].Put(bp)
+}
+
+// headerPool recycles the *[]byte boxes themselves, so neither Get nor
+// Put allocates a header in steady state.
+var headerPool = sync.Pool{New: func() any { return new([]byte) }}

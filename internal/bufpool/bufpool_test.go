@@ -1,0 +1,60 @@
+package bufpool
+
+import "testing"
+
+func TestGetLenAndClassRounding(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 4096, 1 << 20} {
+		b := Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) len = %d", n, len(b))
+		}
+		if cap(b)&(cap(b)-1) != 0 || cap(b) < n {
+			t.Fatalf("Get(%d) cap = %d, want power of two >= n", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestOversizeFallsThrough(t *testing.T) {
+	n := (8 << 20) + 1
+	b := Get(n)
+	if len(b) != n {
+		t.Fatalf("len = %d", len(b))
+	}
+	Put(b) // must not panic; dropped for the GC
+}
+
+func TestPutForeignSliceIsDropped(t *testing.T) {
+	Put(nil)
+	Put(make([]byte, 100)) // cap 100 is not a class size
+	Put(make([]byte, 0))
+}
+
+func TestRoundTripReuse(t *testing.T) {
+	b := Get(128)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	// Not guaranteed by sync.Pool, but in a single-goroutine test the
+	// buffer comes straight back; mainly this checks len/cap plumbing.
+	c := Get(128)
+	if len(c) != 128 || cap(c) != 128 {
+		t.Fatalf("len=%d cap=%d", len(c), cap(c))
+	}
+	Put(c)
+}
+
+func TestAllocBudgetGetPut(t *testing.T) {
+	// Warm the class and the header pool, then the cycle must be free.
+	Put(Get(512))
+	n := testing.AllocsPerRun(1000, func() {
+		b := Get(512)
+		Put(b)
+	})
+	// A GC mid-run may clear the pool and cost one refill; allow that
+	// but nothing per-op.
+	if n > 0.1 {
+		t.Errorf("Get/Put cycle allocates %v/op, want ~0", n)
+	}
+}

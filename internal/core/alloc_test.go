@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/bufpool"
+	"flatstore/internal/core"
+	"flatstore/internal/rpc"
+)
+
+// Allocation budgets for the engine-only hot path (no transport, no
+// goroutines): one core driven synchronously, the same shape as the
+// BenchmarkHotpathCore* benchmarks. The budgets are averages with slack
+// for amortized growth (pending/outbox slices, index resizes, the odd
+// GC emptying a pool) — the point is that the steady state is O(0)
+// allocations, not that every single op is.
+
+func newAllocStore(t *testing.T) *core.Store {
+	t.Helper()
+	st, err := core.New(core.Config{
+		Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestAllocBudgetCoreInlinePut(t *testing.T) {
+	st := newAllocStore(t)
+	c := st.Core(0)
+	val := make([]byte, 64)
+	// Warm the slot/buffer pools and the index before measuring. Two
+	// passes: the second triggers each key's first overwrite, which pays
+	// the one-time per-key registry entry (&keyMeta) outside the window.
+	for pass := 0; pass < 2; pass++ {
+		for k := uint64(0); k < 2_048; k++ {
+			c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: k, Value: val}, 0)
+			c.TryLead()
+			c.DrainCompleted()
+			c.TakeResponses()
+		}
+	}
+	i := uint64(0)
+	n := testing.AllocsPerRun(2_000, func() {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: i % 2_048, Value: val}, 0)
+		c.TryLead()
+		c.DrainCompleted()
+		c.TakeResponses()
+		i++
+	})
+	if n > 0.5 {
+		t.Fatalf("inline Put: %v allocs/op, want ~0", n)
+	}
+}
+
+func TestAllocBudgetCoreGet(t *testing.T) {
+	st := newAllocStore(t)
+	c := st.Core(0)
+	val := make([]byte, 64)
+	for k := uint64(0); k < 2_048; k++ {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: k, Value: val}, 0)
+		c.TryLead()
+		c.DrainCompleted()
+		c.TakeResponses()
+	}
+	i := uint64(0)
+	// A Get materializes its value as one pooled copy owned by the
+	// poller; a well-behaved poller (the TCP writer, here the test)
+	// recycles it after use, which is what keeps the steady state free.
+	n := testing.AllocsPerRun(2_000, func() {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpGet, Key: i % 2_048}, 0)
+		out := c.TakeResponses()
+		if len(out) != 1 || out[0].Resp.Status != rpc.StatusOK {
+			t.Fatal("get miss")
+		}
+		bufpool.Put(out[0].Resp.Value)
+		i++
+	})
+	if n > 0.5 {
+		t.Fatalf("Get: %v allocs/op, want ~0", n)
+	}
+}

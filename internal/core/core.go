@@ -6,6 +6,7 @@ import (
 
 	"flatstore/internal/alloc"
 	"flatstore/internal/batch"
+	"flatstore/internal/bufpool"
 	"flatstore/internal/index"
 	"flatstore/internal/oplog"
 	"flatstore/internal/pmem"
@@ -48,10 +49,72 @@ type Core struct {
 	// so the lost value can never resurface as "newer".
 	quar map[uint64]uint32
 
-	pending []*batch.PendingOp // own published ops, FIFO
-	outbox  []Outgoing         // responses awaiting transmission
+	pending  []*batch.PendingOp // own published ops, FIFO; [:pendHead] already completed
+	pendHead int                // index of the oldest uncompleted op in pending
+	outbox   []Outgoing         // responses awaiting transmission
+	// outboxSpare is the second half of TakeResponses's double buffer:
+	// the previously handed-out slice, reused once the caller is done.
+	outboxSpare []Outgoing
+
+	// Per-core freelists and scratch. All are touched only by the owning
+	// core's goroutine (or the single-threaded simulator), so reuse needs
+	// no synchronization: slotFree recycles the op/entry/ctx storage of
+	// completed writes, flFree the conflict-queue nodes, and the lead*
+	// slices the leader-side batch buffers.
+	slotFree    []*pendingSlot
+	flFree      []*inflight
+	leadOps     []*batch.PendingOp
+	leadEntries []*oplog.Entry
+	leadOffs    []int64
 
 	reads uint64 // PM reads (for the simulator's cost model)
+}
+
+// pendingSlot bundles the per-write allocations — the PendingOp, its log
+// entry, and its opCtx — into one recyclable unit. A slot is handed out
+// in startModify and returns to the freelist in complete, after every
+// reference to it (group pool cell, pending cell, leader batch) is gone.
+type pendingSlot struct {
+	op    batch.PendingOp
+	entry oplog.Entry
+	ctx   opCtx
+}
+
+func (c *Core) getSlot() *pendingSlot {
+	if n := len(c.slotFree); n > 0 {
+		s := c.slotFree[n-1]
+		c.slotFree[n-1] = nil
+		c.slotFree = c.slotFree[:n-1]
+		return s
+	}
+	return &pendingSlot{}
+}
+
+func (c *Core) putSlot(s *pendingSlot) {
+	// Drop value references (the entry may alias a pooled request buffer
+	// that is released separately) but keep the slot itself.
+	s.entry = oplog.Entry{}
+	s.ctx = opCtx{}
+	c.slotFree = append(c.slotFree, s)
+}
+
+func (c *Core) getInflight() *inflight {
+	if n := len(c.flFree); n > 0 {
+		fl := c.flFree[n-1]
+		c.flFree[n-1] = nil
+		c.flFree = c.flFree[:n-1]
+		return fl
+	}
+	return &inflight{}
+}
+
+func (c *Core) putInflight(fl *inflight) {
+	fl.count = 0
+	fl.lastVer = 0
+	if fl.waiters != nil {
+		fl.waiters = fl.waiters[:0]
+	}
+	c.flFree = append(c.flFree, fl)
 }
 
 // keyMeta is the per-key GC bookkeeping: the highest version ever issued
@@ -91,6 +154,15 @@ type Outgoing struct {
 	Resp   rpc.Response
 }
 
+const (
+	// maxScanLimit bounds a scan when the client sent no (or an absurd)
+	// limit.
+	maxScanLimit = 1 << 20
+	// scanPresize caps the result capacity committed before a scan finds
+	// its first pair.
+	scanPresize = 256
+)
+
 // opCtx travels with a PendingOp from Submit to completion. What the op
 // supersedes is determined at completion time (writes pipeline per key).
 type opCtx struct {
@@ -99,6 +171,12 @@ type opCtx struct {
 	op      uint8 // rpc.OpPut or rpc.OpDelete
 	key     uint64
 	version uint32
+	// buf is the pooled request buffer backing the entry's inline value
+	// (rpc.Request.Buf ownership transfer); released in complete, after
+	// the leader has encoded the value into the log.
+	buf []byte
+	// slot points back to the recyclable storage this ctx lives in.
+	slot *pendingSlot
 }
 
 // ID returns the core's id.
@@ -156,7 +234,7 @@ func (c *Core) Step() bool {
 }
 
 func (c *Core) hasPendingOwn() bool {
-	for _, op := range c.pending {
+	for _, op := range c.pending[c.pendHead:] {
 		if !op.Done() {
 			return true
 		}
@@ -169,25 +247,42 @@ func (c *Core) flushOutbox() bool {
 	if c.port == nil || len(c.outbox) == 0 {
 		return false
 	}
-	for _, o := range c.outbox {
-		c.port.Respond(o.Client, o.Resp)
+	for i := range c.outbox {
+		c.port.Respond(c.outbox[i].Client, c.outbox[i].Resp)
+		c.outbox[i] = Outgoing{} // drop value refs; the ring owns them now
 	}
 	c.outbox = c.outbox[:0]
 	return true
 }
 
 // TakeResponses hands the queued responses to a simulator (which owns
-// transmission in virtual time).
+// transmission in virtual time). The outbox is double-buffered: the
+// returned slice's backing array is reused starting from the call after
+// the next one, so the caller must consume (or copy out) the responses
+// before stepping the core twice more — the simulator consumes them
+// within the same step.
 func (c *Core) TakeResponses() []Outgoing {
 	out := c.outbox
-	c.outbox = nil
+	if c.outboxSpare != nil {
+		c.outbox = c.outboxSpare[:0]
+	} else {
+		c.outbox = nil
+	}
+	c.outboxSpare = out
 	return out
 }
 
 // Submit processes one request through the engine's state machine. Reads
 // respond immediately; writes run their l-persist phase and are published
-// for batching (or, in ModeNone, persisted on the spot).
+// for batching (or, in ModeNone, persisted on the spot). If req.Buf is
+// set, Submit takes ownership of it (see rpc.Request).
 func (c *Core) Submit(req rpc.Request, client int) {
+	if req.Buf != nil && req.Op != rpc.OpPut {
+		// Only a Put's value bytes outlive the decode; every other op's
+		// pooled request buffer is dead on arrival.
+		bufpool.Put(req.Buf)
+		req.Buf, req.Value = nil, nil
+	}
 	fl := c.busy[req.Key]
 	switch req.Op {
 	case rpc.OpGet:
@@ -229,7 +324,7 @@ func (c *Core) readEntry(ref int64) (val []byte, ok, corrupt bool) {
 	}
 	c.reads++
 	if e.Inline {
-		out := make([]byte, len(e.Value))
+		out := bufpool.Get(len(e.Value))
 		copy(out, e.Value)
 		return out, true, false
 	}
@@ -237,7 +332,10 @@ func (c *Core) readEntry(ref int64) (val []byte, ok, corrupt bool) {
 	if record.Verify(c.st.arena, e.Ptr) != nil {
 		return nil, false, true
 	}
-	return record.Read(c.st.arena, e.Ptr), true, false
+	v := record.View(c.st.arena, e.Ptr)
+	out := bufpool.Get(len(v))
+	copy(out, v)
+	return out, true, false
 }
 
 // quarantine removes key from the index and records it as corrupt, with
@@ -309,10 +407,16 @@ func (c *Core) respondScan(req rpc.Request, client int) {
 		return
 	}
 	limit := req.Limit
-	if limit <= 0 {
-		limit = 1 << 20
+	if limit <= 0 || limit > maxScanLimit {
+		limit = maxScanLimit
 	}
-	var pairs []rpc.Pair
+	// Pre-size from the client's limit, capped so a huge (or defaulted)
+	// limit cannot commit a huge buffer up front.
+	presize := limit
+	if presize > scanPresize {
+		presize = scanPresize
+	}
+	pairs := make([]rpc.Pair, 0, presize)
 	// Quarantined keys are absent from the index and therefore silently
 	// skipped by scans; corrupt records discovered mid-scan are skipped
 	// too (the scrubber or a direct Get quarantines them).
@@ -330,26 +434,26 @@ func (c *Core) respondScan(req rpc.Request, client int) {
 // persistence — so back-to-back writes to one key can be in flight
 // together (their completions apply in FIFO, hence version, order).
 func (c *Core) startModify(req rpc.Request, client int) {
-	ctx := opCtx{client: client, reqID: req.ID, op: req.Op, key: req.Key}
+	var version uint32
 
 	fl := c.busy[req.Key]
 	if fl != nil {
-		ctx.version = fl.lastVer + 1
+		version = fl.lastVer + 1
 	} else {
 		c.idxMu.Lock()
 		_, oldVer, exists := c.idx.Get(req.Key)
 		qver, quarantined := c.quar[req.Key]
 		switch {
 		case exists:
-			ctx.version = oldVer + 1
+			version = oldVer + 1
 		case quarantined:
 			// Continue past the highest version the lost value may have
 			// carried, so this write durably supersedes it everywhere.
-			ctx.version = qver + 1
+			version = qver + 1
 		case c.reg[req.Key] != nil:
-			ctx.version = c.reg[req.Key].lastVer + 1
+			version = c.reg[req.Key].lastVer + 1
 		default:
-			ctx.version = 1
+			version = 1
 		}
 		c.idxMu.Unlock()
 		// Deleting a quarantined key proceeds: it writes the tombstone the
@@ -360,7 +464,10 @@ func (c *Core) startModify(req rpc.Request, client int) {
 		}
 	}
 
-	entry := &oplog.Entry{Version: ctx.version, Key: req.Key}
+	s := c.getSlot()
+	s.ctx = opCtx{client: client, reqID: req.ID, op: req.Op, key: req.Key, version: version, slot: s}
+	s.entry = oplog.Entry{Version: version, Key: req.Key}
+	entry := &s.entry
 	if req.Op == rpc.OpDelete {
 		entry.Op = oplog.OpDelete
 	} else {
@@ -370,24 +477,44 @@ func (c *Core) startModify(req rpc.Request, client int) {
 			// entry (step 1 of §3.2's Put sequence).
 			blk, err := c.ca.Alloc(record.Size(len(req.Value)), c.f)
 			if err != nil {
+				c.putSlot(s)
+				bufpool.Put(req.Buf)
 				c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusError}})
 				return
 			}
 			record.Persist(c.f, blk, req.Value)
 			entry.Ptr = blk
+			// The value now lives in its durable record; a pooled request
+			// buffer is dead.
+			bufpool.Put(req.Buf)
 		} else {
 			entry.Inline = true
-			entry.Value = append([]byte(nil), req.Value...)
+			if req.Buf != nil {
+				// Ownership transfer (zero copy): the entry aliases the
+				// pooled request buffer until the leader encodes it into
+				// the log; complete releases it.
+				entry.Value = req.Value
+				s.ctx.buf = req.Buf
+			} else {
+				// The sender keeps its value buffer (and may reuse it as
+				// soon as we return): copy into a pooled scratch that
+				// complete releases once the entry is durable.
+				v := bufpool.Get(len(req.Value))
+				copy(v, req.Value)
+				entry.Value = v
+				s.ctx.buf = v
+			}
 		}
 	}
 
-	op := &batch.PendingOp{Entry: entry, Owner: c.id, Ctx: ctx}
+	op := &s.op
+	op.Reset(entry, c.id, &s.ctx)
 	if fl == nil {
-		fl = &inflight{}
+		fl = c.getInflight()
 		c.busy[req.Key] = fl
 	}
 	fl.count++
-	fl.lastVer = ctx.version
+	fl.lastVer = version
 
 	if c.group.Mode() == batch.ModeNone {
 		// Base configuration: persist the entry immediately, alone.
@@ -419,11 +546,15 @@ func (c *Core) TryLead() int {
 
 // TryLeadOps is TryLead exposing the collected batch (the virtual-time
 // simulator needs the owners to schedule per-core completion gates).
+// The returned slice is this core's recycled lead scratch: it is valid
+// until this core's next TryLeadOps call, and callers (Step, the
+// simulator) consume it within the same step.
 func (c *Core) TryLeadOps() []*batch.PendingOp {
 	if !c.group.TryLead() {
 		return nil
 	}
-	ops := c.group.Collect(c.member)
+	ops := c.group.CollectInto(c.member, c.leadOps[:0])
+	c.leadOps = ops
 	if c.group.Mode() == batch.ModePipelinedHB || c.group.Mode() == batch.ModeVertical {
 		c.group.Unlock()
 	}
@@ -433,11 +564,13 @@ func (c *Core) TryLeadOps() []*batch.PendingOp {
 		}
 		return nil
 	}
-	entries := make([]*oplog.Entry, len(ops))
-	for i, op := range ops {
-		entries[i] = op.Entry
+	entries := c.leadEntries[:0]
+	for _, op := range ops {
+		entries = append(entries, op.Entry)
 	}
-	offs, err := c.log.AppendBatch(c.f, entries)
+	c.leadEntries = entries
+	offs, err := c.log.AppendBatchOffs(c.f, entries, c.leadOffs[:0])
+	c.leadOffs = offs[:0]
 	if err != nil {
 		// Log space exhausted: fail the ops.
 		for _, op := range ops {
@@ -447,6 +580,9 @@ func (c *Core) TryLeadOps() []*batch.PendingOp {
 	} else {
 		for i, op := range ops {
 			op.Off = offs[i]
+			// Read the entry BEFORE MarkDone: completion recycles the
+			// op's slot, so entries[i] is only stable until the owner
+			// observes Done.
 			c.accountAppend(offs[i], entries[i].EncodedSize())
 			op.MarkDone()
 		}
@@ -465,24 +601,31 @@ func (c *Core) accountAppend(off int64, size int) {
 // DrainCompleted finishes the volatile phase of every durable own op, in
 // publication order, and returns how many completed.
 func (c *Core) DrainCompleted() int {
-	return c.DrainCompletedLimit(len(c.pending))
+	return c.DrainCompletedLimit(c.PendingCount())
 }
 
 // DrainCompletedLimit completes at most max durable own ops (the
-// simulator gates completions by virtual durability time).
+// simulator gates completions by virtual durability time). The pending
+// queue advances by head index so the backing array is reused instead of
+// re-grown once drained.
 func (c *Core) DrainCompletedLimit(max int) int {
 	n := 0
-	for n < max && len(c.pending) > 0 && c.pending[0].Done() {
-		op := c.pending[0]
-		c.pending = c.pending[1:]
+	for n < max && c.pendHead < len(c.pending) && c.pending[c.pendHead].Done() {
+		op := c.pending[c.pendHead]
+		c.pending[c.pendHead] = nil // the slot is recycled in complete
+		c.pendHead++
 		c.complete(op)
 		n++
+	}
+	if c.pendHead > 0 && c.pendHead == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.pendHead = 0
 	}
 	return n
 }
 
 // PendingCount reports how many own ops await durability or completion.
-func (c *Core) PendingCount() int { return len(c.pending) }
+func (c *Core) PendingCount() int { return len(c.pending) - c.pendHead }
 
 // HasPublished reports whether this core has entries in its group pool
 // awaiting a leader.
@@ -494,10 +637,19 @@ func (c *Core) GroupPending() bool { return c.group.AnyPending() }
 
 // complete is the volatile phase: update the index, release the storage
 // this write supersedes, unblock the conflict queue, queue the response.
+// It also retires the op's storage: the slot returns to the freelist and
+// the pooled value buffer (if any) goes back to bufpool — both are dead
+// once the leader published Done, since the entry was already encoded
+// into the log.
 func (c *Core) complete(op *batch.PendingOp) {
-	ctx := op.Ctx.(opCtx)
+	ctx := *(op.Ctx.(*opCtx))
+	off := op.Off
+	if ctx.slot != nil {
+		c.putSlot(ctx.slot) // op and entry are invalid from here on
+	}
+	bufpool.Put(ctx.buf)
 	status := rpc.StatusOK
-	if op.Off < 0 {
+	if off < 0 {
 		status = rpc.StatusError
 	} else {
 		// Identify what this op supersedes at apply time: with writes
@@ -530,7 +682,7 @@ func (c *Core) complete(op *batch.PendingOp) {
 		}
 		switch ctx.op {
 		case rpc.OpPut:
-			c.idx.Put(ctx.key, op.Off, ctx.version)
+			c.idx.Put(ctx.key, off, ctx.version)
 			m := c.reg[ctx.key]
 			if oldRef >= 0 {
 				if m == nil {
@@ -595,7 +747,17 @@ func (c *Core) complete(op *batch.PendingOp) {
 	}
 	waiters := fl.waiters
 	delete(c.busy, ctx.key)
-	for _, d := range waiters {
+	if len(waiters) == 0 {
+		c.putInflight(fl)
+		return
+	}
+	// Detach the waiter list before recycling the node: the replayed
+	// Submits below may pull fl from the freelist for another key.
+	fl.waiters = nil
+	c.putInflight(fl)
+	for i := range waiters {
+		d := waiters[i]
+		waiters[i] = deferred{} // drop request value refs
 		c.Submit(d.req, d.client)
 	}
 }

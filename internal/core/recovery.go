@@ -674,7 +674,7 @@ func (st *Store) Close() error {
 	st.Stop()
 	// Flush any ops still in flight.
 	for _, c := range st.cores {
-		for c.group.HasPending(c.member) || len(c.pending) > 0 {
+		for c.group.HasPending(c.member) || c.PendingCount() > 0 {
 			c.TryLead()
 			c.DrainCompleted()
 		}

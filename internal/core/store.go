@@ -180,6 +180,21 @@ func (st *Store) Connect() *Client {
 	return &Client{st: st, c: st.rpc.Connect()}
 }
 
+// Idle backoff for the polling loops. A core that found no work spins
+// idleSpins iterations (yielding the processor each time, so an active
+// peer keeps the latency of a pure polling handoff) and then naps. The
+// nap is what keeps TCP latency sane on hosts with fewer processors than
+// goroutines: a runnable spinning goroutine starves the Go netpoller,
+// which is only consulted when the scheduler runs out of runnable work —
+// with every core busy-yielding, socket readiness is discovered on the
+// ~10ms sysmon tick instead of immediately. Sleeping cores unblock the
+// netpoller, so an incoming frame is picked up within idleNap instead.
+// Under load a core always finds work and never naps.
+const (
+	idleSpins = 128
+	idleNap   = 20 * time.Microsecond
+)
+
 // Run starts the server-core goroutines and, if configured, the per-group
 // cleaners. It returns immediately; Close stops everything. Safe to call
 // concurrently with Stop and Stats.
@@ -194,14 +209,21 @@ func (st *Store) Run() {
 		st.stopped.Add(1)
 		go func(c *Core) {
 			defer st.stopped.Done()
+			idle := 0
 			for {
 				select {
 				case <-st.stop:
 					return
 				default:
 				}
-				if !c.Step() {
+				if c.Step() {
+					idle = 0
+					continue
+				}
+				if idle++; idle < idleSpins {
 					runtime.Gosched()
+				} else {
+					time.Sleep(idleNap)
 				}
 			}
 		}(c)
@@ -212,14 +234,21 @@ func (st *Store) Run() {
 			go func(g int) {
 				defer st.stopped.Done()
 				cl := st.newCleaner(g)
+				idle := 0
 				for {
 					select {
 					case <-st.stop:
 						return
 					default:
 					}
-					if cl.CleanOnce() == 0 {
+					if cl.CleanOnce() > 0 {
+						idle = 0
+						continue
+					}
+					if idle++; idle < idleSpins {
 						runtime.Gosched()
+					} else {
+						time.Sleep(idleNap)
 					}
 				}
 			}(g)
@@ -252,8 +281,13 @@ func (st *Store) Stop() {
 	if !st.running {
 		return
 	}
+	// Bound the transport's blocking response pushes for the duration of
+	// the shutdown: a core mid-Step cannot reach its stop check while
+	// wedged behind the full ring of a client that stopped polling.
+	st.rpc.SetDraining(true)
 	close(st.stop)
 	st.stopped.Wait()
+	st.rpc.SetDraining(false)
 	st.running = false
 	st.stop = make(chan struct{})
 }

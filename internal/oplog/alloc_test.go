@@ -1,0 +1,44 @@
+package oplog
+
+import "testing"
+
+// The log entry codec sits on every persisted operation: a single
+// allocation here multiplies across the whole write path, so the budget
+// is pinned to exactly zero.
+
+func TestAllocBudgetEncodeTo(t *testing.T) {
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	e := &Entry{Op: OpPut, Version: 7, Key: 42, Inline: true, Value: val}
+	buf := make([]byte, e.EncodedSize())
+	if n := testing.AllocsPerRun(500, func() {
+		e.EncodeTo(buf)
+	}); n != 0 {
+		t.Fatalf("EncodeTo: %v allocs/op, want 0", n)
+	}
+
+	out := &Entry{Op: OpPut, Version: 9, Key: 43, Ptr: 512}
+	obuf := make([]byte, out.EncodedSize())
+	if n := testing.AllocsPerRun(500, func() {
+		out.EncodeTo(obuf)
+	}); n != 0 {
+		t.Fatalf("EncodeTo (out-of-place): %v allocs/op, want 0", n)
+	}
+}
+
+func TestAllocBudgetDecode(t *testing.T) {
+	val := make([]byte, 64)
+	e := &Entry{Op: OpPut, Version: 7, Key: 42, Inline: true, Value: val}
+	buf := make([]byte, e.EncodedSize())
+	e.EncodeTo(buf)
+	// Decode's Value aliases buf (documented), so decoding is free too.
+	if n := testing.AllocsPerRun(500, func() {
+		if _, _, err := Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Decode: %v allocs/op, want 0", n)
+	}
+}

@@ -47,6 +47,13 @@ type Log struct {
 	chunks    []int64 // chain order; chunks[len-1] is the tail chunk
 	tailChunk int64
 	tailPos   int // next write offset within the tail chunk
+
+	// Append's batch-of-one scratch. Owned by the appending core (Append
+	// and AppendBatch are single-writer), so reuse needs no lock.
+	oneEnt [1]*Entry
+	oneOff [1]int64
+	// metaSum scratch, guarded by mu like the meta slot itself.
+	sumBuf [16]byte
 }
 
 // MetaSize is the persistent footprint of a log's metadata slot:
@@ -56,9 +63,10 @@ type Log struct {
 // current costs no extra persist point.
 const MetaSize = 24
 
-// metaSum computes the metadata slot checksum.
-func metaSum(head, tail uint64) uint64 {
-	var b [16]byte
+// metaSum computes the metadata slot checksum. The scratch is caller
+// provided because a local array escapes into crc32.Checksum and would
+// cost a heap allocation on every meta persist — i.e. on every batch.
+func metaSum(b *[16]byte, head, tail uint64) uint64 {
 	putUint64(b[:8], head)
 	putUint64(b[8:], tail)
 	return uint64(crc32.Checksum(b[:], castagnoli))
@@ -70,7 +78,8 @@ func metaSum(head, tail uint64) uint64 {
 func MetaOK(arena *pmem.Arena, metaOff int) bool {
 	head := arena.ReadUint64(metaOff)
 	tail := arena.ReadUint64(metaOff + 8)
-	return arena.ReadUint64(metaOff+16) == metaSum(head, tail)
+	var b [16]byte
+	return arena.ReadUint64(metaOff+16) == metaSum(&b, head, tail)
 }
 
 // persistMetaLocked writes head, tail and their checksum and persists the
@@ -80,7 +89,7 @@ func (l *Log) persistMetaLocked(f *pmem.Flusher) {
 	tail := uint64(l.tailChunk) + uint64(l.tailPos)
 	l.arena.WriteUint64(l.metaOff, head)
 	l.arena.WriteUint64(l.metaOff+8, tail)
-	l.arena.WriteUint64(l.metaOff+16, metaSum(head, tail))
+	l.arena.WriteUint64(l.metaOff+16, metaSum(&l.sumBuf, head, tail))
 	f.Flush(l.metaOff, MetaSize)
 	f.Fence()
 }
@@ -205,27 +214,33 @@ func (l *Log) roll(f *pmem.Flusher) error {
 // 16-byte trailer rides inside the batch flush, so integrity coverage
 // adds bytes but no persist points.
 func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
+	return l.AppendBatchOffs(f, entries, nil)
+}
+
+// AppendBatchOffs is AppendBatch appending the entry offsets to offs
+// (usually a recycled per-core scratch slice), returning the extended
+// slice. On error the returned slice is offs unchanged.
+func (l *Log) AppendBatchOffs(f *pmem.Flusher, entries []*Entry, offs []int64) ([]int64, error) {
 	if len(entries) == 0 {
-		return nil, nil
+		return offs, nil
 	}
 	total := 0
 	for _, e := range entries {
 		total += e.EncodedSize()
 	}
 	if total+TrailerSize > pmem.ChunkSize-chunkHeader-endMarkerReserve {
-		return nil, ErrBatchTooLarge
+		return offs, ErrBatchTooLarge
 	}
 	if l.tailPos+total+TrailerSize > pmem.ChunkSize-endMarkerReserve {
 		if err := l.roll(f); err != nil {
-			return nil, err
+			return offs, err
 		}
 	}
 	mem := l.arena.Mem()
 	start := l.tailPos
 	pos := start
-	offs := make([]int64, len(entries))
-	for i, e := range entries {
-		offs[i] = l.tailChunk + int64(pos)
+	for _, e := range entries {
+		offs = append(offs, l.tailChunk+int64(pos))
 		pos += e.EncodeTo(mem[int(l.tailChunk)+pos:])
 	}
 	PutTrailer(mem[int(l.tailChunk)+pos:], mem[int(l.tailChunk)+start:int(l.tailChunk)+pos])
@@ -252,9 +267,13 @@ func (l *Log) AppendBatch(f *pmem.Flusher, entries []*Entry) ([]int64, error) {
 	return offs, nil
 }
 
-// Append persists a single entry (a batch of one).
+// Append persists a single entry (a batch of one). Like AppendBatch it
+// may only be called by the owning core, which lets it reuse the log's
+// scratch arrays instead of allocating per call.
 func (l *Log) Append(f *pmem.Flusher, e *Entry) (int64, error) {
-	offs, err := l.AppendBatch(f, []*Entry{e})
+	l.oneEnt[0] = e
+	offs, err := l.AppendBatchOffs(f, l.oneEnt[:], l.oneOff[:0])
+	l.oneEnt[0] = nil
 	if err != nil {
 		return 0, err
 	}

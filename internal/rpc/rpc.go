@@ -19,6 +19,7 @@ package rpc
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // Op codes for requests.
@@ -56,6 +57,15 @@ type Request struct {
 	Value  []byte
 	ScanHi uint64 // upper bound for OpScan
 	Limit  int    // max pairs for OpScan
+
+	// Buf, when non-nil, is the pooled buffer backing Value (typically a
+	// whole decoded frame). Setting it transfers ownership to the engine:
+	// once the value bytes are dead — the op was rejected, or the entry
+	// reached the log / the record store — the engine returns Buf to
+	// bufpool. The sender must not touch Buf or Value after a successful
+	// Send. Senders that keep ownership (in-process clients, the
+	// simulator) simply leave Buf nil.
+	Buf []byte
 }
 
 // Pair is one key/value result of a scan.
@@ -99,6 +109,10 @@ func (r *reqRing) pop() (Request, bool) {
 		return Request{}, false
 	}
 	m := r.buf[h%ringSize]
+	// Clear the cell before publishing the new head: the consumer owns it
+	// until then, and a stale cell would pin the request's value buffer
+	// (pooled elsewhere) for a full lap of the ring.
+	r.buf[h%ringSize] = Request{}
 	r.head.Store(h + 1)
 	return m, true
 }
@@ -126,6 +140,7 @@ func (r *respRing) pop() (Response, bool) {
 		return Response{}, false
 	}
 	m := r.buf[h%uint64(len(r.buf))]
+	r.buf[h%uint64(len(r.buf))] = Response{} // drop value refs before advancing
 	r.head.Store(h + 1)
 	return m, true
 }
@@ -160,6 +175,7 @@ func (r *delRing) pop() (delegated, bool) {
 		return delegated{}, false
 	}
 	m := r.buf[h%uint64(len(r.buf))]
+	r.buf[h%uint64(len(r.buf))] = delegated{}
 	r.head.Store(h + 1)
 	return m, true
 }
@@ -195,8 +211,25 @@ type Server struct {
 	responses   atomic.Uint64
 	dropped     atomic.Uint64
 
+	// draining, when set, bounds the blocking pushes in Respond and
+	// deliver: a response that stays stuck behind a full ring for
+	// drainGrace is dropped instead of spinning forever. The engine sets
+	// it while stopping so a client that abandoned its response ring
+	// without closing (a crashed caller, a test simulating power failure)
+	// cannot wedge shutdown; a client that is still polling drains its
+	// ring well inside the grace window and loses nothing.
+	draining atomic.Bool
+
 	delRings []*delRing // one per core, drained by the agent
 }
+
+// drainGrace is how long a blocked response push waits for a poller once
+// the server is draining before giving up (pollers nap at most tens of
+// microseconds between polls, so this is orders of magnitude of slack).
+const drainGrace = 50 * time.Millisecond
+
+// SetDraining toggles shutdown mode (see the draining field).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // NewServer creates a transport with ncores server cores; agent is the
 // core holding the client QPs (the paper picks a NIC-socket-local core).
@@ -319,15 +352,21 @@ func (c *Client) Send(core int, req Request) bool {
 
 // Poll drains up to max completed responses (the client-side CQ poll).
 func (c *Client) Poll(max int) []Response {
-	var out []Response
-	for len(out) < max {
+	return c.PollInto(nil, max)
+}
+
+// PollInto appends up to max completed responses to dst and returns the
+// extended slice — the allocation-free form of Poll for callers that
+// recycle their poll buffer across cycles.
+func (c *Client) PollInto(dst []Response, max int) []Response {
+	for n := 0; n < max; n++ {
 		r, ok := c.resps.pop()
 		if !ok {
 			break
 		}
-		out = append(out, r)
+		dst = append(dst, r)
 	}
-	return out
+	return dst
 }
 
 // CorePort is core i's view of the transport.
@@ -373,9 +412,22 @@ func (p *CorePort) Respond(client int, resp Response) {
 		return
 	}
 	s.delegations.Add(1)
+	var deadline time.Time
 	for !s.delRings[p.core].push(delegated{client: client, resp: resp}) {
 		// Ring full: the agent is behind; yield until it drains (a
-		// full QP would backpressure the same way).
+		// full QP would backpressure the same way). While draining, a
+		// bounded wait — the agent may already be wedged behind (or have
+		// given up on) an abandoned client, and this core must still
+		// reach its own stop check.
+		if s.draining.Load() {
+			now := time.Now()
+			if deadline.IsZero() {
+				deadline = now.Add(drainGrace)
+			} else if now.After(deadline) {
+				s.dropped.Add(1)
+				return
+			}
+		}
 		runtime.Gosched()
 	}
 }
@@ -397,10 +449,22 @@ func (s *Server) deliver(client int, resp Response) {
 	}
 	s.mmios.Add(1)
 	s.responses.Add(1)
+	var deadline time.Time
 	for !cl.resps.push(resp) {
 		if cl.closed.Load() {
 			s.dropped.Add(1)
 			return
+		}
+		if s.draining.Load() {
+			now := time.Now()
+			if deadline.IsZero() {
+				deadline = now.Add(drainGrace)
+			} else if now.After(deadline) {
+				// Shutdown with a client that abandoned its ring:
+				// completed-but-unacked, the crash model's allowed state.
+				s.dropped.Add(1)
+				return
+			}
 		}
 		runtime.Gosched() // client must poll completions
 	}

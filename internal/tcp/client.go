@@ -51,6 +51,7 @@ type clientConn struct {
 	bw *bufio.Writer
 
 	wmu sync.Mutex // serializes frame writes
+	enc []byte     // request-encode scratch, guarded by wmu
 
 	mu         sync.Mutex // guards pend + err
 	pend       map[uint64]chan response
@@ -303,7 +304,10 @@ func (cc *clientConn) roundTrip(ctx context.Context, q request, d time.Duration)
 	cc.mu.Unlock()
 
 	cc.wmu.Lock()
-	err := writeFrame(cc.bw, encodeRequest(q))
+	// Encode into the connection's scratch: writeFrame copies the payload
+	// into the bufio.Writer, so the scratch is free again at unlock.
+	cc.enc = appendRequest(cc.enc[:0], q)
+	err := writeFrame(cc.bw, cc.enc)
 	if err == nil {
 		err = cc.bw.Flush()
 	}

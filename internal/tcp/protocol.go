@@ -22,6 +22,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"flatstore/internal/bufpool"
+	"flatstore/internal/rpc"
 )
 
 // Frame layout (little-endian). Every frame is
@@ -95,27 +98,45 @@ type response struct {
 	pairs  []pair
 }
 
+// writeU32 emits v little-endian via WriteByte, which (unlike passing a
+// stack array to Write) cannot make the bytes escape to the heap — the
+// frame hot path stays allocation-free.
+func writeU32(w *bufio.Writer, v uint32) error {
+	w.WriteByte(byte(v))
+	w.WriteByte(byte(v >> 8))
+	w.WriteByte(byte(v >> 16))
+	return w.WriteByte(byte(v >> 24))
+}
+
 func writeFrame(w *bufio.Writer, payload []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if err := writeU32(w, uint32(len(payload))); err != nil {
 		return err
 	}
 	if _, err := w.Write(payload); err != nil {
 		return err
 	}
-	var sum [4]byte
-	binary.LittleEndian.PutUint32(sum[:], crc32.Checksum(payload, castagnoli))
-	_, err := w.Write(sum[:])
-	return err
+	return writeU32(w, crc32.Checksum(payload, castagnoli))
+}
+
+// readLen reads a frame's 4-byte length prefix. Peek+Discard on the
+// bufio.Reader instead of io.ReadFull into a stack array: the array
+// would escape through the io.Reader interface and cost an allocation
+// per frame.
+func readLen(r *bufio.Reader) (uint32, error) {
+	hdr, err := r.Peek(4)
+	if err != nil {
+		return 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	r.Discard(4)
+	return n, nil
 }
 
 func readFrame(r *bufio.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	n, err := readLen(r)
+	if err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
 		return nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
 	}
@@ -125,6 +146,33 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	}
 	payload := buf[:n]
 	if binary.LittleEndian.Uint32(buf[n:]) != crc32.Checksum(payload, castagnoli) {
+		return nil, errCRC
+	}
+	return payload, nil
+}
+
+// readFrameBuf is readFrame into a pooled buffer: the returned payload is
+// backed by bufpool and the caller owns it — it must go back via
+// bufpool.Put (directly, or through the engine's rpc.Request.Buf
+// ownership transfer) once the decoded fields are dead. The server's
+// reader uses this; the client keeps plain readFrame because response
+// values escape to the API caller.
+func readFrameBuf(r *bufio.Reader) ([]byte, error) {
+	n, err := readLen(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxFrame {
+		return nil, fmt.Errorf("tcp: frame of %d bytes exceeds limit", n)
+	}
+	buf := bufpool.Get(int(n) + 4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		bufpool.Put(buf)
+		return nil, err
+	}
+	payload := buf[:n]
+	if binary.LittleEndian.Uint32(buf[n:]) != crc32.Checksum(payload, castagnoli) {
+		bufpool.Put(buf)
 		return nil, errCRC
 	}
 	return payload, nil
@@ -146,7 +194,12 @@ func decodeHello(b []byte) (uint64, error) {
 }
 
 func encodeRequest(q request) []byte {
-	buf := make([]byte, 0, 33+len(q.value))
+	return appendRequest(make([]byte, 0, 37+len(q.value)), q)
+}
+
+// appendRequest encodes q onto buf (the client reuses a per-connection
+// scratch buffer across calls).
+func appendRequest(buf []byte, q request) []byte {
 	buf = append(buf, q.op)
 	buf = binary.LittleEndian.AppendUint32(buf, q.core)
 	buf = binary.LittleEndian.AppendUint64(buf, q.id)
@@ -182,7 +235,11 @@ func encodeResponse(rs response) []byte {
 	for _, p := range rs.pairs {
 		n += 12 + len(p.value)
 	}
-	buf := make([]byte, 0, n)
+	return appendResponse(make([]byte, 0, n), rs)
+}
+
+// appendResponse encodes rs onto buf.
+func appendResponse(buf []byte, rs response) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, rs.id)
 	buf = append(buf, rs.status)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rs.value)))
@@ -196,8 +253,30 @@ func encodeResponse(rs response) []byte {
 	return buf
 }
 
+// appendEngineResponse encodes an engine rpc.Response directly onto buf,
+// skipping the wire-struct conversion (and its pair-slice allocation)
+// that encodeResponse(response{...}) would cost on the server's hot
+// response path.
+func appendEngineResponse(buf []byte, r *rpc.Response) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, r.ID)
+	buf = append(buf, r.Status)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Value)))
+	buf = append(buf, r.Value...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Pairs)))
+	for i := range r.Pairs {
+		buf = binary.LittleEndian.AppendUint64(buf, r.Pairs[i].Key)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Pairs[i].Value)))
+		buf = append(buf, r.Pairs[i].Value...)
+	}
+	return buf
+}
+
+// errBadResponse marks an undecodable response frame (package-level so
+// the decode hot path does not allocate an error per frame).
+var errBadResponse = errors.New("tcp: corrupt response frame")
+
 func decodeResponse(b []byte) (response, error) {
-	bad := fmt.Errorf("tcp: corrupt response frame")
+	bad := errBadResponse
 	if len(b) < 17 {
 		return response{}, bad
 	}

@@ -10,8 +10,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flatstore/internal/bufpool"
 	"flatstore/internal/core"
 	"flatstore/internal/rpc"
+)
+
+// Writer idle backoff, mirroring the engine cores' (see core/store.go):
+// spin briefly with Gosched for latency, then nap so the runtime can
+// actually block on the netpoller instead of discovering socket
+// readiness on the ~10ms sysmon tick.
+const (
+	writerIdleSpins = 128
+	writerIdleNap   = 20 * time.Microsecond
 )
 
 // ServerOptions tunes the server's overload and fault behaviour. The
@@ -190,10 +200,17 @@ func (l *localQueue) push(rs response) {
 	l.mu.Unlock()
 }
 
-func (l *localQueue) take() []response {
+// take swaps the queued responses out, installing spare (a recycled
+// buffer from the previous take, or nil) as the next accumulation
+// buffer. The caller owns the returned slice until the take after next.
+func (l *localQueue) take(spare []response) []response {
 	l.mu.Lock()
 	q := l.q
-	l.q = nil
+	if spare != nil {
+		l.q = spare[:0]
+	} else {
+		l.q = nil
+	}
 	l.mu.Unlock()
 	return q
 }
@@ -272,9 +289,20 @@ func (s *Server) handle(conn net.Conn) {
 			discard = true
 			conn.Close() // unblock the reader too: the conn is dead
 		}
+		// Per-connection reuse: responses poll into respBuf, localQueue
+		// alternates between two buffers via take(spare), and every frame
+		// is encoded into the enc scratch (writeFrame copies it into the
+		// bufio.Writer, so it is reusable immediately).
+		var (
+			respBuf  []rpc.Response
+			locSpare []response
+			enc      []byte
+			idle     int
+		)
 		for {
-			loc := lq.take()
-			rs := cl.Poll(64)
+			loc := lq.take(locSpare)
+			rs := cl.PollInto(respBuf[:0], 64)
+			respBuf = rs
 			if len(loc) == 0 && len(rs) == 0 {
 				select {
 				case <-done:
@@ -283,36 +311,48 @@ func (s *Server) handle(conn net.Conn) {
 					}
 				default:
 				}
-				runtime.Gosched()
+				if idle++; idle < writerIdleSpins {
+					runtime.Gosched()
+				} else {
+					time.Sleep(writerIdleNap)
+				}
 				continue
 			}
+			idle = 0
 			armWrite()
-			for _, r := range rs {
+			for i := range rs {
+				r := &rs[i]
 				outstanding.Add(-1)
 				s.inflight.Add(-1)
 				// Record write outcomes even when the socket is gone:
 				// the client will replay on a new connection and must
 				// be answered from the table, not re-applied.
 				sess.complete(r.ID, r.Status)
-				if discard {
-					continue
+				if !discard {
+					enc = appendEngineResponse(enc[:0], r)
+					if err := writeFrame(bw, enc); err != nil {
+						fail()
+					}
 				}
-				out := response{id: r.ID, status: r.Status, value: r.Value}
-				for _, p := range r.Pairs {
-					out.pairs = append(out.pairs, pair{key: p.Key, value: p.Value})
+				// The engine materializes every response value (Get value,
+				// scan pair values) as a fresh bufpool copy owned by this
+				// poller; once encoded (or discarded) they are dead.
+				bufpool.Put(r.Value)
+				for j := range r.Pairs {
+					bufpool.Put(r.Pairs[j].Value)
 				}
-				if err := writeFrame(bw, encodeResponse(out)); err != nil {
-					fail()
-				}
+				*r = rpc.Response{}
 			}
-			for _, out := range loc {
-				if discard {
-					continue
+			for i := range loc {
+				if !discard {
+					enc = appendResponse(enc[:0], loc[i])
+					if err := writeFrame(bw, enc); err != nil {
+						fail()
+					}
 				}
-				if err := writeFrame(bw, encodeResponse(out)); err != nil {
-					fail()
-				}
+				loc[i] = response{}
 			}
+			locSpare = loc
 			if !discard {
 				if err := bw.Flush(); err != nil {
 					fail()
@@ -323,7 +363,11 @@ func (s *Server) handle(conn net.Conn) {
 	defer close(done)
 
 	for {
-		payload, err := readFrame(br)
+		// Request frames come from bufpool. On every path that answers
+		// without the engine the frame goes straight back to the pool; on
+		// the engine path ownership transfers with the request (Buf), and
+		// the engine returns it once the value is dead (see rpc.Request).
+		payload, err := readFrameBuf(br)
 		if err != nil {
 			if errors.Is(err, errCRC) {
 				// Corruption detected: framing may be lost from here, so
@@ -334,6 +378,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		q, err := decodeRequest(payload)
 		if err != nil {
+			bufpool.Put(payload)
 			return
 		}
 		if int(q.core) >= s.st.Cores() {
@@ -344,6 +389,7 @@ func (s *Server) handle(conn net.Conn) {
 		// engine, so it works even when the data path is saturated (the
 		// moment an operator most wants the counters).
 		if q.op == opIntegrity {
+			bufpool.Put(payload)
 			lq.push(response{id: q.id, status: statusOK, value: s.st.Integrity().Marshal()})
 			continue
 		}
@@ -355,6 +401,7 @@ func (s *Server) handle(conn net.Conn) {
 			switch state {
 			case dedupDone:
 				s.dedupHits.Add(1)
+				bufpool.Put(payload)
 				lq.push(response{id: q.id, status: status})
 				continue
 			case dedupPending:
@@ -362,6 +409,7 @@ func (s *Server) handle(conn net.Conn) {
 				// connection's drain): shed; the client backs off and
 				// replays, by which time the outcome is recorded.
 				s.shed.Add(1)
+				bufpool.Put(payload)
 				lq.push(response{id: q.id, status: statusBusy})
 				continue
 			}
@@ -376,6 +424,7 @@ func (s *Server) handle(conn net.Conn) {
 				sess.abort(q.id)
 			}
 			s.shed.Add(1)
+			bufpool.Put(payload)
 			lq.push(response{id: q.id, status: statusBusy})
 			continue
 		}
@@ -387,6 +436,7 @@ func (s *Server) handle(conn net.Conn) {
 			ScanHi: q.scanHi,
 			Limit:  int(q.limit),
 			Value:  q.value,
+			Buf:    payload, // ownership transfers with the send
 		}
 		outstanding.Add(1)
 		s.inflight.Add(1)

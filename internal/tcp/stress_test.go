@@ -1,0 +1,100 @@
+package tcp
+
+import (
+	"sync"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+// TestPooledPathRaceStress hammers the pooled hot path from several
+// connections with overlapping keys, mixed inline / out-of-place sizes,
+// and concurrent scans. Every value is a pure function of its key (fill
+// byte = low key byte), so a recycled buffer handed out while still
+// referenced — the failure mode of every pooling bug — surfaces as a
+// content mismatch, not just as a race report. Run under -race in CI,
+// this is the aliasing gate for bufpool ownership transfers.
+func TestPooledPathRaceStress(t *testing.T) {
+	st, _, addr := startServer(t, core.Config{
+		Cores: 3, Mode: batch.ModePipelinedHB, Index: core.IndexMasstree,
+		ArenaChunks: 64, GC: core.GCConfig{Enabled: true},
+	})
+	defer st.Stop()
+
+	const (
+		workers = 4
+		iters   = 400
+		keys    = 128 // small: heavy same-key contention
+	)
+	fill := func(k uint64, n int) []byte {
+		v := make([]byte, n)
+		for i := range v {
+			v[i] = byte(k)
+		}
+		return v
+	}
+	check := func(k uint64, v []byte) bool {
+		// Sizes alternate per overwrite; content must always match the key.
+		if len(v) != 64 && len(v) != 1024 {
+			return false
+		}
+		for _, b := range v {
+			if b != byte(k) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < iters; i++ {
+				k := uint64((w*31 + i) % keys)
+				size := 64 // inline
+				if i%3 == 1 {
+					size = 1024 // out-of-place
+				}
+				switch i % 3 {
+				case 0, 1:
+					if err := cl.Put(k, fill(k, size)); err != nil {
+						t.Errorf("put %d: %v", k, err)
+						return
+					}
+				case 2:
+					if v, ok, err := cl.Get(k); err != nil {
+						t.Errorf("get %d: %v", k, err)
+						return
+					} else if ok && !check(k, v) {
+						t.Errorf("get %d: aliased/corrupt value (len %d)", k, len(v))
+						return
+					}
+				}
+				if i%17 == 0 {
+					lo := k % (keys - 8)
+					pairs, err := cl.Scan(lo, lo+8, 8)
+					if err != nil {
+						t.Errorf("scan %d: %v", lo, err)
+						return
+					}
+					for _, p := range pairs {
+						if !check(p.Key, p.Value) {
+							t.Errorf("scan: key %d aliased/corrupt value (len %d)", p.Key, len(p.Value))
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
