@@ -22,6 +22,7 @@ import (
 
 	"flatstore/internal/batch"
 	"flatstore/internal/core"
+	"flatstore/internal/obs"
 	"flatstore/internal/pmem"
 )
 
@@ -51,7 +52,7 @@ func main() {
 
 	var crashedArena *pmem.Arena
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("FlatStore demo — commands: put <k> <v> | get <k> | del <k> | scan <lo> <hi> | stats | crash | recover | close | save <file> | load <file> | quit")
+	fmt.Println("FlatStore demo — commands: put <k> <v> | get <k> | del <k> | scan <lo> <hi> | stats | metrics | crash | recover | close | save <file> | load <file> | quit")
 	for {
 		fmt.Print("flatstore> ")
 		if !sc.Scan() {
@@ -152,6 +153,11 @@ func main() {
 				fmt.Printf("HB group %d: %d batches, %d stolen, %d leads\n", g, gs.Batches, gs.Stolen, gs.Leads)
 			}
 			st.Run()
+		case "metrics":
+			// The live observability snapshot (lock-free per-core merge) in
+			// the same Prometheus text the server's /metrics endpoint emits.
+			snap := st.Metrics()
+			obs.WritePrometheus(os.Stdout, &snap)
 		case "crash":
 			st.Stop()
 			crashedArena = st.Arena().Crash()

@@ -21,6 +21,7 @@ import (
 
 	"flatstore/internal/batch"
 	"flatstore/internal/core"
+	"flatstore/internal/obs"
 	"flatstore/internal/pmem"
 	"flatstore/internal/tcp"
 )
@@ -38,7 +39,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "slow-client write deadline (0: default, <0: off)")
 	scrubEvery := flag.Duration("scrub-interval", 0, "online scrubber interval: verify log and record checksums in the background (0: off)")
 	salvage := flag.Bool("salvage", false, "repair media corruption on recovery (truncate + quarantine) instead of refusing to start")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. 127.0.0.1:6060 (empty: off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus /metrics and /metrics.json on this address, e.g. 127.0.0.1:6060 (empty: off)")
+	slowOp := flag.Duration("slow-op", 0, "trace requests at/above this latency into the slow-op ring (0: off)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -57,13 +59,13 @@ func main() {
 		MaxInFlight:     *maxInflight,
 		WriteTimeout:    *writeTimeout,
 	}
-	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *salvage, sopts); err != nil {
+	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *slowOp, *salvage, sopts); err != nil {
 		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery time.Duration, salvage bool, sopts tcp.ServerOptions) error {
+func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery, slowOp time.Duration, salvage bool, sopts tcp.ServerOptions) error {
 	idx := core.IndexHash
 	if ordered {
 		idx = core.IndexMasstree
@@ -71,7 +73,7 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 	cfg := core.Config{
 		Cores: cores, Mode: batch.ModePipelinedHB, Index: idx,
 		ArenaChunks: chunks, GC: core.GCConfig{Enabled: gc},
-		Salvage: salvage, ScrubEvery: scrubEvery,
+		Salvage: salvage, ScrubEvery: scrubEvery, SlowOpThreshold: slowOp,
 	}
 
 	var st *core.Store
@@ -85,7 +87,8 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 			start := time.Now()
 			st, rerr = core.Open(core.Config{Mode: cfg.Mode, Index: idx,
 				GC: cfg.GC, Arena: arena,
-				Salvage: salvage, ScrubEvery: scrubEvery})
+				Salvage: salvage, ScrubEvery: scrubEvery,
+				SlowOpThreshold: slowOp})
 			if rerr != nil {
 				return fmt.Errorf("recovering %s: %w (rerun with -salvage to repair)", data, rerr)
 			}
@@ -112,6 +115,10 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 		return err
 	}
 	srv := tcp.NewServerOptions(st, sopts)
+	// Observability endpoints ride the pprof mux (-pprof): Prometheus
+	// text at /metrics, the full snapshot as JSON at /metrics.json.
+	http.Handle("/metrics", obs.Handler(srv.Metrics))
+	http.Handle("/metrics.json", obs.JSONHandler(srv.Metrics))
 	fmt.Printf("serving on %s\n", lis.Addr())
 
 	stopCkpt := make(chan struct{})

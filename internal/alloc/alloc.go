@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"flatstore/internal/pmem"
 )
@@ -96,6 +97,12 @@ type Allocator struct {
 	chunks   []chunkState
 	recStats RecoveryStats // integrity events since BeginRecovery
 
+	// classUsed mirrors the per-chunk used counts aggregated by class.
+	// chunkState.used is owner-core-private (mutated without al.mu), so a
+	// live occupancy snapshot cannot read it; these atomics are the
+	// race-clean aggregate, maintained at every alloc/free/recover-mark.
+	classUsed [NumClasses]atomic.Int64
+
 	cores []*CoreAlloc
 }
 
@@ -156,6 +163,47 @@ func (al *Allocator) popFree() (int, bool) {
 	i := al.free[len(al.free)-1]
 	al.free = al.free[:len(al.free)-1]
 	return i, true
+}
+
+// ClassOccupancy is one size class's live footprint.
+type ClassOccupancy struct {
+	Chunks     int // chunks cut to this class
+	UsedBlocks int // allocated blocks across them
+	CapBlocks  int // total block slots across them
+}
+
+// Occupancy is a moment-in-time view of how the managed chunks are used.
+type Occupancy struct {
+	Classes [NumClasses]ClassOccupancy
+	Raw     int // raw whole chunks (log segments)
+	Huge    int // chunks consumed by huge (multi-chunk) allocations
+	Free    int // chunks in the free pool
+}
+
+// Occupancy snapshots the allocator's chunk usage under its lock (reader
+// path only; the per-op allocation fast path never takes al.mu).
+func (al *Allocator) Occupancy() Occupancy {
+	var o Occupancy
+	al.mu.Lock()
+	defer al.mu.Unlock()
+	o.Free = len(al.free)
+	for i := range al.chunks {
+		c := &al.chunks[i]
+		switch {
+		case c.class >= 0:
+			cl := &o.Classes[c.class]
+			cl.Chunks++
+			cl.CapBlocks += c.capacity
+		case c.owner == -2:
+			o.Raw++
+		case c.hugeLen > 0:
+			o.Huge += c.hugeLen
+		}
+	}
+	for i := range o.Classes {
+		o.Classes[i].UsedBlocks = int(al.classUsed[i].Load())
+	}
+	return o
 }
 
 // popFreeRun removes a run of n contiguous free chunks from the pool.
@@ -296,6 +344,7 @@ func (c *CoreAlloc) Alloc(size int, f *pmem.Flusher) (int64, error) {
 			panic("alloc: fresh chunk has no free block")
 		}
 	}
+	c.al.classUsed[class].Add(1)
 	return off, nil
 }
 
@@ -375,6 +424,7 @@ func (c *CoreAlloc) Free(off int64, size int, f *pmem.Flusher) {
 	}
 	mem[byteIdx] &^= mask
 	st.used--
+	c.al.classUsed[st.class].Add(-1)
 	if st.used == 0 {
 		// Retire the empty chunk: clear the persisted class so crash
 		// recovery sees it as free, and return it to the pool.

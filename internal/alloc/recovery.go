@@ -198,6 +198,7 @@ func (al *Allocator) RecoverMark(off int64, size int) MarkResult {
 	}
 	mem[byteIdx] |= mask
 	st.used++
+	al.classUsed[st.class].Add(1)
 	return MarkLive
 }
 
@@ -361,6 +362,7 @@ func (al *Allocator) RecoverFromCleanShutdown() {
 			core := next % len(al.cores)
 			next++
 			al.chunks[i] = chunkState{class: class, owner: core, used: used, capacity: capacity}
+			al.classUsed[class].Add(int64(used))
 			if used < capacity && al.cores[core].partial[class] < 0 {
 				al.cores[core].partial[class] = i
 			}

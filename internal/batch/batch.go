@@ -66,6 +66,15 @@ type PendingOp struct {
 	// Ctx carries the owning core's request context (opaque here).
 	Ctx any
 
+	// Leader, TSeal, and TPersist are the g-persist trace the leader
+	// stamps before publishing Done (same happens-before edge as Off):
+	// which core flushed the batch, when it sealed (collected) it, and
+	// when the flush completed — both on the obs registry clock. The
+	// owner folds them into its slow-op traces.
+	Leader   int
+	TSeal    int64
+	TPersist int64
+
 	done atomic.Bool
 }
 
@@ -77,6 +86,9 @@ func (p *PendingOp) Reset(e *oplog.Entry, owner int, ctx any) {
 	p.Off = 0
 	p.Owner = owner
 	p.Ctx = ctx
+	p.Leader = owner
+	p.TSeal = 0
+	p.TPersist = 0
 	p.done.Store(false)
 }
 

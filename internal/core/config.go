@@ -88,6 +88,11 @@ type Config struct {
 	// out-of-place records verifying checksums at this interval,
 	// quarantining keys whose bytes rotted at rest. Zero disables it.
 	ScrubEvery time.Duration
+	// SlowOpThreshold traces any request whose latency reaches it into
+	// the per-core slow-op ring (per-stage timestamps, readable via the
+	// metrics snapshot). Zero disables tracing; counters and histograms
+	// are always on.
+	SlowOpThreshold time.Duration
 }
 
 // MaxCores bounds the per-core metadata slots in the superblock.

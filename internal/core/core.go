@@ -8,6 +8,7 @@ import (
 	"flatstore/internal/batch"
 	"flatstore/internal/bufpool"
 	"flatstore/internal/index"
+	"flatstore/internal/obs"
 	"flatstore/internal/oplog"
 	"flatstore/internal/pmem"
 	"flatstore/internal/record"
@@ -31,6 +32,10 @@ type Core struct {
 	group  *batch.Group
 	member int
 	port   *rpc.CorePort
+	// met is this core's single-writer metrics block: only this core's
+	// goroutine records into it, so every Note* call is a plain
+	// load-then-store (no RMW contention on the hot path).
+	met *obs.CoreMetrics
 
 	// idxMu serializes index+registry access between this core and the
 	// group cleaner. Uncontended in the hot path.
@@ -128,10 +133,13 @@ type keyMeta struct {
 	deleted bool
 }
 
-// deferred is a request parked behind a conflicting in-flight key.
+// deferred is a request parked behind a conflicting in-flight key. t0 is
+// the original arrival timestamp: a replayed request keeps the clock it
+// started with, so queueing delay counts toward its latency.
 type deferred struct {
 	req    rpc.Request
 	client int
+	t0     int64
 }
 
 // inflight tracks a key with unacknowledged modifications. Puts to the
@@ -177,6 +185,8 @@ type opCtx struct {
 	buf []byte
 	// slot points back to the recyclable storage this ctx lives in.
 	slot *pendingSlot
+	// t0 is the arrival timestamp (registry clock) for latency accounting.
+	t0 int64
 }
 
 // ID returns the core's id.
@@ -277,6 +287,13 @@ func (c *Core) TakeResponses() []Outgoing {
 // for batching (or, in ModeNone, persisted on the spot). If req.Buf is
 // set, Submit takes ownership of it (see rpc.Request).
 func (c *Core) Submit(req rpc.Request, client int) {
+	c.submitAt(req, client, c.st.obs.Now())
+}
+
+// submitAt is Submit with an explicit arrival timestamp: replays of
+// parked requests pass the time they originally arrived, so conflict-
+// queue delay shows up in the latency histograms.
+func (c *Core) submitAt(req rpc.Request, client int, t0 int64) {
 	if req.Buf != nil && req.Op != rpc.OpPut {
 		// Only a Put's value bytes outlive the decode; every other op's
 		// pooled request buffer is dead on arrival.
@@ -287,27 +304,44 @@ func (c *Core) Submit(req rpc.Request, client int) {
 	switch req.Op {
 	case rpc.OpGet:
 		if fl != nil {
-			fl.waiters = append(fl.waiters, deferred{req, client})
+			fl.waiters = append(fl.waiters, deferred{req, client, t0})
 			return
 		}
-		c.respondGet(req, client)
+		c.respondGet(req, client, t0)
 	case rpc.OpScan:
-		c.respondScan(req, client)
+		c.respondScan(req, client, t0)
 	case rpc.OpPut:
 		if fl != nil && len(fl.waiters) > 0 {
 			// A parked read/delete must not be overtaken.
-			fl.waiters = append(fl.waiters, deferred{req, client})
+			fl.waiters = append(fl.waiters, deferred{req, client, t0})
 			return
 		}
-		c.startModify(req, client)
+		c.startModify(req, client, t0)
 	case rpc.OpDelete:
 		if fl != nil {
-			fl.waiters = append(fl.waiters, deferred{req, client})
+			fl.waiters = append(fl.waiters, deferred{req, client, t0})
 			return
 		}
-		c.startModify(req, client)
+		c.startModify(req, client, t0)
 	default:
 		c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusError}})
+	}
+}
+
+// noteDone records one finished request into the core's metrics block
+// and, when its latency reaches the slow threshold, traces it with its
+// per-stage offsets (nanoseconds from arrival; zero = stage not taken —
+// reads have no seal/flush/index phases). NotFound is a normal outcome,
+// not an error.
+func (c *Core) noteDone(kind int, key uint64, status uint8, t0, seal, flush, idx int64) {
+	end := c.st.obs.Now()
+	lat := end - t0
+	c.met.NoteOp(kind, status == rpc.StatusOK || status == rpc.StatusNotFound, lat)
+	if th := c.st.obs.SlowThreshold(); th > 0 && lat >= th {
+		c.met.NoteSlow(obs.SlowOp{
+			Core: int32(c.id), Op: int32(kind), Key: key,
+			Start: t0, Seal: seal, Flush: flush, Index: idx, Total: lat,
+		})
 	}
 }
 
@@ -376,7 +410,7 @@ func (c *Core) quarantineLocked(key uint64, ver uint32) {
 	c.quar[key] = qv
 }
 
-func (c *Core) respondGet(req rpc.Request, client int) {
+func (c *Core) respondGet(req rpc.Request, client int, t0 int64) {
 	c.idxMu.Lock()
 	ref, ver, ok := c.idx.Get(req.Key)
 	_, quarantined := c.quar[req.Key]
@@ -397,12 +431,14 @@ func (c *Core) respondGet(req rpc.Request, client int) {
 			resp = rpc.Response{ID: req.ID, Status: rpc.StatusOK, Value: v}
 		}
 	}
+	c.noteDone(obs.KindGet, req.Key, resp.Status, t0, 0, 0, 0)
 	c.outbox = append(c.outbox, Outgoing{client, resp})
 }
 
-func (c *Core) respondScan(req rpc.Request, client int) {
+func (c *Core) respondScan(req rpc.Request, client int, t0 int64) {
 	ordered, ok := c.idx.(index.Ordered)
 	if !ok {
+		c.noteDone(obs.KindScan, req.Key, rpc.StatusError, t0, 0, 0, 0)
 		c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusError}})
 		return
 	}
@@ -426,6 +462,7 @@ func (c *Core) respondScan(req rpc.Request, client int) {
 		}
 		return len(pairs) < limit
 	})
+	c.noteDone(obs.KindScan, req.Key, rpc.StatusOK, t0, 0, 0, 0)
 	c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusOK, Pairs: pairs}})
 }
 
@@ -433,7 +470,7 @@ func (c *Core) respondScan(req rpc.Request, client int) {
 // log entry for batching. The version is assigned here — before
 // persistence — so back-to-back writes to one key can be in flight
 // together (their completions apply in FIFO, hence version, order).
-func (c *Core) startModify(req rpc.Request, client int) {
+func (c *Core) startModify(req rpc.Request, client int, t0 int64) {
 	var version uint32
 
 	fl := c.busy[req.Key]
@@ -459,13 +496,14 @@ func (c *Core) startModify(req rpc.Request, client int) {
 		// Deleting a quarantined key proceeds: it writes the tombstone the
 		// client asked for and clears the quarantine.
 		if req.Op == rpc.OpDelete && !exists && !quarantined {
+			c.noteDone(obs.KindDelete, req.Key, rpc.StatusNotFound, t0, 0, 0, 0)
 			c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusNotFound}})
 			return
 		}
 	}
 
 	s := c.getSlot()
-	s.ctx = opCtx{client: client, reqID: req.ID, op: req.Op, key: req.Key, version: version, slot: s}
+	s.ctx = opCtx{client: client, reqID: req.ID, op: req.Op, key: req.Key, version: version, slot: s, t0: t0}
 	s.entry = oplog.Entry{Version: version, Key: req.Key}
 	entry := &s.entry
 	if req.Op == rpc.OpDelete {
@@ -479,6 +517,7 @@ func (c *Core) startModify(req rpc.Request, client int) {
 			if err != nil {
 				c.putSlot(s)
 				bufpool.Put(req.Buf)
+				c.noteDone(obs.KindPut, req.Key, rpc.StatusError, t0, 0, 0, 0)
 				c.outbox = append(c.outbox, Outgoing{client, rpc.Response{ID: req.ID, Status: rpc.StatusError}})
 				return
 			}
@@ -526,8 +565,13 @@ func (c *Core) startModify(req rpc.Request, client int) {
 			return
 		}
 		op.Off = off
+		// A batch of one: seal and persist collapse into the Append.
+		now := c.st.obs.Now()
+		op.TSeal, op.TPersist = now, now
+		size := entry.EncodedSize()
 		op.MarkDone()
-		c.accountAppend(off, entry.EncodedSize())
+		c.accountAppend(off, size)
+		c.met.NoteBatch(1, 1, int64(size))
 		c.complete(op)
 		return
 	}
@@ -564,6 +608,9 @@ func (c *Core) TryLeadOps() []*batch.PendingOp {
 		}
 		return nil
 	}
+	// The batch is sealed: no more entries can join it. Stamp once and
+	// share the timestamp across every op in the batch.
+	tSeal := c.st.obs.Now()
 	entries := c.leadEntries[:0]
 	for _, op := range ops {
 		entries = append(entries, op.Entry)
@@ -575,17 +622,28 @@ func (c *Core) TryLeadOps() []*batch.PendingOp {
 		// Log space exhausted: fail the ops.
 		for _, op := range ops {
 			op.Off = -1
+			op.Leader = c.id
 			op.MarkDone()
 		}
 	} else {
+		tPersist := c.st.obs.Now()
+		own := 0
 		for i, op := range ops {
+			// Read the op and entry BEFORE MarkDone: completion recycles
+			// the op's slot, so both are only stable until the owner
+			// observes Done. The leader/seal/persist stamps ride the same
+			// store-release edge as Off.
+			if op.Owner == c.id {
+				own++
+			}
 			op.Off = offs[i]
-			// Read the entry BEFORE MarkDone: completion recycles the
-			// op's slot, so entries[i] is only stable until the owner
-			// observes Done.
+			op.Leader = c.id
+			op.TSeal = tSeal
+			op.TPersist = tPersist
 			c.accountAppend(offs[i], entries[i].EncodedSize())
 			op.MarkDone()
 		}
+		c.met.NoteBatch(len(ops), own, int64(c.log.LastBatchBytes()))
 	}
 	if c.group.Mode() == batch.ModeNaiveHB {
 		c.group.Unlock()
@@ -644,11 +702,14 @@ func (c *Core) GroupPending() bool { return c.group.AnyPending() }
 func (c *Core) complete(op *batch.PendingOp) {
 	ctx := *(op.Ctx.(*opCtx))
 	off := op.Off
+	leader := op.Leader
+	tSeal, tPersist := op.TSeal, op.TPersist
 	if ctx.slot != nil {
 		c.putSlot(ctx.slot) // op and entry are invalid from here on
 	}
 	bufpool.Put(ctx.buf)
 	status := rpc.StatusOK
+	var tIdx int64
 	if off < 0 {
 		status = rpc.StatusError
 	} else {
@@ -717,6 +778,7 @@ func (c *Core) complete(op *batch.PendingOp) {
 			cleared = true
 		}
 		c.idxMu.Unlock()
+		tIdx = c.st.obs.Now()
 		if cleared {
 			c.st.noteQuarantineClears(1)
 		}
@@ -733,6 +795,24 @@ func (c *Core) complete(op *batch.PendingOp) {
 			c.ca.Free(oldPtr, oldLen, c.f)
 		}
 	}
+	kind := obs.KindPut
+	if ctx.op == rpc.OpDelete {
+		kind = obs.KindDelete
+	}
+	if leader != c.id {
+		c.met.FollowedOps.Add(1)
+	}
+	var seal, flush, idxOff int64
+	if tSeal > 0 {
+		seal = tSeal - ctx.t0
+	}
+	if tPersist > 0 {
+		flush = tPersist - ctx.t0
+	}
+	if tIdx > 0 {
+		idxOff = tIdx - ctx.t0
+	}
+	c.noteDone(kind, ctx.key, status, ctx.t0, seal, flush, idxOff)
 	c.outbox = append(c.outbox, Outgoing{ctx.client, rpc.Response{ID: ctx.reqID, Status: status}})
 
 	// Shrink the in-flight window; once it drains, replay the parked
@@ -758,6 +838,6 @@ func (c *Core) complete(op *batch.PendingOp) {
 	for i := range waiters {
 		d := waiters[i]
 		waiters[i] = deferred{} // drop request value refs
-		c.Submit(d.req, d.client)
+		c.submitAt(d.req, d.client, d.t0)
 	}
 }

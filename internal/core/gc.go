@@ -104,6 +104,10 @@ type scanned struct {
 // the log, and resurrect the deleted key on the next crash recovery.
 func (cl *Cleaner) CleanOnce() int {
 	st := cl.st
+	// Metrics deltas: cleaners are one-per-group but share the registry's
+	// GC counters, so progress is published via atomic adds at the two
+	// exits that did real work.
+	r0, d0 := cl.relocated, cl.dropped
 	victim, cu := cl.pickVictim()
 	if victim < 0 {
 		return 0
@@ -186,6 +190,7 @@ func (cl *Cleaner) CleanOnce() int {
 		// in the chain, so the guard counts still hold.
 		cl.f.PersistUint64(journalOff(cl.group), 0)
 		cl.f.FlushEvents()
+		st.obs.NoteGC(0, cl.relocated-r0, cl.dropped-d0)
 		return len(entries)
 	}
 	// 6. The victim's entries have left the log for good: apply the
@@ -199,6 +204,7 @@ func (cl *Cleaner) CleanOnce() int {
 	cl.f.PersistUint64(journalOff(cl.group), 0)
 	cl.f.FlushEvents()
 	cl.cleaned++
+	st.obs.NoteGC(1, cl.relocated-r0, cl.dropped-d0)
 	return len(entries)
 }
 

@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/bufpool"
+	"flatstore/internal/core"
+	"flatstore/internal/rpc"
+)
+
+// The observability layer's hot-path contract: recording is free. Every
+// counter and histogram update is a plain load+store on a pre-allocated
+// per-core block, and the clock is a monotonic time.Since — so the PR 4
+// budgets (0 allocs/op on the engine path) hold with metrics on, even
+// with slow-op tracing armed. All allocation belongs to the snapshot
+// reader, which runs off the hot path.
+
+func TestObsAllocBudget(t *testing.T) {
+	st, err := core.New(core.Config{
+		Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 192,
+		// Armed but unreachable: the threshold comparison runs on every
+		// op, the trace push on none (a push would take the ring mutex,
+		// which is fine but not what this test pins down).
+		SlowOpThreshold: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.Core(0)
+	val := make([]byte, 64)
+	for pass := 0; pass < 2; pass++ {
+		for k := uint64(0); k < 2_048; k++ {
+			c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: k, Value: val}, 0)
+			c.TryLead()
+			c.DrainCompleted()
+			c.TakeResponses()
+		}
+	}
+
+	i := uint64(0)
+	n := testing.AllocsPerRun(2_000, func() {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: i % 2_048, Value: val}, 0)
+		c.TryLead()
+		c.DrainCompleted()
+		c.TakeResponses()
+		i++
+	})
+	if n > 0.5 {
+		t.Fatalf("inline Put with metrics: %v allocs/op, want ~0", n)
+	}
+
+	n = testing.AllocsPerRun(2_000, func() {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpGet, Key: i % 2_048}, 0)
+		out := c.TakeResponses()
+		if len(out) != 1 || out[0].Resp.Status != rpc.StatusOK {
+			t.Fatal("get miss")
+		}
+		bufpool.Put(out[0].Resp.Value)
+		i++
+	})
+	if n > 0.5 {
+		t.Fatalf("Get with metrics: %v allocs/op, want ~0", n)
+	}
+
+	// The recording side left real data behind, and reading it allocates
+	// only here, in the snapshot.
+	snap := st.Metrics()
+	if snap.Ops[0].Count == 0 || snap.BatchSize.Count() == 0 {
+		t.Fatal("metrics recorded nothing")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"flatstore/internal/batch"
 	"flatstore/internal/index/hashidx"
 	"flatstore/internal/index/masstree"
+	"flatstore/internal/obs"
 	"flatstore/internal/oplog"
 	"flatstore/internal/pmem"
 	"flatstore/internal/rpc"
@@ -28,6 +29,12 @@ type Store struct {
 	ckptCa *alloc.CoreAlloc // reserved allocation context for checkpoints
 
 	usage usageTable
+
+	// obs is the live metrics registry: one single-writer block per core,
+	// created lazily by the first newCore call (so New, Open, and
+	// resetVolatile all share the hook) and kept across volatile resets —
+	// counters describe the process, not one recovery generation.
+	obs *obs.Registry
 
 	rpc *rpc.Server
 
@@ -108,11 +115,15 @@ func (st *Store) buildGroups() {
 }
 
 func (st *Store) newCore(i int) (*Core, error) {
+	if st.obs == nil {
+		st.obs = obs.NewRegistry(st.cfg.Cores, st.cfg.SlowOpThreshold)
+	}
 	c := &Core{
 		st:     st,
 		id:     i,
 		f:      st.arena.NewFlusher(),
 		ca:     st.al.Core(i),
+		met:    st.obs.Core(i),
 		group:  st.groups[i/st.cfg.GroupSize],
 		member: i % st.cfg.GroupSize,
 		busy:   map[uint64]*inflight{},
@@ -313,6 +324,49 @@ func (st *Store) Stats() StatsSnapshot {
 		s.Groups = append(s.Groups, g.Stats())
 	}
 	s.Integrity = st.Integrity()
+	return s
+}
+
+// Observability exposes the metrics registry (tests, embedding servers).
+func (st *Store) Observability() *obs.Registry { return st.obs }
+
+// Metrics assembles the full observability snapshot: the per-core
+// single-writer blocks merged by the registry, plus the store-level
+// gauges (index size, allocator occupancy, HB group counters, integrity,
+// transport stats) that live outside the registry. Safe to call while
+// serving; counts are exact only while quiescent.
+func (st *Store) Metrics() obs.Snapshot {
+	s := st.obs.Snapshot()
+	s.Keys = uint64(st.Len())
+	occ := st.al.Occupancy()
+	s.FreeChunks = uint64(occ.Free)
+	s.RawChunks = uint64(occ.Raw)
+	s.HugeChunks = uint64(occ.Huge)
+	for i, c := range occ.Classes {
+		if c.Chunks == 0 && c.UsedBlocks == 0 {
+			continue
+		}
+		s.Classes = append(s.Classes, obs.ClassOcc{
+			Class:      alloc.ClassSize(i),
+			Chunks:     uint64(c.Chunks),
+			UsedBlocks: uint64(c.UsedBlocks),
+			CapBlocks:  uint64(c.CapBlocks),
+		})
+	}
+	for _, g := range st.groups {
+		gs := g.Stats()
+		s.Groups = append(s.Groups, obs.GroupSnap{Batches: gs.Batches, Stolen: gs.Stolen, Leads: gs.Leads})
+	}
+	s.Integrity = st.Integrity()
+	if st.rpc != nil {
+		rs := st.rpc.Stats()
+		s.Net.QueuePairs = uint64(rs.QueuePairs)
+		s.Net.MMIOs = rs.MMIOs
+		s.Net.Delegations = rs.Delegations
+		s.Net.Requests = rs.Requests
+		s.Net.Responses = rs.Responses
+		s.Net.Dropped = rs.Dropped
+	}
 	return s
 }
 

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"flatstore/internal/stats"
+)
+
+// HTTP rendering of snapshots: a Prometheus text-format endpoint (summary
+// metrics with quantile labels, so no external client library is needed)
+// and a JSON endpoint for humans and scripts. Both call the snapshot
+// function per request — the registry side is cheap to sample.
+
+// Handler serves snapshots in Prometheus text exposition format.
+func Handler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s := snap()
+		WritePrometheus(w, &s)
+	})
+}
+
+// JSONHandler serves snapshots as JSON.
+func JSONHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s := snap()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.View())
+	})
+}
+
+// quantiles rendered for every summary metric.
+var summaryQs = []float64{50, 90, 99, 99.9}
+
+// writeSummary renders one histogram as a Prometheus summary: quantile
+// series plus exact _sum and _count. scale divides sample values (1e9
+// turns nanoseconds into seconds, 1 leaves plain units).
+func writeSummary(w io.Writer, name, labels string, h *stats.Histogram, scale float64) {
+	lb := func(extra string) string {
+		switch {
+		case labels == "" && extra == "":
+			return ""
+		case labels == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + labels + "}"
+		}
+		return "{" + labels + "," + extra + "}"
+	}
+	fmt.Fprintf(w, "# TYPE %s summary\n", name)
+	for _, q := range summaryQs {
+		fmt.Fprintf(w, "%s%s %g\n",
+			name, lb(fmt.Sprintf("quantile=\"%g\"", q/100)), float64(h.Percentile(q))/scale)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, lb(""), float64(stats.Sum(h))/scale)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lb(""), h.Count())
+}
+
+// WritePrometheus renders the snapshot in Prometheus text format.
+func WritePrometheus(w io.Writer, s *Snapshot) {
+	fmt.Fprintf(w, "# TYPE flatstore_uptime_seconds gauge\nflatstore_uptime_seconds %g\n",
+		float64(s.UptimeNs)/1e9)
+	fmt.Fprintf(w, "# TYPE flatstore_cores gauge\nflatstore_cores %d\n", s.Cores)
+
+	fmt.Fprintf(w, "# TYPE flatstore_ops_total counter\n")
+	for k := 0; k < NumOps; k++ {
+		fmt.Fprintf(w, "flatstore_ops_total{op=%q} %d\n", KindName(k), s.Ops[k].Count)
+	}
+	fmt.Fprintf(w, "# TYPE flatstore_op_errors_total counter\n")
+	for k := 0; k < NumOps; k++ {
+		fmt.Fprintf(w, "flatstore_op_errors_total{op=%q} %d\n", KindName(k), s.Ops[k].Errors)
+	}
+	for k := 0; k < NumOps; k++ {
+		writeSummary(w, "flatstore_op_latency_seconds",
+			fmt.Sprintf("op=%q", KindName(k)), s.Ops[k].Latency, 1e9)
+	}
+	writeSummary(w, "flatstore_batch_size", "", s.BatchSize, 1)
+	writeSummary(w, "flatstore_batch_bytes", "", s.BatchBytes, 1)
+
+	counters := []struct {
+		name string
+		v    uint64
+	}{
+		{"flatstore_lead_batches_total", s.LeadBatches},
+		{"flatstore_batch_entries_own_total", s.OwnOps},
+		{"flatstore_batch_entries_stolen_total", s.StolenOps},
+		{"flatstore_batch_entries_followed_total", s.FollowedOps},
+		{"flatstore_oplog_bytes_total", s.LogBytes},
+		{"flatstore_flush_units_total", s.FlushUnits},
+		{"flatstore_gc_chunks_cleaned_total", s.GCCleaned},
+		{"flatstore_gc_entries_relocated_total", s.GCRelocated},
+		{"flatstore_gc_entries_dropped_total", s.GCDropped},
+		{"flatstore_net_requests_total", s.Net.Requests},
+		{"flatstore_net_responses_total", s.Net.Responses},
+		{"flatstore_net_responses_dropped_total", s.Net.Dropped},
+		{"flatstore_net_delegations_total", s.Net.Delegations},
+		{"flatstore_net_mmios_total", s.Net.MMIOs},
+		{"flatstore_tcp_shed_total", s.Net.Shed},
+		{"flatstore_tcp_dedup_hits_total", s.Net.DedupHits},
+		{"flatstore_tcp_bad_frames_total", s.Net.BadFrames},
+		{"flatstore_scrub_runs_total", s.Integrity.ScrubRuns},
+		{"flatstore_scrub_batches_total", s.Integrity.ScrubBatches},
+		{"flatstore_scrub_records_total", s.Integrity.ScrubRecords},
+		{"flatstore_checksum_errors_total", s.Integrity.ChecksumErrors},
+		{"flatstore_quarantine_clears_total", s.Integrity.QuarantineClears},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+	}
+	gauges := []struct {
+		name string
+		v    int64
+	}{
+		{"flatstore_keys", int64(s.Keys)},
+		{"flatstore_free_chunks", int64(s.FreeChunks)},
+		{"flatstore_raw_chunks", int64(s.RawChunks)},
+		{"flatstore_huge_chunks", int64(s.HugeChunks)},
+		{"flatstore_quarantined_keys", int64(s.Integrity.Quarantined)},
+		{"flatstore_net_queue_pairs", int64(s.Net.QueuePairs)},
+		{"flatstore_net_inflight", s.Net.InFlight},
+		{"flatstore_slow_ops_traced", int64(len(s.SlowOps))},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
+	}
+
+	fmt.Fprintf(w, "# TYPE flatstore_alloc_class_chunks gauge\n")
+	for _, c := range s.Classes {
+		fmt.Fprintf(w, "flatstore_alloc_class_chunks{class=\"%d\"} %d\n", c.Class, c.Chunks)
+	}
+	fmt.Fprintf(w, "# TYPE flatstore_alloc_class_used_blocks gauge\n")
+	for _, c := range s.Classes {
+		fmt.Fprintf(w, "flatstore_alloc_class_used_blocks{class=\"%d\"} %d\n", c.Class, c.UsedBlocks)
+	}
+	fmt.Fprintf(w, "# TYPE flatstore_alloc_class_cap_blocks gauge\n")
+	for _, c := range s.Classes {
+		fmt.Fprintf(w, "flatstore_alloc_class_cap_blocks{class=\"%d\"} %d\n", c.Class, c.CapBlocks)
+	}
+
+	fmt.Fprintf(w, "# TYPE flatstore_hb_group_batches_total counter\n")
+	for i, g := range s.Groups {
+		fmt.Fprintf(w, "flatstore_hb_group_batches_total{group=\"%d\"} %d\n", i, g.Batches)
+	}
+	fmt.Fprintf(w, "# TYPE flatstore_hb_group_stolen_total counter\n")
+	for i, g := range s.Groups {
+		fmt.Fprintf(w, "flatstore_hb_group_stolen_total{group=\"%d\"} %d\n", i, g.Stolen)
+	}
+	fmt.Fprintf(w, "# TYPE flatstore_hb_group_leads_total counter\n")
+	for i, g := range s.Groups {
+		fmt.Fprintf(w, "flatstore_hb_group_leads_total{group=\"%d\"} %d\n", i, g.Leads)
+	}
+}
+
+// HistView is the JSON-friendly digest of a histogram.
+type HistView struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+}
+
+// NewHistView digests a histogram.
+func NewHistView(h *stats.Histogram) HistView {
+	return HistView{
+		Count: h.Count(), Sum: stats.Sum(h), Mean: h.Mean(),
+		Min: h.Min(), Max: h.Max(),
+		P50: h.Percentile(50), P90: h.Percentile(90),
+		P99: h.Percentile(99), P999: h.Percentile(99.9),
+	}
+}
+
+// OpView is one op kind in the JSON view.
+type OpView struct {
+	Op        string   `json:"op"`
+	Count     uint64   `json:"count"`
+	Errors    uint64   `json:"errors"`
+	LatencyNs HistView `json:"latency_ns"`
+}
+
+// SnapshotView is the JSON shape of a Snapshot (histograms digested).
+type SnapshotView struct {
+	UptimeNs        int64           `json:"uptime_ns"`
+	Cores           int             `json:"cores"`
+	Ops             []OpView        `json:"ops"`
+	BatchSize       HistView        `json:"batch_size"`
+	BatchBytes      HistView        `json:"batch_bytes"`
+	LeadBatches     uint64          `json:"lead_batches"`
+	OwnOps          uint64          `json:"batch_entries_own"`
+	StolenOps       uint64          `json:"batch_entries_stolen"`
+	FollowedOps     uint64          `json:"batch_entries_followed"`
+	LogBytes        uint64          `json:"oplog_bytes"`
+	FlushUnits      uint64          `json:"flush_units"`
+	GCCleaned       uint64          `json:"gc_chunks_cleaned"`
+	GCRelocated     uint64          `json:"gc_entries_relocated"`
+	GCDropped       uint64          `json:"gc_entries_dropped"`
+	Keys            uint64          `json:"keys"`
+	FreeChunks      uint64          `json:"free_chunks"`
+	RawChunks       uint64          `json:"raw_chunks"`
+	HugeChunks      uint64          `json:"huge_chunks"`
+	Classes         []ClassOcc      `json:"alloc_classes"`
+	Groups          []GroupSnap     `json:"hb_groups"`
+	Integrity       stats.Integrity `json:"integrity"`
+	Net             NetSnap         `json:"net"`
+	SlowThresholdNs int64           `json:"slow_threshold_ns"`
+	SlowOps         []SlowOp        `json:"slow_ops"`
+}
+
+// View builds the JSON-friendly form of the snapshot.
+func (s *Snapshot) View() SnapshotView {
+	v := SnapshotView{
+		UptimeNs: s.UptimeNs, Cores: s.Cores,
+		BatchSize: NewHistView(s.BatchSize), BatchBytes: NewHistView(s.BatchBytes),
+		LeadBatches: s.LeadBatches, OwnOps: s.OwnOps, StolenOps: s.StolenOps,
+		FollowedOps: s.FollowedOps, LogBytes: s.LogBytes, FlushUnits: s.FlushUnits,
+		GCCleaned: s.GCCleaned, GCRelocated: s.GCRelocated, GCDropped: s.GCDropped,
+		Keys: s.Keys, FreeChunks: s.FreeChunks, RawChunks: s.RawChunks,
+		HugeChunks: s.HugeChunks, Classes: s.Classes, Groups: s.Groups,
+		Integrity: s.Integrity, Net: s.Net,
+		SlowThresholdNs: s.SlowThresholdNs, SlowOps: s.SlowOps,
+	}
+	for k := 0; k < NumOps; k++ {
+		v.Ops = append(v.Ops, OpView{
+			Op: KindName(k), Count: s.Ops[k].Count, Errors: s.Ops[k].Errors,
+			LatencyNs: NewHistView(s.Ops[k].Latency),
+		})
+	}
+	return v
+}

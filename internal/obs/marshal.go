@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flatstore/internal/stats"
+)
+
+// Wire format of a Snapshot (little-endian, fixed field order, versioned
+// by the magic): the payload of the tcp stats op. Histograms use the
+// sparse stats.AppendBinary encoding, so an idle store's snapshot is a
+// few hundred bytes.
+const snapMagic uint32 = 0x4F425331 // "OBS1"
+
+// Marshal encodes the snapshot for the stats wire op.
+func (s *Snapshot) Marshal() []byte {
+	b := make([]byte, 0, 1024)
+	b = binary.LittleEndian.AppendUint32(b, snapMagic)
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.UptimeNs))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.Cores))
+	for k := 0; k < NumOps; k++ {
+		b = binary.LittleEndian.AppendUint64(b, s.Ops[k].Count)
+		b = binary.LittleEndian.AppendUint64(b, s.Ops[k].Errors)
+		b = s.Ops[k].Latency.AppendBinary(b)
+	}
+	b = s.BatchSize.AppendBinary(b)
+	b = s.BatchBytes.AppendBinary(b)
+	for _, w := range []uint64{
+		s.LeadBatches, s.OwnOps, s.StolenOps, s.FollowedOps, s.LogBytes,
+		s.FlushUnits, s.GCCleaned, s.GCRelocated, s.GCDropped, s.Keys,
+		s.FreeChunks, s.RawChunks, s.HugeChunks,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Classes)))
+	for _, c := range s.Classes {
+		b = binary.LittleEndian.AppendUint32(b, uint32(c.Class))
+		b = binary.LittleEndian.AppendUint64(b, c.Chunks)
+		b = binary.LittleEndian.AppendUint64(b, c.UsedBlocks)
+		b = binary.LittleEndian.AppendUint64(b, c.CapBlocks)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Groups)))
+	for _, g := range s.Groups {
+		b = binary.LittleEndian.AppendUint64(b, g.Batches)
+		b = binary.LittleEndian.AppendUint64(b, g.Stolen)
+		b = binary.LittleEndian.AppendUint64(b, g.Leads)
+	}
+	b = append(b, s.Integrity.Marshal()...)
+	for _, w := range []uint64{
+		s.Net.QueuePairs, s.Net.MMIOs, s.Net.Delegations, s.Net.Requests,
+		s.Net.Responses, s.Net.Dropped, s.Net.Shed, s.Net.DedupHits,
+		s.Net.BadFrames, uint64(s.Net.InFlight),
+	} {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.SlowThresholdNs))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.SlowOps)))
+	for _, so := range s.SlowOps {
+		b = binary.LittleEndian.AppendUint32(b, uint32(so.Core))
+		b = binary.LittleEndian.AppendUint32(b, uint32(so.Op))
+		b = binary.LittleEndian.AppendUint64(b, so.Key)
+		for _, t := range []int64{so.Start, so.Seal, so.Flush, so.Index, so.Total} {
+			b = binary.LittleEndian.AppendUint64(b, uint64(t))
+		}
+	}
+	return b
+}
+
+// errShort is the shared truncation error of UnmarshalSnapshot.
+var errShort = fmt.Errorf("obs: truncated snapshot payload")
+
+// UnmarshalSnapshot decodes what Marshal produced.
+func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
+	pos := 0
+	need := func(n int) bool { return len(b)-pos >= n }
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(b[pos:]); pos += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(b[pos:]); pos += 8; return v }
+	if !need(16) || u32() != snapMagic {
+		return nil, fmt.Errorf("obs: not a snapshot payload")
+	}
+	s := &Snapshot{}
+	s.UptimeNs = int64(u64())
+	s.Cores = int(u32())
+	hist := func() (*stats.Histogram, error) {
+		h, n, err := stats.DecodeHistogram(b[pos:])
+		pos += n
+		return h, err
+	}
+	var err error
+	for k := 0; k < NumOps; k++ {
+		if !need(16) {
+			return nil, errShort
+		}
+		s.Ops[k].Count = u64()
+		s.Ops[k].Errors = u64()
+		if s.Ops[k].Latency, err = hist(); err != nil {
+			return nil, err
+		}
+	}
+	if s.BatchSize, err = hist(); err != nil {
+		return nil, err
+	}
+	if s.BatchBytes, err = hist(); err != nil {
+		return nil, err
+	}
+	if !need(13 * 8) {
+		return nil, errShort
+	}
+	for _, p := range []*uint64{
+		&s.LeadBatches, &s.OwnOps, &s.StolenOps, &s.FollowedOps, &s.LogBytes,
+		&s.FlushUnits, &s.GCCleaned, &s.GCRelocated, &s.GCDropped, &s.Keys,
+		&s.FreeChunks, &s.RawChunks, &s.HugeChunks,
+	} {
+		*p = u64()
+	}
+	if !need(4) {
+		return nil, errShort
+	}
+	n := int(u32())
+	if n < 0 || !need(n*28) {
+		return nil, errShort
+	}
+	for i := 0; i < n; i++ {
+		c := ClassOcc{Class: int(u32())}
+		c.Chunks, c.UsedBlocks, c.CapBlocks = u64(), u64(), u64()
+		s.Classes = append(s.Classes, c)
+	}
+	if !need(4) {
+		return nil, errShort
+	}
+	n = int(u32())
+	if n < 0 || !need(n*24) {
+		return nil, errShort
+	}
+	for i := 0; i < n; i++ {
+		s.Groups = append(s.Groups, GroupSnap{Batches: u64(), Stolen: u64(), Leads: u64()})
+	}
+	if !need(stats.IntegritySize) {
+		return nil, errShort
+	}
+	if s.Integrity, err = stats.UnmarshalIntegrity(b[pos : pos+stats.IntegritySize]); err != nil {
+		return nil, err
+	}
+	pos += stats.IntegritySize
+	if !need(10*8 + 8 + 4) {
+		return nil, errShort
+	}
+	for _, p := range []*uint64{
+		&s.Net.QueuePairs, &s.Net.MMIOs, &s.Net.Delegations, &s.Net.Requests,
+		&s.Net.Responses, &s.Net.Dropped, &s.Net.Shed, &s.Net.DedupHits,
+		&s.Net.BadFrames,
+	} {
+		*p = u64()
+	}
+	s.Net.InFlight = int64(u64())
+	s.SlowThresholdNs = int64(u64())
+	n = int(u32())
+	if n < 0 || !need(n*56) {
+		return nil, errShort
+	}
+	for i := 0; i < n; i++ {
+		so := SlowOp{Core: int32(u32()), Op: int32(u32()), Key: u64()}
+		so.Start, so.Seal, so.Flush, so.Index, so.Total =
+			int64(u64()), int64(u64()), int64(u64()), int64(u64()), int64(u64())
+		s.SlowOps = append(s.SlowOps, so)
+	}
+	return s, nil
+}

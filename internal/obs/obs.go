@@ -1,0 +1,380 @@
+// Package obs is the engine's live observability layer: a per-core
+// metrics registry the serving hot path records into without locks or
+// allocations, plus a snapshot reader that merges the per-core state on
+// demand for the stats wire op, the HTTP metrics endpoint, and the
+// operator tools.
+//
+// The concurrency protocol is single-writer: every Counter and Hist cell
+// belongs to exactly one goroutine (its core's loop), which updates it
+// with a plain load-add-store on an atomic word — no read-modify-write,
+// so recording costs a couple of uncontended cache hits. Readers only
+// ever Load, so a snapshot taken mid-update sees each word either before
+// or after an increment (never torn, race-detector clean) and the merge
+// is approximate only in the sense that it is a moment-in-time sample of
+// a moving system. Counters whose writers are not unique (the per-group
+// GC cleaners) use real atomic adds instead; they are far off the hot
+// path.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flatstore/internal/stats"
+)
+
+// Op kinds, the latency/count axis of the per-core metrics. They are a
+// dense enum (not rpc op codes) so they can index fixed arrays.
+const (
+	KindPut = iota
+	KindGet
+	KindDelete
+	KindScan
+	NumOps
+)
+
+// KindName names an op kind for rendering.
+func KindName(k int) string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindGet:
+		return "get"
+	case KindDelete:
+		return "delete"
+	case KindScan:
+		return "scan"
+	}
+	return "unknown"
+}
+
+// Counter is a single-writer counter: the owning core Adds with a plain
+// load+store (no RMW), readers Load. Do not share one Counter between
+// writers.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments by n (owner only).
+func (c *Counter) Add(n uint64) { c.v.Store(c.v.Load() + n) }
+
+// Load reads the counter (any goroutine).
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Hist is a single-writer histogram with the exact cell layout of
+// stats.Histogram, plus exact running moments so snapshot sums are not
+// quantized to bucket representatives (the metrics e2e invariants depend
+// on exact sums).
+type Hist struct {
+	cells [64][16]atomic.Uint64
+	count atomic.Uint64
+	sum   atomic.Int64
+	min   atomic.Int64
+	max   atomic.Int64
+}
+
+func (h *Hist) init() { h.min.Store(math.MaxInt64) }
+
+// Record adds a sample (owner only).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b, s := stats.BucketOf(v)
+	cell := &h.cells[b][s]
+	cell.Store(cell.Load() + 1)
+	h.count.Store(h.count.Load() + 1)
+	h.sum.Store(h.sum.Load() + v)
+	if v < h.min.Load() {
+		h.min.Store(v)
+	}
+	if v > h.max.Load() {
+		h.max.Store(v)
+	}
+}
+
+// snapshotInto folds the histogram's current state into a cell array and
+// moment accumulators (reader side).
+func (h *Hist) snapshotInto(cells *[64][16]uint64, count *uint64, sum, min, max *int64) {
+	for b := range h.cells {
+		for s := range h.cells[b] {
+			cells[b][s] += h.cells[b][s].Load()
+		}
+	}
+	n := h.count.Load()
+	*count += n
+	*sum += h.sum.Load()
+	if n > 0 {
+		if v := h.min.Load(); v < *min {
+			*min = v
+		}
+		if v := h.max.Load(); v > *max {
+			*max = v
+		}
+	}
+}
+
+// mergeHists snapshots one Hist per core into a single stats.Histogram.
+func mergeHists(pick func(*CoreMetrics) *Hist, cores []*CoreMetrics) *stats.Histogram {
+	var cells [64][16]uint64
+	var count uint64
+	var sum int64
+	min, max := int64(math.MaxInt64), int64(0)
+	for _, cm := range cores {
+		pick(cm).snapshotInto(&cells, &count, &sum, &min, &max)
+	}
+	return stats.Restore(&cells, count, sum, min, max)
+}
+
+// slowRingSize is the per-core slow-op trace capacity. A fixed array:
+// pushing overwrites the oldest entry and never allocates.
+const slowRingSize = 64
+
+// SlowOp is one traced slow request: per-stage timestamps of the §3.2 Put
+// pipeline (enqueue → batch-seal → persist → index-update → respond).
+// Start is nanoseconds since the registry's base; the stage fields are
+// offsets from Start (0 when the stage does not apply — reads have no
+// seal/persist). Respond marks when the response was enqueued for
+// transmission, which is also the op's total latency.
+type SlowOp struct {
+	Core  int32
+	Op    int32 // Kind* enum
+	Key   uint64
+	Start int64 // ns since registry base (enqueue)
+	Seal  int64 // ns from Start: leader collected the batch
+	Flush int64 // ns from Start: batch durable in the OpLog
+	Index int64 // ns from Start: volatile index updated
+	Total int64 // ns from Start: response enqueued
+}
+
+// slowRing holds the most recent slow ops of one core. The mutex is taken
+// only when a slow op fires (rare by construction: the threshold selects
+// outliers) and by the snapshot reader.
+type slowRing struct {
+	mu  sync.Mutex
+	buf [slowRingSize]SlowOp
+	n   uint64 // total pushed
+}
+
+func (r *slowRing) push(s SlowOp) {
+	r.mu.Lock()
+	r.buf[r.n%slowRingSize] = s
+	r.n++
+	r.mu.Unlock()
+}
+
+// snapshot appends the ring's contents, oldest first, onto into.
+func (r *slowRing) snapshot(into []SlowOp) []SlowOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	start := uint64(0)
+	if n > slowRingSize {
+		start = n - slowRingSize
+	}
+	for i := start; i < n; i++ {
+		into = append(into, r.buf[i%slowRingSize])
+	}
+	return into
+}
+
+// CoreMetrics is one core's private metric block. Only the owning core
+// writes it (the single-writer protocol above); the trailing pad keeps a
+// neighbouring allocation from sharing its last cacheline.
+type CoreMetrics struct {
+	OpCount [NumOps]Counter // responses by kind (incl. errors)
+	OpErr   [NumOps]Counter // non-OK responses by kind
+	OpLat   [NumOps]Hist    // latency by kind, ns
+
+	BatchSize   Hist // entries per g-persist batch this core led
+	BatchBytes  Hist // persisted bytes per batch (incl. trailer + pad)
+	LeadBatches Counter
+	OwnOps      Counter // batch entries this core both owned and led
+	StolenOps   Counter // batch entries this core led for other cores
+	FollowedOps Counter // own entries persisted by another core's batch
+	LogBytes    Counter // OpLog bytes appended by batches this core led
+	FlushUnits  Counter // 256 B flush units those bytes occupied
+
+	slow slowRing
+
+	_ [64]byte
+}
+
+// NoteOp records one completed request: count, error count, latency.
+func (m *CoreMetrics) NoteOp(kind int, ok bool, latNs int64) {
+	m.OpCount[kind].Add(1)
+	if !ok {
+		m.OpErr[kind].Add(1)
+	}
+	m.OpLat[kind].Record(latNs)
+}
+
+// NoteSlow pushes a slow-op trace into the core's ring.
+func (m *CoreMetrics) NoteSlow(s SlowOp) { m.slow.push(s) }
+
+// FlushUnitSize is the persist granularity batch bytes are accounted in
+// (the XPLine of the paper's PM media: flushing 1 byte costs 256).
+const FlushUnitSize = 256
+
+// NoteBatch records one led g-persist batch: size in entries, persisted
+// bytes, and the own/stolen split.
+func (m *CoreMetrics) NoteBatch(entries, ownEntries int, bytes int64) {
+	m.LeadBatches.Add(1)
+	m.BatchSize.Record(int64(entries))
+	m.BatchBytes.Record(bytes)
+	m.OwnOps.Add(uint64(ownEntries))
+	m.StolenOps.Add(uint64(entries - ownEntries))
+	m.LogBytes.Add(uint64(bytes))
+	m.FlushUnits.Add(uint64((bytes + FlushUnitSize - 1) / FlushUnitSize))
+}
+
+// Registry is one store's metric root: a CoreMetrics block per core, the
+// multi-writer GC counters, and the monotonic clock every timestamp is
+// relative to.
+type Registry struct {
+	base       time.Time
+	slowThresh int64 // ns; 0 disables slow-op tracing
+	cores      []*CoreMetrics
+
+	// GC counters: multiple cleaners (one per HB group) write these, so
+	// they are real atomics, not single-writer counters.
+	gcCleaned   atomic.Uint64
+	gcRelocated atomic.Uint64
+	gcDropped   atomic.Uint64
+}
+
+// NewRegistry creates a registry for ncores cores. slowThresh is the
+// latency at or beyond which an op is traced into its core's slow ring
+// (0: tracing off).
+func NewRegistry(ncores int, slowThresh time.Duration) *Registry {
+	r := &Registry{base: time.Now(), slowThresh: slowThresh.Nanoseconds(), cores: make([]*CoreMetrics, ncores)}
+	for i := range r.cores {
+		cm := &CoreMetrics{}
+		for k := 0; k < NumOps; k++ {
+			cm.OpLat[k].init()
+		}
+		cm.BatchSize.init()
+		cm.BatchBytes.init()
+		r.cores[i] = cm
+	}
+	return r
+}
+
+// Now is the registry's monotonic clock: nanoseconds since the registry
+// was created. Allocation-free (time.Since reads the monotonic clock).
+func (r *Registry) Now() int64 { return int64(time.Since(r.base)) }
+
+// SlowThreshold returns the slow-op tracing threshold in ns (0: off).
+func (r *Registry) SlowThreshold() int64 { return r.slowThresh }
+
+// Core returns core i's metric block.
+func (r *Registry) Core(i int) *CoreMetrics { return r.cores[i] }
+
+// NoteGC accumulates one cleaner pass's effects (any cleaner goroutine).
+func (r *Registry) NoteGC(cleaned, relocated, dropped uint64) {
+	r.gcCleaned.Add(cleaned)
+	r.gcRelocated.Add(relocated)
+	r.gcDropped.Add(dropped)
+}
+
+// OpSnap is one op kind's merged view.
+type OpSnap struct {
+	Count   uint64
+	Errors  uint64
+	Latency *stats.Histogram // ns
+}
+
+// ClassOcc is one allocator size class's occupancy.
+type ClassOcc struct {
+	Class      int // block size in bytes
+	Chunks     uint64
+	UsedBlocks uint64
+	CapBlocks  uint64
+}
+
+// GroupSnap mirrors batch.GroupStats for the wire.
+type GroupSnap struct {
+	Batches uint64
+	Stolen  uint64
+	Leads   uint64
+}
+
+// NetSnap merges the transport counters: the FlatRPC layer's and (when
+// serving TCP) the TCP front end's.
+type NetSnap struct {
+	QueuePairs  uint64
+	MMIOs       uint64
+	Delegations uint64
+	Requests    uint64
+	Responses   uint64
+	Dropped     uint64
+	Shed        uint64
+	DedupHits   uint64
+	BadFrames   uint64
+	InFlight    int64
+}
+
+// Snapshot is a merged moment-in-time view of the whole registry, plus
+// the store-level state (keys, allocator, integrity, groups, transport)
+// the store fills in. It is plain data and travels over the stats wire
+// op.
+type Snapshot struct {
+	UptimeNs int64
+	Cores    int
+
+	Ops             [NumOps]OpSnap
+	BatchSize       *stats.Histogram
+	BatchBytes      *stats.Histogram
+	LeadBatches     uint64
+	OwnOps          uint64
+	StolenOps       uint64
+	FollowedOps     uint64
+	LogBytes        uint64
+	FlushUnits      uint64
+	GCCleaned       uint64
+	GCRelocated     uint64
+	GCDropped       uint64
+	Keys            uint64
+	FreeChunks      uint64
+	RawChunks       uint64
+	HugeChunks      uint64
+	Classes         []ClassOcc
+	Groups          []GroupSnap
+	Integrity       stats.Integrity
+	Net             NetSnap
+	SlowThresholdNs int64
+	SlowOps         []SlowOp // oldest first, merged across cores
+}
+
+// Snapshot merges the per-core metric blocks. All allocation happens
+// here, on the reader side; the recording side never allocates.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		UptimeNs:        r.Now(),
+		Cores:           len(r.cores),
+		SlowThresholdNs: r.slowThresh,
+		GCCleaned:       r.gcCleaned.Load(),
+		GCRelocated:     r.gcRelocated.Load(),
+		GCDropped:       r.gcDropped.Load(),
+	}
+	for k := 0; k < NumOps; k++ {
+		k := k // capture per-iteration for the closure below
+		for _, cm := range r.cores {
+			s.Ops[k].Count += cm.OpCount[k].Load()
+			s.Ops[k].Errors += cm.OpErr[k].Load()
+		}
+		s.Ops[k].Latency = mergeHists(func(cm *CoreMetrics) *Hist { return &cm.OpLat[k] }, r.cores)
+	}
+	s.BatchSize = mergeHists(func(cm *CoreMetrics) *Hist { return &cm.BatchSize }, r.cores)
+	s.BatchBytes = mergeHists(func(cm *CoreMetrics) *Hist { return &cm.BatchBytes }, r.cores)
+	for _, cm := range r.cores {
+		s.LeadBatches += cm.LeadBatches.Load()
+		s.OwnOps += cm.OwnOps.Load()
+		s.StolenOps += cm.StolenOps.Load()
+		s.FollowedOps += cm.FollowedOps.Load()
+		s.LogBytes += cm.LogBytes.Load()
+		s.FlushUnits += cm.FlushUnits.Load()
+		s.SlowOps = cm.slow.snapshot(s.SlowOps)
+	}
+	return s
+}

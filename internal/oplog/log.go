@@ -52,6 +52,10 @@ type Log struct {
 	// and AppendBatch are single-writer), so reuse needs no lock.
 	oneEnt [1]*Entry
 	oneOff [1]int64
+	// lastBatch is the persisted size of the most recent batch (entries +
+	// trailer + cacheline pad), read back by the appending core for batch
+	// metrics. Owned by the appender, like the scratch above.
+	lastBatch int
 	// metaSum scratch, guarded by mu like the meta slot itself.
 	sumBuf [16]byte
 }
@@ -256,6 +260,7 @@ func (l *Log) AppendBatchOffs(f *pmem.Flusher, entries []*Entry, offs []int64) (
 	}
 	f.Flush(int(l.tailChunk)+start, padded-start)
 	f.Fence()
+	l.lastBatch = padded - start
 	l.mu.Lock()
 	l.tailPos = padded
 	// Persist the tail pointer (with the slot checksum) under mu: the head
@@ -266,6 +271,11 @@ func (l *Log) AppendBatchOffs(f *pmem.Flusher, entries []*Entry, offs []int64) (
 	l.mu.Unlock()
 	return offs, nil
 }
+
+// LastBatchBytes reports the persisted size of the most recent batch
+// this log appended (entries, trailer, and cacheline padding — the bytes
+// the flush actually covered). Owner core only, like AppendBatch.
+func (l *Log) LastBatchBytes() int { return l.lastBatch }
 
 // Append persists a single entry (a batch of one). Like AppendBatch it
 // may only be called by the owning core, which lets it reuse the log's

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"flatstore/internal/core"
+	"flatstore/internal/obs"
 	"flatstore/internal/stats"
 )
 
@@ -344,14 +345,16 @@ func (cc *clientConn) roundTrip(ctx context.Context, q request, d time.Duration)
 	}
 }
 
-// Wire op codes (match internal/rpc). opIntegrity is server-local: it
-// never reaches the engine, the reader answers it directly.
+// Wire op codes (match internal/rpc). opIntegrity and opStats are
+// server-local: they never reach the engine, the reader answers them
+// directly.
 const (
 	opGet uint8 = iota + 1
 	opPut
 	opDelete
 	opScan
 	opIntegrity
+	opStats
 )
 
 // statusOK mirrors rpc.StatusOK etc.
@@ -442,6 +445,26 @@ func (c *Client) IntegrityCtx(ctx context.Context) (stats.Integrity, error) {
 		return stats.Integrity{}, fmt.Errorf("tcp: integrity failed (status %d)", rs.status)
 	}
 	return stats.UnmarshalIntegrity(rs.value)
+}
+
+// Stats fetches the server's full observability snapshot: per-op counts
+// and latency percentiles, HB batch-size distribution, allocator
+// occupancy, GC progress, transport counters, and the slow-op trace
+// ring.
+func (c *Client) Stats() (*obs.Snapshot, error) {
+	return c.StatsCtx(context.Background())
+}
+
+// StatsCtx is Stats bounded by ctx.
+func (c *Client) StatsCtx(ctx context.Context) (*obs.Snapshot, error) {
+	rs, err := c.call(ctx, request{op: opStats})
+	if err != nil {
+		return nil, err
+	}
+	if rs.status != statusOK {
+		return nil, fmt.Errorf("tcp: stats failed (status %d)", rs.status)
+	}
+	return obs.UnmarshalSnapshot(rs.value)
 }
 
 // Pair is one scan result.

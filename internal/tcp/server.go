@@ -12,6 +12,7 @@ import (
 
 	"flatstore/internal/bufpool"
 	"flatstore/internal/core"
+	"flatstore/internal/obs"
 	"flatstore/internal/rpc"
 )
 
@@ -126,6 +127,19 @@ func (s *Server) Stats() ServerStats {
 		BadFrames: s.badFrames.Load(),
 		InFlight:  s.inflight.Load(),
 	}
+}
+
+// Metrics assembles the store's observability snapshot with this front
+// end's transport counters folded into the Net section. It backs both
+// the opStats wire reply and the HTTP metrics endpoint.
+func (s *Server) Metrics() obs.Snapshot {
+	snap := s.st.Metrics()
+	ts := s.Stats()
+	snap.Net.Shed = ts.Shed
+	snap.Net.DedupHits = ts.DedupHits
+	snap.Net.BadFrames = ts.BadFrames
+	snap.Net.InFlight = ts.InFlight
+	return snap
 }
 
 // Serve accepts connections until the listener is closed (by Close).
@@ -391,6 +405,15 @@ func (s *Server) handle(conn net.Conn) {
 		if q.op == opIntegrity {
 			bufpool.Put(payload)
 			lq.push(response{id: q.id, status: statusOK, value: s.st.Integrity().Marshal()})
+			continue
+		}
+
+		// Metrics snapshot: same reader-side path, for the same reason —
+		// observability must not depend on the data path having headroom.
+		if q.op == opStats {
+			bufpool.Put(payload)
+			snap := s.Metrics()
+			lq.push(response{id: q.id, status: statusOK, value: snap.Marshal()})
 			continue
 		}
 
