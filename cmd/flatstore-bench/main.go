@@ -7,7 +7,8 @@
 //
 //	flatstore-bench [flags] <experiment>...
 //	experiments: fig1a fig1b fig1c table1 fig7 fig8 fig9 fig10 fig11
-//	             fig12 fig13 recovery rpc groupsize offload all
+//	             fig12 fig13 recovery rpc groupsize offload inline
+//	             pipeline all
 //
 // Absolute numbers depend on the calibrated cost model (see
 // internal/sim); the shapes — who wins, by what factor, where curves
@@ -64,9 +65,11 @@ func main() {
 		"groupsize": groupSize,
 		"offload":   offload,
 		"inline":    inlineAblation,
+		"pipeline":  pipelineBench,
 	}
 	order := []string{"fig1a", "fig1b", "fig1c", "table1", "fig7", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "fig13", "recovery", "rpc", "groupsize", "offload", "inline"}
+		"fig10", "fig11", "fig12", "fig13", "recovery", "rpc", "groupsize", "offload",
+		"inline", "pipeline"}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -1,0 +1,94 @@
+package main
+
+// The pipeline experiment is the one benchmark in this command that runs
+// over the real TCP transport rather than the simulator: it sweeps the
+// async client's window depth and reports measured Put throughput on
+// loopback. This is the FlatRPC client model (§5) made observable — the
+// speedup column is the server's horizontal batching being fed.
+
+import (
+	"context"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+	"flatstore/internal/stats"
+	"flatstore/internal/tcp"
+)
+
+// pipelineOps caps per-depth op counts so the shallow (slow) depths
+// don't dominate wall clock: each point gets ~depth-proportional work.
+func pipelineOps(depth int) int {
+	n := 2000 * depth
+	if n > cfg.ops {
+		n = cfg.ops
+	}
+	return n
+}
+
+func pipelineBench() {
+	t := stats.NewTable("Pipelined TCP Put throughput vs window depth (real loopback transport)",
+		"depth", "ops", "Kops/s", "speedup vs depth 1")
+	var base float64
+	for _, depth := range []int{1, 2, 4, 8, 16, 32} {
+		ops := pipelineOps(depth)
+		kops := runPipelineDepth(depth, ops)
+		if base == 0 {
+			base = kops
+		}
+		t.Row(depth, ops, kops, kops/base)
+	}
+	t.Fprint(os.Stdout)
+}
+
+// runPipelineDepth measures one depth point and returns Kops/s.
+func runPipelineDepth(depth, ops int) float64 {
+	st, err := core.New(core.Config{
+		Cores: 4, Mode: batch.ModePipelinedHB, ArenaChunks: 256,
+	})
+	check(err)
+	st.Run()
+	defer st.Stop()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	check(err)
+	srv := tcp.NewServer(st)
+	go srv.Serve(lis)
+	defer srv.Close()
+	cl, err := tcp.DialOptions(lis.Addr().String(), tcp.Options{Window: depth})
+	check(err)
+	defer cl.Close()
+
+	ctx := context.Background()
+	value := make([]byte, 64)
+	drain := func() {
+		for _, tk := range cl.Poll(0) {
+			check(tk.Err())
+		}
+	}
+	// Warm the window and the server's pools before timing.
+	for i := 0; i < depth*4; i++ {
+		_, err := cl.SubmitPut(ctx, uint64(i), value)
+		check(err)
+		drain()
+	}
+	for cl.InFlight() > 0 {
+		runtime.Gosched()
+	}
+	drain()
+
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		_, err := cl.SubmitPut(ctx, uint64(i%100_000), value)
+		check(err)
+		drain()
+	}
+	for cl.InFlight() > 0 {
+		runtime.Gosched()
+	}
+	drain()
+	el := time.Since(start)
+	return float64(ops) / el.Seconds() / 1e3
+}

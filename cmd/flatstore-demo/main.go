@@ -24,6 +24,7 @@ import (
 	"flatstore/internal/core"
 	"flatstore/internal/obs"
 	"flatstore/internal/pmem"
+	"flatstore/internal/rpc"
 )
 
 func main() {
@@ -52,7 +53,7 @@ func main() {
 
 	var crashedArena *pmem.Arena
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("FlatStore demo — commands: put <k> <v> | get <k> | del <k> | scan <lo> <hi> | stats | metrics | crash | recover | close | save <file> | load <file> | quit")
+	fmt.Println("FlatStore demo — commands: put <k> <v> | get <k> | del <k> | mput <k> <v> ... | mget <k> ... | scan <lo> <hi> | stats | metrics | crash | recover | close | save <file> | load <file> | quit")
 	for {
 		fmt.Print("flatstore> ")
 		if !sc.Scan() {
@@ -119,6 +120,67 @@ func main() {
 				fmt.Println("(not found)")
 			default:
 				fmt.Println("OK (tombstone appended)")
+			}
+		case "mput":
+			// Multi-op write batch: all pairs go down as one submission
+			// wave, so the cores seal them together (watch `stats`).
+			if len(fields) < 2 || len(fields)%2 != 1 {
+				fmt.Println("usage: mput <k1> <v1> [<k2> <v2> ...]")
+				continue
+			}
+			reqs := make([]rpc.Request, 0, (len(fields)-1)/2)
+			bad := false
+			for i := 1; i < len(fields); i += 2 {
+				k, err := strconv.ParseUint(fields[i], 10, 64)
+				if err != nil {
+					fmt.Println("bad key:", err)
+					bad = true
+					break
+				}
+				reqs = append(reqs, rpc.Request{Op: rpc.OpPut, Key: k, Value: []byte(fields[i+1])})
+			}
+			if bad {
+				continue
+			}
+			failed := 0
+			for _, r := range cl.Batch(reqs) {
+				if r.Status != rpc.StatusOK {
+					failed++
+				}
+			}
+			if failed > 0 {
+				fmt.Printf("error: %d/%d puts failed\n", failed, len(reqs))
+				continue
+			}
+			fmt.Printf("OK (%d keys in one batch)\n", len(reqs))
+		case "mget":
+			if len(fields) < 2 {
+				fmt.Println("usage: mget <k1> [<k2> ...]")
+				continue
+			}
+			reqs := make([]rpc.Request, 0, len(fields)-1)
+			bad := false
+			for _, f := range fields[1:] {
+				k, err := strconv.ParseUint(f, 10, 64)
+				if err != nil {
+					fmt.Println("bad key:", err)
+					bad = true
+					break
+				}
+				reqs = append(reqs, rpc.Request{Op: rpc.OpGet, Key: k})
+			}
+			if bad {
+				continue
+			}
+			for i, r := range cl.Batch(reqs) {
+				switch r.Status {
+				case rpc.StatusOK:
+					fmt.Printf("  %d -> %q\n", reqs[i].Key, r.Value)
+				case rpc.StatusNotFound:
+					fmt.Printf("  %d -> (not found)\n", reqs[i].Key)
+				default:
+					fmt.Printf("  %d -> error (status %d)\n", reqs[i].Key, r.Status)
+				}
 			}
 		case "scan":
 			if len(fields) != 3 {

@@ -16,10 +16,12 @@
 package flatstore
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"testing"
 
 	"flatstore/internal/batch"
@@ -169,6 +171,55 @@ func BenchmarkHotpathCoreGet(b *testing.B) {
 	}
 }
 
+// benchPipelinedPut measures Put throughput at a fixed pipeline depth:
+// Submit self-paces on the window, Poll reaps whatever has finished.
+// This is the paper's FlatRPC client shape (§5) — depth is what feeds
+// the server's horizontal batching, so ops/sec at depth 8 vs depth 1 is
+// the batching win itself, not a micro-optimization.
+func benchPipelinedPut(b *testing.B, depth int) {
+	st := newBenchStore(b, false)
+	st.Run()
+	defer st.Stop()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := tcp.NewServer(st)
+	go srv.Serve(lis)
+	defer srv.Close()
+	cl, err := tcp.DialOptions(lis.Addr().String(), tcp.Options{Window: depth})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	reap := func(tk *tcp.Ticket) {
+		if err := tk.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.SubmitPut(ctx, uint64(i%benchHotKeys), benchValue); err != nil {
+			b.Fatal(err)
+		}
+		for _, tk := range cl.Poll(0) {
+			reap(tk)
+		}
+	}
+	for cl.InFlight() > 0 {
+		runtime.Gosched()
+	}
+	for _, tk := range cl.Poll(0) {
+		reap(tk)
+	}
+}
+
+func BenchmarkHotpathTCPPutDepth1(b *testing.B)  { benchPipelinedPut(b, 1) }
+func BenchmarkHotpathTCPPutDepth8(b *testing.B)  { benchPipelinedPut(b, 8) }
+func BenchmarkHotpathTCPPutDepth32(b *testing.B) { benchPipelinedPut(b, 32) }
+
 // --- JSON snapshot + regression gate ---
 
 // benchJSON is one benchmark's recorded hot-path cost.
@@ -178,14 +229,21 @@ type benchJSON struct {
 	BytesOp  float64 `json:"bytes_op"`
 }
 
+// pipeJSON is one pipeline depth's recorded Put throughput.
+type pipeJSON struct {
+	OpsPerSec float64 `json:"ops_per_sec"`
+	NsOp      float64 `json:"ns_op"`
+}
+
 // hotpathFile is the BENCH_hotpath.json layout: the current (checked-in)
 // numbers plus the pre-optimization figures kept for the record.
 type hotpathFile struct {
-	Note     string               `json:"note"`
-	Current  map[string]benchJSON `json:"current"`
-	PrePR    map[string]benchJSON `json:"pre_pr_baseline"`
-	Emitted  string               `json:"emitted_by,omitempty"`
-	GateNote string               `json:"gate,omitempty"`
+	Note      string               `json:"note"`
+	Current   map[string]benchJSON `json:"current"`
+	Pipelined map[string]pipeJSON  `json:"pipelined,omitempty"`
+	PrePR     map[string]benchJSON `json:"pre_pr_baseline"`
+	Emitted   string               `json:"emitted_by,omitempty"`
+	GateNote  string               `json:"gate,omitempty"`
 }
 
 var hotpathBenches = map[string]func(*testing.B){
@@ -220,6 +278,25 @@ func TestHotpathBenchJSON(t *testing.T) {
 			name, measured[name].NsOp, measured[name].AllocsOp, measured[name].BytesOp)
 	}
 
+	// Pipelined throughput sweep. The gate compares depths measured in
+	// the same run, so it holds on any host: pipelining must buy at least
+	// 4x Put throughput at depth 8 over depth 1 (the paper's batching
+	// argument made mechanical).
+	pipelined := map[string]pipeJSON{}
+	for name, fn := range map[string]func(*testing.B){
+		"depth_1":  BenchmarkHotpathTCPPutDepth1,
+		"depth_8":  BenchmarkHotpathTCPPutDepth8,
+		"depth_32": BenchmarkHotpathTCPPutDepth32,
+	} {
+		r := testing.Benchmark(fn)
+		ns := float64(r.NsPerOp())
+		pipelined[name] = pipeJSON{OpsPerSec: 1e9 / ns, NsOp: ns}
+		t.Logf("%-8s %10.0f ns/op %12.0f ops/sec", name, ns, pipelined[name].OpsPerSec)
+	}
+	if ratio := pipelined["depth_8"].OpsPerSec / pipelined["depth_1"].OpsPerSec; ratio < 4 {
+		t.Errorf("pipelining gate: depth-8 Put throughput is %.2fx depth-1, want >= 4x", ratio)
+	}
+
 	var gateErr error
 	if base, err := os.ReadFile("BENCH_hotpath.json"); err == nil {
 		var f hotpathFile
@@ -246,16 +323,18 @@ func TestHotpathBenchJSON(t *testing.T) {
 
 	if out != "" {
 		f := hotpathFile{
-			Note:    "Hot-path wall-clock costs; allocs/op is the tracked metric (ns/op depends on the host).",
-			Current: measured,
-			Emitted: "go test -run TestHotpathBenchJSON (FLATSTORE_BENCH_JSON)",
+			Note:      "Hot-path wall-clock costs; allocs/op is the tracked metric (ns/op depends on the host).",
+			Current:   measured,
+			Pipelined: pipelined,
+			Emitted:   "go test -run TestHotpathBenchJSON (FLATSTORE_BENCH_JSON)",
+			GateNote: "allocs/op may not exceed 2x current; pipelined depth-8 Put ops/sec " +
+				"must be >= 4x depth-1 measured in the same run",
 		}
 		// Preserve the recorded pre-PR baseline across re-emissions.
 		if base, err := os.ReadFile("BENCH_hotpath.json"); err == nil {
 			var old hotpathFile
 			if json.Unmarshal(base, &old) == nil {
 				f.PrePR = old.PrePR
-				f.GateNote = old.GateNote
 			}
 		}
 		enc, err := json.MarshalIndent(f, "", "  ")

@@ -40,6 +40,43 @@ func (cl *Client) call(core int, req rpc.Request) rpc.Response {
 	}
 }
 
+// Batch issues many requests asynchronously over the FlatRPC connection
+// — the paper's client model: post the whole window, then poll
+// completions — and returns the responses positionally. Requests route
+// per key like the sync calls, and the whole set is in flight at once,
+// so the server cores see deep pending pools to batch-seal. IDs are
+// assigned internally; Batch must not run concurrently with other calls
+// on the same Client (they share the single response ring).
+func (cl *Client) Batch(reqs []rpc.Request) []rpc.Response {
+	out := make([]rpc.Response, len(reqs))
+	poll := make([]rpc.Response, 0, 16)
+	got := 0
+	drain := func() {
+		poll = cl.c.PollInto(poll[:0], cap(poll))
+		for _, r := range poll {
+			if i := int(r.ID) - 1; i >= 0 && i < len(out) {
+				out[i] = r
+				got++
+			}
+		}
+	}
+	for i := range reqs {
+		reqs[i].ID = uint64(i + 1) // positional id → response slot
+		dst := cl.st.CoreOf(reqs[i].Key)
+		for !cl.c.Send(dst, reqs[i]) {
+			drain() // ring full: free completions to make room
+			runtime.Gosched()
+		}
+	}
+	for got < len(reqs) {
+		drain()
+		if got < len(reqs) {
+			runtime.Gosched()
+		}
+	}
+	return out
+}
+
 // Put stores a key-value pair, returning after it is durable.
 func (cl *Client) Put(key uint64, value []byte) error {
 	resp := cl.call(cl.st.CoreOf(key), rpc.Request{Op: rpc.OpPut, Key: key, Value: value})

@@ -290,6 +290,18 @@ func (c *Core) Submit(req rpc.Request, client int) {
 	c.submitAt(req, client, c.st.obs.Now())
 }
 
+// SubmitBatch processes a decoded multi-op frame in one shot: every
+// request is submitted — writes publishing into the horizontal-batching
+// pending pool — before the caller's next TryLead, so one network frame
+// can seal into one batch oplog write instead of one per op. All ops
+// share one arrival timestamp (they arrived in one frame).
+func (c *Core) SubmitBatch(reqs []rpc.Request, client int) {
+	t0 := c.st.obs.Now()
+	for i := range reqs {
+		c.submitAt(reqs[i], client, t0)
+	}
+}
+
 // submitAt is Submit with an explicit arrival timestamp: replays of
 // parked requests pass the time they originally arrived, so conflict-
 // queue delay shows up in the latency histograms.

@@ -103,6 +103,11 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_tcp_shed_total", s.Net.Shed},
 		{"flatstore_tcp_dedup_hits_total", s.Net.DedupHits},
 		{"flatstore_tcp_bad_frames_total", s.Net.BadFrames},
+		{"flatstore_tcp_batch_frames_total", s.Net.BatchFrames},
+		{"flatstore_tcp_batch_ops_total", s.Net.BatchOps},
+		{"flatstore_tcp_frames_coalesced_total", s.Net.FramesCoalesced},
+		{"flatstore_tcp_resp_flushes_total", s.Net.RespFlushes},
+		{"flatstore_tcp_resp_written_total", s.Net.RespWritten},
 		{"flatstore_scrub_runs_total", s.Integrity.ScrubRuns},
 		{"flatstore_scrub_batches_total", s.Integrity.ScrubBatches},
 		{"flatstore_scrub_records_total", s.Integrity.ScrubRecords},
@@ -123,6 +128,7 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_quarantined_keys", int64(s.Integrity.Quarantined)},
 		{"flatstore_net_queue_pairs", int64(s.Net.QueuePairs)},
 		{"flatstore_net_inflight", s.Net.InFlight},
+		{"flatstore_net_inflight_peak", s.Net.InFlightPeak},
 		{"flatstore_slow_ops_traced", int64(len(s.SlowOps))},
 	}
 	for _, g := range gauges {

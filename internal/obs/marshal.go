@@ -11,7 +11,9 @@ import (
 // by the magic): the payload of the tcp stats op. Histograms use the
 // sparse stats.AppendBinary encoding, so an idle store's snapshot is a
 // few hundred bytes.
-const snapMagic uint32 = 0x4F425331 // "OBS1"
+// OBS2 appended the pipelined-protocol Net counters; an OBS1 peer is
+// rejected rather than mis-decoded (fixed field order, no tags).
+const snapMagic uint32 = 0x4F425332 // "OBS2"
 
 // Marshal encodes the snapshot for the stats wire op.
 func (s *Snapshot) Marshal() []byte {
@@ -51,6 +53,8 @@ func (s *Snapshot) Marshal() []byte {
 		s.Net.QueuePairs, s.Net.MMIOs, s.Net.Delegations, s.Net.Requests,
 		s.Net.Responses, s.Net.Dropped, s.Net.Shed, s.Net.DedupHits,
 		s.Net.BadFrames, uint64(s.Net.InFlight),
+		s.Net.BatchFrames, s.Net.BatchOps, s.Net.FramesCoalesced,
+		s.Net.RespFlushes, s.Net.RespWritten, uint64(s.Net.InFlightPeak),
 	} {
 		b = binary.LittleEndian.AppendUint64(b, w)
 	}
@@ -143,7 +147,7 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 		return nil, err
 	}
 	pos += stats.IntegritySize
-	if !need(10*8 + 8 + 4) {
+	if !need(16*8 + 8 + 4) {
 		return nil, errShort
 	}
 	for _, p := range []*uint64{
@@ -154,6 +158,13 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 		*p = u64()
 	}
 	s.Net.InFlight = int64(u64())
+	for _, p := range []*uint64{
+		&s.Net.BatchFrames, &s.Net.BatchOps, &s.Net.FramesCoalesced,
+		&s.Net.RespFlushes, &s.Net.RespWritten,
+	} {
+		*p = u64()
+	}
+	s.Net.InFlightPeak = int64(u64())
 	s.SlowThresholdNs = int64(u64())
 	n = int(u32())
 	if n < 0 || !need(n*56) {

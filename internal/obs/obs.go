@@ -312,6 +312,16 @@ type NetSnap struct {
 	DedupHits   uint64
 	BadFrames   uint64
 	InFlight    int64
+
+	// Pipelined-protocol counters (TCP front end): multi-op frames, read
+	// coalescing, response-flush amortization, and the in-flight
+	// high-water mark (the pipelining depth actually reached).
+	BatchFrames     uint64
+	BatchOps        uint64
+	FramesCoalesced uint64
+	RespFlushes     uint64
+	RespWritten     uint64
+	InFlightPeak    int64
 }
 
 // Snapshot is a merged moment-in-time view of the whole registry, plus

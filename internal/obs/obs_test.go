@@ -107,7 +107,9 @@ func buildSnapshot() Snapshot {
 	s.Groups = []GroupSnap{{Batches: 9, Stolen: 8, Leads: 10}}
 	s.Integrity = stats.Integrity{ScrubRuns: 1, ChecksumErrors: 2, Quarantined: 3}
 	s.Net = NetSnap{QueuePairs: 1, MMIOs: 2, Delegations: 3, Requests: 4,
-		Responses: 5, Dropped: 6, Shed: 7, DedupHits: 8, BadFrames: 9, InFlight: -1}
+		Responses: 5, Dropped: 6, Shed: 7, DedupHits: 8, BadFrames: 9, InFlight: -1,
+		BatchFrames: 10, BatchOps: 11, FramesCoalesced: 12,
+		RespFlushes: 13, RespWritten: 14, InFlightPeak: 15}
 	return s
 }
 

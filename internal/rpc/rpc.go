@@ -350,6 +350,30 @@ func (c *Client) Send(core int, req Request) bool {
 	return true
 }
 
+// SendBatch posts a contiguous run of requests to one core's message
+// buffer, returning how many were accepted before the ring filled — the
+// batched form of Send for a decoded multi-op frame, so one network
+// frame lands in a core's pending pool in one shot. The caller re-posts
+// the remainder after yielding, exactly like a full send queue. A closed
+// client accepts (and drops) everything, so retry loops terminate.
+func (c *Client) SendBatch(core int, reqs []Request) int {
+	if c.closed.Load() {
+		return len(reqs)
+	}
+	r := c.reqs[core]
+	for i := range reqs {
+		if reqs[i].ID == 0 {
+			reqs[i].ID = c.next.Add(1)
+		}
+		if !r.push(reqs[i]) {
+			c.s.requests.Add(uint64(i))
+			return i
+		}
+	}
+	c.s.requests.Add(uint64(len(reqs)))
+	return len(reqs)
+}
+
 // Poll drains up to max completed responses (the client-side CQ poll).
 func (c *Client) Poll(max int) []Response {
 	return c.PollInto(nil, max)

@@ -166,3 +166,41 @@ func TestConcurrentClientsAndCores(t *testing.T) {
 		t.Errorf("requests/responses = %d/%d, want %d", st.Requests, st.Responses, want)
 	}
 }
+
+func TestSendBatchFillsRing(t *testing.T) {
+	s := NewServer(1, 0)
+	cl := s.Connect()
+	reqs := make([]Request, ringSize+10)
+	for i := range reqs {
+		reqs[i] = Request{Op: OpPut, Key: uint64(i), ID: uint64(i + 1)}
+	}
+	if n := cl.SendBatch(0, reqs); n != ringSize {
+		t.Fatalf("accepted %d, want ring capacity %d", n, ringSize)
+	}
+	// The accepted prefix is on the port in order; the remainder never
+	// left the client.
+	p := s.Port(0)
+	for i := 0; i < ringSize; i++ {
+		r, _, ok := p.Poll()
+		if !ok || r.ID != uint64(i+1) {
+			t.Fatalf("slot %d: id %d ok=%v", i, r.ID, ok)
+		}
+	}
+	if _, _, ok := p.Poll(); ok {
+		t.Fatal("rejected tail reached the port")
+	}
+	// After a drain the remainder goes through, and zero IDs get assigned.
+	rest := reqs[ringSize:]
+	for i := range rest {
+		rest[i].ID = 0
+	}
+	if n := cl.SendBatch(0, rest); n != len(rest) {
+		t.Fatalf("post-drain batch accepted %d, want %d", n, len(rest))
+	}
+	for i := 0; i < len(rest); i++ {
+		r, _, ok := p.Poll()
+		if !ok || r.ID == 0 {
+			t.Fatalf("tail slot %d: id %d ok=%v (want assigned id)", i, r.ID, ok)
+		}
+	}
+}

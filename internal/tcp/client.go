@@ -43,6 +43,15 @@ type Client struct {
 	closed bool
 
 	dialMu sync.Mutex // serializes reconnect attempts
+
+	// Pipelined-submission state (see pipeline.go): win holds one token
+	// per in-flight ticket (capacity Options.Window), comp the completed
+	// tickets not yet reaped by Wait/Poll, and closedCh unblocks window
+	// waiters when the client closes.
+	win      chan struct{}
+	closedCh chan struct{}
+	compMu   sync.Mutex
+	comp     map[*Ticket]struct{}
 }
 
 // clientConn is one live connection: socket, write path, and the pending
@@ -87,6 +96,9 @@ func DialContext(ctx context.Context, addr string, o Options) (*Client, error) {
 		session: binary.LittleEndian.Uint64(sb[:]),
 	}
 	c.rng = newRNG(c.session)
+	c.win = make(chan struct{}, c.opts.Window)
+	c.closedCh = make(chan struct{})
+	c.comp = map[*Ticket]struct{}{}
 	var lastErr error
 	for attempt := 1; attempt <= c.opts.MaxAttempts; attempt++ {
 		if attempt > 1 {
@@ -127,6 +139,7 @@ func (c *Client) Close() error {
 	cc := c.conn
 	c.conn = nil
 	c.mu.Unlock()
+	close(c.closedCh) // unblock Submit callers waiting on the window
 	if cc != nil {
 		cc.fail(ErrClosed)
 		<-cc.readerDone // join: readLoop must not touch the reader after Close
@@ -192,15 +205,28 @@ func (c *Client) dropConn(cc *clientConn, err error) {
 // hello write, all under the dial deadline so a black-holed address or a
 // mute server cannot hang the caller.
 func (c *Client) dialConn(ctx context.Context) (*clientConn, int, error) {
-	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	// A negative DialTimeout means "no per-attempt bound"; it must not
+	// reach net.Dialer, where any non-zero Timeout becomes a deadline
+	// (an already-expired one when negative).
+	var d net.Dialer
+	if c.opts.DialTimeout > 0 {
+		d.Timeout = c.opts.DialTimeout
+	}
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, 0, err
 	}
+	// Bound the handshake by the earlier of the per-attempt DialTimeout
+	// and the ctx deadline: a ctx deadline later than DialTimeout must
+	// not extend the documented per-attempt bound against a mute server.
+	var dl time.Time
 	if c.opts.DialTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+		dl = time.Now().Add(c.opts.DialTimeout)
 	}
-	if dl, ok := ctx.Deadline(); ok {
+	if cd, ok := ctx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+		dl = cd
+	}
+	if !dl.IsZero() {
 		conn.SetDeadline(dl)
 	}
 	br := bufio.NewReaderSize(conn, 64<<10)
@@ -243,27 +269,53 @@ func (cc *clientConn) alive() bool {
 }
 
 // fail marks the connection dead, closes the socket (unblocking the
-// readLoop), and releases every waiter. Idempotent.
+// readLoop), and releases every waiter. Idempotent. A batch registers
+// many ids against one shared channel, so closes are deduped through a
+// seen-set.
 func (cc *clientConn) fail(err error) {
 	cc.mu.Lock()
 	if cc.err == nil {
 		cc.err = err
+		var seen map[chan response]struct{}
+		if len(cc.pend) > 1 {
+			seen = make(map[chan response]struct{}, len(cc.pend))
+		}
 		for id, ch := range cc.pend {
-			close(ch)
 			delete(cc.pend, id)
+			if seen != nil {
+				if _, dup := seen[ch]; dup {
+					continue
+				}
+				seen[ch] = struct{}{}
+			}
+			close(ch)
 		}
 	}
 	cc.mu.Unlock()
 	cc.c.Close()
 }
 
-// forget abandons a pending request (its attempt timed out); a late
-// response for the id is dropped by the readLoop.
+// forget abandons a pending single request (its attempt timed out); a
+// late response for the id is dropped by the readLoop.
 func (cc *clientConn) forget(id uint64) {
 	cc.mu.Lock()
 	if ch, ok := cc.pend[id]; ok {
 		close(ch)
 		delete(cc.pend, id)
+	}
+	cc.mu.Unlock()
+}
+
+// forgetIDs abandons a batch attempt's still-pending ids; late responses
+// for them are dropped by the readLoop. Unlike forget, the shared
+// channel is left open — the abandoning caller is its only receiver and
+// has stopped receiving, and fail dedupes closes for whatever remains.
+func (cc *clientConn) forgetIDs(ch chan response, ops []request) {
+	cc.mu.Lock()
+	for i := range ops {
+		if cur, ok := cc.pend[ops[i].id]; ok && cur == ch {
+			delete(cc.pend, ops[i].id)
+		}
 	}
 	cc.mu.Unlock()
 }
@@ -281,13 +333,18 @@ func (cc *clientConn) readLoop(br *bufio.Reader) {
 			cc.fail(err)
 			return
 		}
+		// Deliver while holding mu: the send cannot block (each id's
+		// channel has capacity for every id registered against it, and
+		// an id delivers at most once), and holding the lock across the
+		// lookup+send means fail/forget can never close a channel this
+		// send is about to use.
 		cc.mu.Lock()
 		ch := cc.pend[rs.id]
 		delete(cc.pend, rs.id)
-		cc.mu.Unlock()
 		if ch != nil {
 			ch <- rs
 		}
+		cc.mu.Unlock()
 	}
 }
 
@@ -355,6 +412,7 @@ const (
 	opScan
 	opIntegrity
 	opStats
+	opBatch // multi-op frame: u8 opBatch, u32 count, count × request
 )
 
 // statusOK mirrors rpc.StatusOK etc.

@@ -92,3 +92,29 @@ func FuzzDecodeResponse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeBatch hardens the multi-op frame decoder: any accepted batch
+// must re-encode to exactly the input bytes (the encoding is canonical),
+// and corrupt or truncated frames must error, never panic or over-read.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add(appendBatchFrame(nil, []request{
+		{op: opPut, core: 0, id: 1, key: 10, value: []byte("a")},
+		{op: opGet, core: 1, id: 2, key: 11},
+	}))
+	f.Add(appendBatchFrame(nil, []request{{op: opDelete, id: 9, key: 3}}))
+	f.Add(appendBatchFrame(nil, nil))
+	f.Add([]byte{opBatch})
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 80))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := decodeBatchInto(nil, data)
+		if err != nil {
+			return
+		}
+		re := appendBatchFrame(nil, ops)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("batch roundtrip mismatch: %d ops, %d bytes in, %d out",
+				len(ops), len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package tcp
+
+// Pipelined asynchronous API — the TCP analogue of the paper's FlatRPC
+// client model (§5): post up to Options.Window asynchronous submissions,
+// then reap completions with Wait or Poll while the window refills. Depth
+// is what keeps the server's horizontal batching fed: with W requests in
+// flight, the per-op wire round trip amortizes across the window instead
+// of bounding throughput at 1/RTT.
+//
+//	for i, kv := range work {
+//	    t, err := cl.SubmitPut(ctx, kv.Key, kv.Value) // blocks when window full
+//	    ...
+//	    for _, done := range cl.Poll(0) {             // reap whatever finished
+//	        if done.Err() != nil { ... }
+//	    }
+//	}
+//
+// Each submission runs the same retry/reconnect/dedup machinery as the
+// sync calls — a ticket's request id stays stable across replays, so the
+// server acks it exactly once even across reconnects mid-window.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrInFlight reports a result accessor called before the ticket
+// completed.
+var ErrInFlight = errors.New("tcp: ticket still in flight")
+
+// Ticket is one in-flight pipelined submission. It holds one window slot
+// from Submit until the request *completes*, so at most Options.Window
+// requests are on the wire at once; a blocked Submit wakes as soon as any
+// outstanding request finishes. Delivery to the application is a separate
+// exactly-once step — *reaping* — done either by the ticket's own Wait
+// returning or by the ticket appearing in one Poll batch, never both.
+type Ticket struct {
+	c      *Client
+	op     uint8
+	key    uint64
+	done   chan struct{} // closed on completion
+	val    []byte        // Get result
+	ok     bool          // Get: found; Delete: existed
+	err    error
+	reaped atomic.Bool
+}
+
+// Key returns the key the submission targets.
+func (t *Ticket) Key() uint64 { return t.key }
+
+// Done reports completion without reaping the ticket.
+func (t *Ticket) Done() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the submission's outcome, or ErrInFlight before
+// completion. nil means the op succeeded (for Get/Delete, "key absent"
+// is success — see Value/Existed).
+func (t *Ticket) Err() error {
+	if !t.Done() {
+		return ErrInFlight
+	}
+	return t.err
+}
+
+// Value returns a completed Get's result; ok is false while in flight,
+// on error, or when the key was absent (Err distinguishes the latter).
+func (t *Ticket) Value() (value []byte, ok bool) {
+	if !t.Done() || t.err != nil {
+		return nil, false
+	}
+	return t.val, t.ok
+}
+
+// Existed reports whether a completed Delete's key was present.
+func (t *Ticket) Existed() bool {
+	return t.Done() && t.err == nil && t.ok
+}
+
+// reap delivers the completion exactly once: the CAS makes a Wait racing
+// a Poll agree on a single delivery, and the winner removes the ticket
+// from the completion set. The CAS and the delete share compMu with the
+// completion path's conditional insert, so a ticket reaped by Wait in the
+// instant before its goroutine publishes it can never be re-inserted.
+func (t *Ticket) reap() bool {
+	t.c.compMu.Lock()
+	won := t.reaped.CompareAndSwap(false, true)
+	if won {
+		delete(t.c.comp, t)
+	}
+	t.c.compMu.Unlock()
+	return won
+}
+
+// Wait blocks until the ticket completes (reaping it) or ctx fires, and
+// returns the submission's outcome. Waiting again on a reaped ticket
+// just returns the recorded outcome.
+func (t *Ticket) Wait(ctx context.Context) error {
+	select {
+	case <-t.done:
+		t.reap()
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Poll reaps up to max completed tickets (max <= 0: every one that is
+// ready) without blocking. Each completion is delivered exactly once
+// across all Poll and Wait calls.
+func (c *Client) Poll(max int) []*Ticket {
+	c.compMu.Lock()
+	var ready []*Ticket
+	for t := range c.comp {
+		if max > 0 && len(ready) >= max {
+			break
+		}
+		ready = append(ready, t)
+	}
+	c.compMu.Unlock()
+	out := ready[:0]
+	for _, t := range ready {
+		if t.reap() { // lost races with concurrent Waits drop out here
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// InFlight reports how many window slots are currently held (submitted
+// tickets not yet completed).
+func (c *Client) InFlight() int { return len(c.win) }
+
+// SubmitPut queues an asynchronous durable Put. It blocks while the
+// window is full (until some outstanding request completes) and returns
+// a Ticket to reap via Wait or Poll. The caller must not modify value
+// until the ticket completes: retries re-send it.
+func (c *Client) SubmitPut(ctx context.Context, key uint64, value []byte) (*Ticket, error) {
+	return c.submit(ctx, request{op: opPut, key: key, value: value})
+}
+
+// SubmitGet queues an asynchronous Get.
+func (c *Client) SubmitGet(ctx context.Context, key uint64) (*Ticket, error) {
+	return c.submit(ctx, request{op: opGet, key: key})
+}
+
+// SubmitDelete queues an asynchronous Delete.
+func (c *Client) SubmitDelete(ctx context.Context, key uint64) (*Ticket, error) {
+	return c.submit(ctx, request{op: opDelete, key: key})
+}
+
+// submit acquires a window slot and launches the request through the
+// sync retry machinery on its own goroutine.
+func (c *Client) submit(ctx context.Context, q request) (*Ticket, error) {
+	select {
+	case <-c.closedCh:
+		return nil, ErrClosed
+	default:
+	}
+	select {
+	case c.win <- struct{}{}: // window has room
+	default:
+		select { // full: block until a reap, cancellation, or close
+		case c.win <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.closedCh:
+			return nil, ErrClosed
+		}
+	}
+	t := &Ticket{c: c, op: q.op, key: q.key, done: make(chan struct{})}
+	go func() {
+		rs, err := c.call(ctx, q)
+		switch {
+		case err != nil:
+			t.err = err
+		case q.op == opPut:
+			if rs.status != statusOK {
+				t.err = fmt.Errorf("tcp: put failed (status %d)", rs.status)
+			}
+		case q.op == opGet:
+			switch rs.status {
+			case statusOK:
+				t.val, t.ok = rs.value, true
+			case statusNotFound:
+			default:
+				t.err = fmt.Errorf("tcp: get failed (status %d)", rs.status)
+			}
+		case q.op == opDelete:
+			switch rs.status {
+			case statusOK:
+				t.ok = true
+			case statusNotFound:
+			default:
+				t.err = fmt.Errorf("tcp: delete failed (status %d)", rs.status)
+			}
+		}
+		<-c.win // completion frees the window slot; a blocked Submit may proceed
+		close(t.done)
+		// Publish for Poll only after done is closed, so a polled ticket's
+		// accessors always see a completed state. Skip if a racing Wait
+		// already reaped it (the shared compMu makes this atomic with reap).
+		c.compMu.Lock()
+		if !t.reaped.Load() {
+			c.comp[t] = struct{}{}
+		}
+		c.compMu.Unlock()
+	}()
+	return t, nil
+}

@@ -52,6 +52,14 @@ import (
 //	u8 op, u32 core, u64 id, u64 key, u64 scanHi, u32 limit,
 //	u32 vlen, vlen bytes
 //
+// Batch request (first byte opBatch):
+//	u8 opBatch, u32 count, count × request
+//
+// Each sub-request uses the exact single-request encoding above and is
+// self-delimiting via its vlen, so one frame carries many independently
+// identified (and independently deduped) operations — the multi-op form
+// the pipelined client packs MultiGet/MultiPut/MultiDelete into.
+//
 // Response:
 //	u64 id, u8 status, u32 vlen, vlen bytes,
 //	u32 npairs, npairs × (u64 key, u32 vlen, vlen bytes)
@@ -228,6 +236,65 @@ func decodeRequest(b []byte) (request, error) {
 	}
 	q.value = b[37:]
 	return q, nil
+}
+
+// maxBatchOps bounds the op count a batch frame may claim, so a hostile
+// count field cannot drive a huge scratch allocation (the frame size
+// itself is already bounded by maxFrame).
+const maxBatchOps = 1 << 16
+
+// errBadBatch marks an undecodable batch frame (package-level so decode
+// does not allocate per frame).
+var errBadBatch = errors.New("tcp: corrupt batch frame")
+
+// appendBatchFrame encodes ops as one multi-op frame onto buf.
+func appendBatchFrame(buf []byte, ops []request) []byte {
+	buf = append(buf, opBatch)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ops)))
+	for i := range ops {
+		buf = appendRequest(buf, ops[i])
+	}
+	return buf
+}
+
+// decodeBatchInto parses a multi-op frame, appending the sub-requests to
+// dst (a recycled scratch slice). Sub-request values alias b: the caller
+// must copy anything that outlives the frame buffer before recycling it.
+func decodeBatchInto(dst []request, b []byte) ([]request, error) {
+	if len(b) < 5 || b[0] != opBatch {
+		return dst, errBadBatch
+	}
+	count := int(binary.LittleEndian.Uint32(b[1:]))
+	if count > maxBatchOps {
+		return dst, errBadBatch
+	}
+	pos := 5
+	for i := 0; i < count; i++ {
+		if len(b)-pos < 37 {
+			return dst, errBadBatch
+		}
+		h := b[pos:]
+		q := request{
+			op:     h[0],
+			core:   binary.LittleEndian.Uint32(h[1:]),
+			id:     binary.LittleEndian.Uint64(h[5:]),
+			key:    binary.LittleEndian.Uint64(h[13:]),
+			scanHi: binary.LittleEndian.Uint64(h[21:]),
+			limit:  binary.LittleEndian.Uint32(h[29:]),
+		}
+		vlen := int(binary.LittleEndian.Uint32(h[33:]))
+		pos += 37
+		if vlen > len(b)-pos {
+			return dst, errBadBatch
+		}
+		q.value = b[pos : pos+vlen : pos+vlen]
+		pos += vlen
+		dst = append(dst, q)
+	}
+	if pos != len(b) {
+		return dst, errBadBatch
+	}
+	return dst, nil
 }
 
 func encodeResponse(rs response) []byte {

@@ -29,6 +29,12 @@ type Options struct {
 	// (0, min(BackoffMax, BackoffBase<<attempt)]. Defaults 5ms / 500ms.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// Window bounds the in-flight pipelined submissions (Submit tickets,
+	// see pipeline.go) — the paper's FlatRPC batchsize. Submit blocks
+	// when the window is full until a completion is reaped. The sync
+	// Put/Get/Delete/Scan calls are depth-1 by construction and do not
+	// consume window slots. Default 8.
+	Window int
 }
 
 // Default resilience parameters (see Options).
@@ -38,6 +44,7 @@ const (
 	DefaultMaxAttempts    = 6
 	DefaultBackoffBase    = 5 * time.Millisecond
 	DefaultBackoffMax     = 500 * time.Millisecond
+	DefaultWindow         = 8
 )
 
 // withDefaults resolves the zero value to the documented defaults.
@@ -56,6 +63,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
 	}
 	return o
 }
@@ -139,6 +149,11 @@ func (c *Client) call(ctx context.Context, q request) (response, error) {
 		}
 		if rs.status == statusBusy {
 			lastErr = ErrBusy // shed: connection is fine, just back off
+			// Bail out before the next backoff sleep if the caller is
+			// gone; the sleep would only delay the inevitable.
+			if err := ctx.Err(); err != nil {
+				return response{}, fmt.Errorf("tcp: request %d: %w (last error: %v)", q.id, err, lastErr)
+			}
 			continue
 		}
 		return rs, nil

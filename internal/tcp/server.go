@@ -23,6 +23,16 @@ import (
 const (
 	writerIdleSpins = 128
 	writerIdleNap   = 20 * time.Microsecond
+
+	// writerMaxDrain bounds how many responses one write cycle encodes
+	// before it must flush, so response coalescing cannot add unbounded
+	// latency under sustained load.
+	writerMaxDrain = 1024
+
+	// readerMaxCoalesce bounds how many already-buffered frames the
+	// reader decodes per wakeup before kicking the cores, for the same
+	// latency reason.
+	readerMaxCoalesce = 64
 )
 
 // ServerOptions tunes the server's overload and fault behaviour. The
@@ -73,12 +83,19 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	return o
 }
 
-// ServerStats snapshots the resilience counters.
+// ServerStats snapshots the resilience and pipelining counters.
 type ServerStats struct {
 	Shed      uint64 // StatusBusy responses (capacity or replay-in-flight)
 	DedupHits uint64 // write replays answered from the dedup table
 	BadFrames uint64 // frames rejected by the CRC check
 	InFlight  int64  // currently queued requests across all connections
+
+	BatchFrames     uint64 // multi-op (opBatch) frames decoded
+	BatchOps        uint64 // sub-ops carried by those frames
+	FramesCoalesced uint64 // extra already-buffered frames drained per reader wakeup
+	RespFlushes     uint64 // response socket flushes
+	RespWritten     uint64 // responses written (RespWritten/RespFlushes = coalescing depth)
+	InFlightPeak    int64  // high-water mark of InFlight (observed pipelining depth)
 }
 
 // Server bridges TCP connections onto a running store's FlatRPC
@@ -94,6 +111,13 @@ type Server struct {
 	dedupHits atomic.Uint64
 	badFrames atomic.Uint64
 	dedup     *dedupTable
+
+	batchFrames     atomic.Uint64
+	batchOps        atomic.Uint64
+	framesCoalesced atomic.Uint64
+	respFlushes     atomic.Uint64
+	respWritten     atomic.Uint64
+	inflightPeak    atomic.Int64
 
 	mu     sync.Mutex
 	lis    net.Listener
@@ -122,10 +146,29 @@ func NewServerOptions(st *core.Store, o ServerOptions) *Server {
 // Stats snapshots the server's resilience counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Shed:      s.shed.Load(),
-		DedupHits: s.dedupHits.Load(),
-		BadFrames: s.badFrames.Load(),
-		InFlight:  s.inflight.Load(),
+		Shed:            s.shed.Load(),
+		DedupHits:       s.dedupHits.Load(),
+		BadFrames:       s.badFrames.Load(),
+		InFlight:        s.inflight.Load(),
+		BatchFrames:     s.batchFrames.Load(),
+		BatchOps:        s.batchOps.Load(),
+		FramesCoalesced: s.framesCoalesced.Load(),
+		RespFlushes:     s.respFlushes.Load(),
+		RespWritten:     s.respWritten.Load(),
+		InFlightPeak:    s.inflightPeak.Load(),
+	}
+}
+
+// noteInflight charges one accepted request against the global in-flight
+// gauge, tracking the high-water mark (the pipelining depth actually
+// reached, which is what the Window tuning knob should be judged by).
+func (s *Server) noteInflight() {
+	v := s.inflight.Add(1)
+	for {
+		p := s.inflightPeak.Load()
+		if v <= p || s.inflightPeak.CompareAndSwap(p, v) {
+			return
+		}
 	}
 }
 
@@ -139,6 +182,12 @@ func (s *Server) Metrics() obs.Snapshot {
 	snap.Net.DedupHits = ts.DedupHits
 	snap.Net.BadFrames = ts.BadFrames
 	snap.Net.InFlight = ts.InFlight
+	snap.Net.BatchFrames = ts.BatchFrames
+	snap.Net.BatchOps = ts.BatchOps
+	snap.Net.FramesCoalesced = ts.FramesCoalesced
+	snap.Net.RespFlushes = ts.RespFlushes
+	snap.Net.RespWritten = ts.RespWritten
+	snap.Net.InFlightPeak = ts.InFlightPeak
 	return snap
 }
 
@@ -315,9 +364,52 @@ func (s *Server) handle(conn net.Conn) {
 		)
 		for {
 			loc := lq.take(locSpare)
-			rs := cl.PollInto(respBuf[:0], 64)
-			respBuf = rs
-			if len(loc) == 0 && len(rs) == 0 {
+			wrote := 0
+			armed := false
+			// Drain every completion that is already ready before the
+			// single Flush below (bounded, so one cycle cannot starve
+			// the socket forever): completions landing while earlier
+			// ones are being encoded ride the same flush, which is what
+			// amortizes the syscall across a pipelined window.
+			for {
+				rs := cl.PollInto(respBuf[:0], 64)
+				respBuf = rs
+				if len(rs) == 0 {
+					break
+				}
+				if !armed {
+					armWrite()
+					armed = true
+				}
+				for i := range rs {
+					r := &rs[i]
+					outstanding.Add(-1)
+					s.inflight.Add(-1)
+					// Record write outcomes even when the socket is gone:
+					// the client will replay on a new connection and must
+					// be answered from the table, not re-applied.
+					sess.complete(r.ID, r.Status)
+					if !discard {
+						enc = appendEngineResponse(enc[:0], r)
+						if err := writeFrame(bw, enc); err != nil {
+							fail()
+						}
+					}
+					// The engine materializes every response value (Get value,
+					// scan pair values) as a fresh bufpool copy owned by this
+					// poller; once encoded (or discarded) they are dead.
+					bufpool.Put(r.Value)
+					for j := range r.Pairs {
+						bufpool.Put(r.Pairs[j].Value)
+					}
+					*r = rpc.Response{}
+				}
+				wrote += len(rs)
+				if len(rs) < 64 || wrote >= writerMaxDrain {
+					break
+				}
+			}
+			if len(loc) == 0 && wrote == 0 {
 				select {
 				case <-done:
 					if outstanding.Load() == 0 && lq.empty() {
@@ -330,32 +422,16 @@ func (s *Server) handle(conn net.Conn) {
 				} else {
 					time.Sleep(writerIdleNap)
 				}
+				// Recycle even the empty take: locSpare must always be
+				// the buffer that is NOT installed in lq, or the next
+				// take would hand back the very slice the reader is
+				// appending into.
+				locSpare = loc
 				continue
 			}
 			idle = 0
-			armWrite()
-			for i := range rs {
-				r := &rs[i]
-				outstanding.Add(-1)
-				s.inflight.Add(-1)
-				// Record write outcomes even when the socket is gone:
-				// the client will replay on a new connection and must
-				// be answered from the table, not re-applied.
-				sess.complete(r.ID, r.Status)
-				if !discard {
-					enc = appendEngineResponse(enc[:0], r)
-					if err := writeFrame(bw, enc); err != nil {
-						fail()
-					}
-				}
-				// The engine materializes every response value (Get value,
-				// scan pair values) as a fresh bufpool copy owned by this
-				// poller; once encoded (or discarded) they are dead.
-				bufpool.Put(r.Value)
-				for j := range r.Pairs {
-					bufpool.Put(r.Pairs[j].Value)
-				}
-				*r = rpc.Response{}
+			if !armed {
+				armWrite()
 			}
 			for i := range loc {
 				if !discard {
@@ -371,70 +447,55 @@ func (s *Server) handle(conn net.Conn) {
 				if err := bw.Flush(); err != nil {
 					fail()
 				}
+				s.respFlushes.Add(1)
+				s.respWritten.Add(uint64(wrote + len(loc)))
 			}
 		}
 	}()
 	defer close(done)
 
-	for {
-		// Request frames come from bufpool. On every path that answers
-		// without the engine the frame goes straight back to the pool; on
-		// the engine path ownership transfers with the request (Buf), and
-		// the engine returns it once the value is dead (see rpc.Request).
-		payload, err := readFrameBuf(br)
-		if err != nil {
-			if errors.Is(err, errCRC) {
-				// Corruption detected: framing may be lost from here, so
-				// the connection dies rather than risk a mis-decoded op.
-				s.badFrames.Add(1)
-			}
-			return
-		}
-		q, err := decodeRequest(payload)
-		if err != nil {
-			bufpool.Put(payload)
-			return
-		}
+	// prep applies the reader-side duties for one decoded request —
+	// server-local ops, write-replay dedup, overload shedding — and
+	// reports whether the request still needs the engine (send=true).
+	// An engine-bound request is already charged against the in-flight
+	// accounting; the caller must deliver it or the gauges leak.
+	prep := func(q request, own []byte) (req rpc.Request, dst int, send bool) {
 		if int(q.core) >= s.st.Cores() {
 			q.core = uint32(core.RouteKey(q.key, s.st.Cores()))
 		}
 
-		// Integrity snapshot: answered by the reader without touching the
-		// engine, so it works even when the data path is saturated (the
-		// moment an operator most wants the counters).
+		// Integrity/metrics snapshots: answered by the reader without
+		// touching the engine, so observability works even when the
+		// data path is saturated (the moment an operator most wants
+		// the counters).
 		if q.op == opIntegrity {
-			bufpool.Put(payload)
 			lq.push(response{id: q.id, status: statusOK, value: s.st.Integrity().Marshal()})
-			continue
+			return rpc.Request{}, 0, false
 		}
-
-		// Metrics snapshot: same reader-side path, for the same reason —
-		// observability must not depend on the data path having headroom.
 		if q.op == opStats {
-			bufpool.Put(payload)
 			snap := s.Metrics()
 			lq.push(response{id: q.id, status: statusOK, value: snap.Marshal()})
-			continue
+			return rpc.Request{}, 0, false
 		}
 
-		// Write replay dedup (exactly-once ack for the retry path).
+		// Write replay dedup (exactly-once ack for the retry path) —
+		// batch sub-ops carry individual ids, so a partially applied
+		// multi-op frame replays correctly op by op.
 		isWrite := q.op == opPut || q.op == opDelete
 		if isWrite {
 			status, state := sess.begin(q.id)
 			switch state {
 			case dedupDone:
 				s.dedupHits.Add(1)
-				bufpool.Put(payload)
 				lq.push(response{id: q.id, status: status})
-				continue
+				return rpc.Request{}, 0, false
 			case dedupPending:
 				// First attempt still executing (likely on the previous
 				// connection's drain): shed; the client backs off and
 				// replays, by which time the outcome is recorded.
 				s.shed.Add(1)
-				bufpool.Put(payload)
 				lq.push(response{id: q.id, status: statusBusy})
-				continue
+				return rpc.Request{}, 0, false
 			}
 		}
 
@@ -447,24 +508,150 @@ func (s *Server) handle(conn net.Conn) {
 				sess.abort(q.id)
 			}
 			s.shed.Add(1)
-			bufpool.Put(payload)
 			lq.push(response{id: q.id, status: statusBusy})
-			continue
+			return rpc.Request{}, 0, false
 		}
 
-		req := rpc.Request{
+		req = rpc.Request{
 			ID:     q.id,
 			Op:     q.op,
 			Key:    q.key,
 			ScanHi: q.scanHi,
 			Limit:  int(q.limit),
 			Value:  q.value,
-			Buf:    payload, // ownership transfers with the send
+			Buf:    own, // ownership transfers with the send (may be nil)
 		}
 		outstanding.Add(1)
-		s.inflight.Add(1)
-		for !cl.Send(int(q.core), req) {
-			runtime.Gosched() // ring full: engine backpressure
+		s.noteInflight()
+		return req, int(q.core), true
+	}
+
+	// Engine-bound requests accumulate per core across every frame of
+	// one reader wakeup and land in the pending pools in one shot — one
+	// multi-op frame (or a burst of coalesced frames) becomes one
+	// horizontal-batch seal opportunity instead of ring-push-per-op.
+	perCore := make([][]rpc.Request, s.st.Cores())
+	dispatch := func() {
+		for dst := range perCore {
+			reqs := perCore[dst]
+			for len(reqs) > 0 {
+				n := cl.SendBatch(dst, reqs)
+				reqs = reqs[n:]
+				if len(reqs) > 0 {
+					runtime.Gosched() // ring full: engine backpressure
+				}
+			}
+			perCore[dst] = perCore[dst][:0]
+		}
+	}
+
+	// process decodes one frame payload (single-op or opBatch) into
+	// perCore/localQueue work. It owns payload: every non-engine path
+	// recycles it here; on the single-op engine path ownership transfers
+	// with the request (Buf), and the engine returns it once the value
+	// is dead (see rpc.Request). It returns false on an undecodable
+	// frame — the connection is torn down, like any framing loss.
+	var batchScratch []request
+	process := func(payload []byte) bool {
+		if len(payload) > 0 && payload[0] == opBatch {
+			var derr error
+			batchScratch, derr = decodeBatchInto(batchScratch[:0], payload)
+			if derr != nil {
+				bufpool.Put(payload)
+				return false
+			}
+			s.batchFrames.Add(1)
+			s.batchOps.Add(uint64(len(batchScratch)))
+			for i := range batchScratch {
+				req, dst, send := prep(batchScratch[i], nil)
+				if !send {
+					continue
+				}
+				if req.Op == rpc.OpPut && len(req.Value) > 0 {
+					// Sub-op values alias the frame buffer, which is
+					// recycled when this frame is done; a Put's bytes
+					// outlive it, so they move to a pooled buffer of
+					// their own (one frame cannot share ownership with
+					// N sub-ops).
+					buf := bufpool.Get(len(req.Value))
+					n := copy(buf, req.Value)
+					req.Value, req.Buf = buf[:n], buf
+				} else {
+					req.Value = nil
+				}
+				perCore[dst] = append(perCore[dst], req)
+			}
+			bufpool.Put(payload)
+			return true
+		}
+		q, err := decodeRequest(payload)
+		if err != nil {
+			bufpool.Put(payload)
+			return false
+		}
+		req, dst, send := prep(q, payload)
+		if !send {
+			bufpool.Put(payload)
+			return true
+		}
+		perCore[dst] = append(perCore[dst], req)
+		return true
+	}
+
+	// frameReady reports whether a complete frame is already buffered on
+	// br — readable without touching the socket.
+	frameReady := func() bool {
+		buffered := br.Buffered()
+		if buffered < 8 {
+			return false
+		}
+		hdr, err := br.Peek(4)
+		if err != nil {
+			return false
+		}
+		n := binary.LittleEndian.Uint32(hdr)
+		return n <= maxFrame && buffered >= int(4+n+4)
+	}
+
+	for {
+		// Block for the next frame, then drain whatever else the socket
+		// already delivered (read-path frame coalescing): a pipelined
+		// window arrives as a burst, and decoding the whole burst before
+		// dispatch() lets it seal as few large engine batches.
+		payload, err := readFrameBuf(br)
+		if err != nil {
+			if errors.Is(err, errCRC) {
+				// Corruption detected: framing may be lost from here, so
+				// the connection dies rather than risk a mis-decoded op.
+				s.badFrames.Add(1)
+			}
+			return
+		}
+		dead := false
+		for frames := 1; ; frames++ {
+			if !process(payload) {
+				dead = true
+				break
+			}
+			if frames >= readerMaxCoalesce || !frameReady() {
+				break
+			}
+			payload, err = readFrameBuf(br)
+			if err != nil {
+				if errors.Is(err, errCRC) {
+					s.badFrames.Add(1)
+				}
+				dead = true
+				break
+			}
+			s.framesCoalesced.Add(1)
+		}
+		// Even on a dying connection the requests already accepted are
+		// charged to the in-flight gauges and must reach the engine (the
+		// writer drains their completions).
+		dispatch()
+		if dead {
+			return
 		}
 	}
 }
