@@ -25,6 +25,7 @@ import (
 	"flatstore/internal/obs"
 	"flatstore/internal/pmem"
 	"flatstore/internal/rpc"
+	"flatstore/internal/tcp"
 )
 
 func main() {
@@ -53,7 +54,7 @@ func main() {
 
 	var crashedArena *pmem.Arena
 	sc := bufio.NewScanner(os.Stdin)
-	fmt.Println("FlatStore demo — commands: put <k> <v> | get <k> | del <k> | mput <k> <v> ... | mget <k> ... | scan <lo> <hi> | stats | metrics | crash | recover | close | save <file> | load <file> | quit")
+	fmt.Println("FlatStore demo — commands: put <k> <v> | get <k> | del <k> | mput <k> <v> ... | mget <k> ... | scan <lo> <hi> | stats | metrics [addr] | crash | recover | close | save <file> | load <file> | quit")
 	for {
 		fmt.Print("flatstore> ")
 		if !sc.Scan() {
@@ -218,6 +219,30 @@ func main() {
 		case "metrics":
 			// The live observability snapshot (lock-free per-core merge) in
 			// the same Prometheus text the server's /metrics endpoint emits.
+			// With an address, fetch a running server's snapshot over the
+			// stats wire op instead — the way to watch a cluster member's
+			// replication health from the outside.
+			if len(fields) == 2 {
+				rc, err := tcp.DialOptions(fields[1], tcp.Options{
+					DialTimeout: 2 * time.Second, RequestTimeout: 5 * time.Second,
+				})
+				if err != nil {
+					fmt.Println("dial:", err)
+					continue
+				}
+				rsnap, err := rc.Stats()
+				rc.Close()
+				if err != nil {
+					fmt.Println("stats:", err)
+					continue
+				}
+				r := rsnap.Repl
+				fmt.Printf("cluster: role=%s epoch=%d tail=%d applied=%d followers=%d lag=%d batches (%d bytes) primary=%q\n",
+					obs.ReplRoleName(r.Role), r.Epoch, r.TailPos, r.AppliedPos,
+					r.Followers, r.LagBatches, r.LagBytes, r.PrimaryAddr)
+				obs.WritePrometheus(os.Stdout, rsnap)
+				continue
+			}
 			snap := st.Metrics()
 			obs.WritePrometheus(os.Stdout, &snap)
 		case "crash":

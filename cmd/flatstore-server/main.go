@@ -23,8 +23,19 @@ import (
 	"flatstore/internal/core"
 	"flatstore/internal/obs"
 	"flatstore/internal/pmem"
+	"flatstore/internal/repl"
 	"flatstore/internal/tcp"
 )
+
+// replFlags collects the replication command line.
+type replFlags struct {
+	role          string
+	listenAddr    string // this node's replication listener
+	primaryAddr   string // the primary's replication listener (follower)
+	advertiseAddr string // client-facing address advertised in redirects
+	syncFollowers int
+	syncTimeout   time.Duration
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7399", "listen address")
@@ -41,6 +52,12 @@ func main() {
 	salvage := flag.Bool("salvage", false, "repair media corruption on recovery (truncate + quarantine) instead of refusing to start")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus /metrics and /metrics.json on this address, e.g. 127.0.0.1:6060 (empty: off)")
 	slowOp := flag.Duration("slow-op", 0, "trace requests at/above this latency into the slow-op ring (0: off)")
+	role := flag.String("role", "solo", "replication role: solo, primary, or follower")
+	replAddr := flag.String("repl-addr", "", "replication listener address (primary and follower)")
+	primary := flag.String("primary", "", "the primary's replication address (follower)")
+	advertise := flag.String("advertise", "", "client-facing address advertised to peers and in redirects (default: -addr)")
+	syncFollowers := flag.Int("sync-followers", 0, "follower acks required before a write is acknowledged (0: async replication)")
+	syncTimeout := flag.Duration("sync-timeout", 0, "semi-sync ack wait bound before degrading to async (0: default 2s)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -59,13 +76,35 @@ func main() {
 		MaxInFlight:     *maxInflight,
 		WriteTimeout:    *writeTimeout,
 	}
-	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *slowOp, *salvage, sopts); err != nil {
+	rf := replFlags{
+		role: *role, listenAddr: *replAddr, primaryAddr: *primary,
+		advertiseAddr: *advertise, syncFollowers: *syncFollowers,
+		syncTimeout: *syncTimeout,
+	}
+	if rf.advertiseAddr == "" {
+		rf.advertiseAddr = *addr
+	}
+	switch rf.role {
+	case "solo", "primary", "follower":
+	default:
+		fmt.Fprintf(os.Stderr, "flatstore-server: unknown -role %q (want solo, primary, or follower)\n", rf.role)
+		os.Exit(2)
+	}
+	if rf.role != "solo" && rf.listenAddr == "" {
+		fmt.Fprintln(os.Stderr, "flatstore-server: -role", rf.role, "needs -repl-addr")
+		os.Exit(2)
+	}
+	if rf.role == "follower" && rf.primaryAddr == "" {
+		fmt.Fprintln(os.Stderr, "flatstore-server: -role follower needs -primary")
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *slowOp, *salvage, sopts, rf); err != nil {
 		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery, slowOp time.Duration, salvage bool, sopts tcp.ServerOptions) error {
+func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery, slowOp time.Duration, salvage bool, sopts tcp.ServerOptions, rf replFlags) error {
 	idx := core.IndexHash
 	if ordered {
 		idx = core.IndexMasstree
@@ -108,13 +147,46 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 		fmt.Printf("created new store (%d cores, %d MB arena, %s)\n",
 			cores, chunks*4, idx)
 	}
+
+	// The replication node must exist before Run (the seal hook installs
+	// into the not-yet-serving store) and start after it.
+	var node *repl.Node
+	if rf.role != "solo" {
+		rcfg := repl.Config{
+			Store:         st,
+			ListenAddr:    rf.listenAddr,
+			ServeAddr:     rf.advertiseAddr,
+			PrimaryAddr:   rf.primaryAddr,
+			SyncFollowers: rf.syncFollowers,
+			SyncTimeout:   rf.syncTimeout,
+		}
+		var err error
+		if rf.role == "primary" {
+			node, err = repl.NewPrimary(rcfg)
+		} else {
+			node, err = repl.NewFollower(rcfg)
+		}
+		if err != nil {
+			return err
+		}
+	}
 	st.Run()
+	if node != nil {
+		if err := node.Start(); err != nil {
+			st.Stop()
+			return err
+		}
+		fmt.Printf("replication: %s, repl listener %s\n", rf.role, node.ListenAddr())
+	}
 
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	srv := tcp.NewServerOptions(st, sopts)
+	if node != nil {
+		srv.SetRepl(node)
+	}
 	// Observability endpoints ride the pprof mux (-pprof): Prometheus
 	// text at /metrics, the full snapshot as JSON at /metrics.json.
 	http.Handle("/metrics", obs.Handler(srv.Metrics))
@@ -141,6 +213,22 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if node != nil {
+		// SIGUSR1 is the operator's failover trigger: promote this
+		// follower to primary of a new epoch (the deposed primary is
+		// fenced the moment it hears the higher epoch).
+		promote := make(chan os.Signal, 1)
+		signal.Notify(promote, syscall.SIGUSR1)
+		go func() {
+			for range promote {
+				if err := node.Promote(); err != nil {
+					fmt.Fprintln(os.Stderr, "promote:", err)
+					continue
+				}
+				fmt.Printf("promoted to primary, epoch %d\n", node.Epoch())
+			}
+		}()
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(lis) }()
 
@@ -153,6 +241,9 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 		}
 	}
 	close(stopCkpt)
+	if node != nil {
+		node.Close() // before the store stops: releases semi-sync waiters
+	}
 	srv.Close()
 	st.Stop()
 	if err := st.Close(); err != nil {

@@ -147,6 +147,7 @@ const (
 	offFlag     = 64   // shutdown flag: flagClean = clean, else dirty
 	offCkpt     = 128  // checkpoint descriptor: ptr, len
 	offCores    = 192  // number of server cores the arena was formatted for
+	offRepl     = 256  // replication state: epoch, position, crc (repl.go)
 	offCoreMeta = 4096 // + core*64: per-core log metadata (head, tail, crc)
 	offJournal  = 8192 // + group*64: cleaner journal slot (survivor chunk)
 

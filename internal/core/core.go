@@ -187,6 +187,11 @@ type opCtx struct {
 	slot *pendingSlot
 	// t0 is the arrival timestamp (registry clock) for latency accounting.
 	t0 int64
+	// ackErr downgrades the response to StatusError even though the op is
+	// durable and applied: the seal hook could not guarantee replication,
+	// so the client must treat the write as maybe-applied. Written by the
+	// leader before MarkDone (same store-release edge as Off).
+	ackErr bool
 }
 
 // ID returns the core's id.
@@ -577,6 +582,14 @@ func (c *Core) startModify(req rpc.Request, client int, t0 int64) {
 			return
 		}
 		op.Off = off
+		if h := c.st.repl.hook; h != nil {
+			// A batch of one for the replication stream too.
+			c.st.repl.sealed.Add(1)
+			c.leadEntries = append(c.leadEntries[:0], entry)
+			if herr := h(c.leadEntries); herr != nil {
+				s.ctx.ackErr = true
+			}
+		}
 		// A batch of one: seal and persist collapse into the Append.
 		now := c.st.obs.Now()
 		op.TSeal, op.TPersist = now, now
@@ -638,6 +651,15 @@ func (c *Core) TryLeadOps() []*batch.PendingOp {
 			op.MarkDone()
 		}
 	} else {
+		// Ship the sealed batch before acknowledging it: the hook runs
+		// while the entries (and their records) are still stable — no op
+		// has been marked done, so no slot can be recycled and no record
+		// superseded. A hook error downgrades every ack to maybe-applied.
+		var hookErr error
+		if h := c.st.repl.hook; h != nil {
+			c.st.repl.sealed.Add(int64(len(ops)))
+			hookErr = h(entries)
+		}
 		tPersist := c.st.obs.Now()
 		own := 0
 		for i, op := range ops {
@@ -652,6 +674,9 @@ func (c *Core) TryLeadOps() []*batch.PendingOp {
 			op.Leader = c.id
 			op.TSeal = tSeal
 			op.TPersist = tPersist
+			if hookErr != nil {
+				op.Ctx.(*opCtx).ackErr = true
+			}
 			c.accountAppend(offs[i], entries[i].EncodedSize())
 			op.MarkDone()
 		}
@@ -725,6 +750,15 @@ func (c *Core) complete(op *batch.PendingOp) {
 	if off < 0 {
 		status = rpc.StatusError
 	} else {
+		if c.st.repl.hook != nil {
+			// This op passed the seal hook (every successfully appended op
+			// does when a hook is installed); its volatile phase finishes
+			// now, shrinking the backlog a snapshot capture waits out.
+			c.st.repl.completed.Add(1)
+		}
+		if ctx.ackErr {
+			status = rpc.StatusError
+		}
 		// Identify what this op supersedes at apply time: with writes
 		// pipelining per key, the superseded entry is whatever the
 		// index points at just before this update (completions apply

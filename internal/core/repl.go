@@ -1,0 +1,348 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flatstore/internal/oplog"
+	"flatstore/internal/pmem"
+	"flatstore/internal/record"
+	"flatstore/internal/rpc"
+)
+
+// Replication support: the hooks a replication controller (internal/repl)
+// needs from the engine. The store itself stays replication-agnostic — it
+// exposes a seal hook (every durable batch, before its ops are
+// acknowledged), an apply path that mirrors recovery's version-gated
+// replay, a consistent live-key capture for follower bootstrap, and a
+// durable (epoch, position) slot in the superblock.
+
+// SealHook observes every sealed-and-durable oplog batch before any of
+// its ops are acknowledged. The entries (and the records they point at)
+// are stable for the duration of the call; the hook must copy what it
+// keeps. Returning an error downgrades every op in the batch to
+// StatusError ("maybe applied": the batch IS durable locally and stays
+// applied, but clients must not treat it as acknowledged) — the
+// controller uses this when it cannot guarantee the batch reached the
+// configured number of followers.
+//
+// The hook is called from server-core goroutines and may be called
+// concurrently (pipelined horizontal batching admits two in-flight
+// leaders); it must synchronize internally.
+type SealHook func(entries []*oplog.Entry) error
+
+// replCore is the engine half of the replication wiring, embedded in
+// Store.
+type replCore struct {
+	hook SealHook
+	// sealed/completed count ops that passed the hook and ops whose
+	// volatile phase finished; their difference is the apply backlog a
+	// snapshot capture must wait out (see ReplQuiesce).
+	sealed    atomic.Int64
+	completed atomic.Int64
+
+	// mu guards f, the dedicated flusher for the superblock repl slot
+	// (SetReplState is called from controller goroutines, never from a
+	// core, so it cannot share a core's flusher).
+	mu sync.Mutex
+	f  *pmem.Flusher
+}
+
+// SetSealHook installs the seal hook. Must be called before Run (the
+// cores read it unsynchronized); installing a hook while serving is a
+// race.
+func (st *Store) SetSealHook(h SealHook) { st.repl.hook = h }
+
+// EntryValue materializes the value bytes of a sealed Put entry: the
+// inline bytes, or a view of the out-of-place record. The view aliases
+// the arena and is only stable while the entry is (i.e. inside a
+// SealHook, or under reclaimMu for arbitrary refs).
+func (st *Store) EntryValue(e *oplog.Entry) ([]byte, error) {
+	if e.Op != oplog.OpPut {
+		return nil, nil
+	}
+	if e.Inline {
+		return e.Value, nil
+	}
+	if err := record.Verify(st.arena, e.Ptr); err != nil {
+		return nil, err
+	}
+	return record.View(st.arena, e.Ptr), nil
+}
+
+// ReplInFlight reports how many sealed ops have not finished their
+// volatile phase yet. Zero means every shipped batch is visible in the
+// index.
+func (st *Store) ReplInFlight() int64 {
+	return st.repl.sealed.Load() - st.repl.completed.Load()
+}
+
+// ReplQuiesce waits until every sealed op has been applied to the index
+// (so a capture started afterwards includes everything up to the
+// caller's stream position). It fails if the store stays busy past the
+// timeout; the caller retries later.
+func (st *Store) ReplQuiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for st.ReplInFlight() != 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: store not quiescent after %v (in-flight %d)", timeout, st.ReplInFlight())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return nil
+}
+
+// ReplFlusher returns a flusher for the replication controller's apply
+// path. The follower's single repl goroutine is its only user, so it
+// needs no locking.
+func (st *Store) ReplFlusher() *pmem.Flusher { return st.arena.NewFlusher() }
+
+// ReplApply applies one replicated operation through the same
+// version-gated path recovery replay uses: the op is appended to the
+// owning core's log (so a promoted follower recovers like any primary),
+// the index/registry/quarantine bookkeeping mirrors the volatile phase
+// of a local write, and stale deliveries (snapshot overlap, refetches)
+// are dropped by the version gate.
+//
+// Only a single goroutine may call ReplApply, and never concurrently
+// with local writes: the follower's cores serve reads only, so the repl
+// goroutine is the sole appender to each core's log and the sole user
+// of each core's allocation context. op is rpc.OpPut or rpc.OpDelete.
+func (st *Store) ReplApply(f *pmem.Flusher, op uint8, key uint64, ver uint32, val []byte) error {
+	c := st.cores[st.CoreOf(key)]
+
+	// Version gate: apply only strictly newer state, mirroring replay.
+	c.idxMu.Lock()
+	var cur uint32
+	if _, v, ok := c.idx.Get(key); ok {
+		cur = v
+	}
+	if m := c.reg[key]; m != nil && m.lastVer > cur {
+		cur = m.lastVer
+	}
+	if qv, ok := c.quar[key]; ok && qv > cur {
+		cur = qv
+	}
+	c.idxMu.Unlock()
+	if ver <= cur {
+		return nil
+	}
+
+	var e oplog.Entry
+	e.Key = key
+	e.Version = ver
+	if op == rpc.OpPut {
+		e.Op = oplog.OpPut
+		if len(val) > 0 && len(val) <= st.cfg.InlineMax {
+			e.Inline = true
+			e.Value = val
+		} else {
+			blk, err := c.ca.Alloc(record.Size(len(val)), f)
+			if err != nil {
+				return fmt.Errorf("core: repl alloc: %w", err)
+			}
+			record.Persist(f, blk, val)
+			e.Ptr = blk
+		}
+	} else {
+		e.Op = oplog.OpDelete
+	}
+
+	off, err := c.log.Append(f, &e)
+	if err != nil {
+		if !e.Inline && e.Op == oplog.OpPut {
+			c.ca.Free(e.Ptr, record.Size(len(val)), f)
+		}
+		return fmt.Errorf("core: repl append: %w", err)
+	}
+	c.accountAppend(off, e.EncodedSize())
+
+	// Volatile phase, mirroring Core.complete.
+	var oldRef, oldPtr int64 = -1, -1
+	var oldSize, oldLen int
+	rotted := false
+	c.idxMu.Lock()
+	if ref, _, ok := c.idx.Get(key); ok {
+		oldRef = ref
+		st.reclaimMu.RLock()
+		if oe, n, derr := oplog.Decode(st.arena.Mem()[oldRef:]); derr == nil && oe.Op == oplog.OpPut {
+			oldSize = n
+			if !oe.Inline {
+				if record.Verify(st.arena, oe.Ptr) == nil {
+					oldPtr = oe.Ptr
+					oldLen = record.Size(record.Len(st.arena, oe.Ptr))
+				} else {
+					rotted = true
+				}
+			}
+		}
+		st.reclaimMu.RUnlock()
+	}
+	m := c.reg[key]
+	if op == rpc.OpPut {
+		c.idx.Put(key, off, ver)
+		if oldRef >= 0 && m == nil {
+			m = &keyMeta{}
+			c.reg[key] = m
+		}
+		if m != nil {
+			if oldRef >= 0 {
+				m.stale++
+			}
+			m.lastVer = ver
+			m.deleted = false
+		}
+	} else {
+		c.idx.Delete(key)
+		if m == nil {
+			m = &keyMeta{}
+			c.reg[key] = m
+		}
+		if oldRef >= 0 {
+			m.stale++
+		}
+		m.lastVer = ver
+		m.deleted = true
+	}
+	cleared := false
+	if _, ok := c.quar[key]; ok {
+		delete(c.quar, key)
+		cleared = true
+	}
+	c.idxMu.Unlock()
+	if cleared {
+		st.noteQuarantineClears(1)
+	}
+	if rotted {
+		st.noteChecksumErrors(1)
+	}
+	if oldRef >= 0 {
+		st.usage.markDead(chunkOf(oldRef), oldSize)
+	}
+	if oldPtr >= 0 {
+		c.ca.Free(oldPtr, oldLen, f)
+	}
+	return nil
+}
+
+// CaptureReplSnapshot walks every live key and emits (key, version,
+// value) for follower bootstrap. The caller should ReplQuiesce first so
+// the capture covers everything up to its chosen stream position;
+// batches sealed during the capture overlap it harmlessly (the
+// follower's version gate drops duplicates). The emitted value aliases
+// the arena or a scratch buffer — emit must copy what it keeps. Keys
+// whose record rotted at rest are skipped (the follower simply lacks
+// them, as if quarantined).
+func (st *Store) CaptureReplSnapshot(emit func(key uint64, ver uint32, val []byte) error) error {
+	type kv struct {
+		key uint64
+		ref int64
+		ver uint32
+	}
+	var pending []kv
+	collect := func(c *Core) {
+		c.idxMu.Lock()
+		c.idx.Range(func(key uint64, ref int64, ver uint32) bool {
+			pending = append(pending, kv{key, ref, ver})
+			return true
+		})
+		c.idxMu.Unlock()
+	}
+	if st.tree != nil {
+		// Shared ordered index: every core's idx is the same tree.
+		collect(st.cores[0])
+	} else {
+		for _, c := range st.cores {
+			collect(c)
+		}
+	}
+
+	for _, k := range pending {
+		c := st.cores[st.CoreOf(k.key)]
+		emitted := false
+		for attempt := 0; attempt < 3 && !emitted; attempt++ {
+			if attempt > 0 {
+				// The ref went stale (cleaner relocation): re-resolve.
+				c.idxMu.Lock()
+				ref, ver, ok := c.idx.Get(k.key)
+				c.idxMu.Unlock()
+				if !ok {
+					// Deleted during capture; the tombstone's batch is
+					// past the snapshot position and will be refetched.
+					emitted = true
+					break
+				}
+				k.ref, k.ver = ref, ver
+			}
+			st.reclaimMu.RLock()
+			e, _, err := oplog.Decode(st.arena.Mem()[k.ref:])
+			if err != nil || e.Op != oplog.OpPut {
+				st.reclaimMu.RUnlock()
+				continue
+			}
+			var val []byte
+			if e.Inline {
+				val = e.Value
+			} else {
+				if record.Verify(st.arena, e.Ptr) != nil {
+					st.reclaimMu.RUnlock()
+					continue
+				}
+				val = record.View(st.arena, e.Ptr)
+			}
+			err = emit(k.key, k.ver, val)
+			st.reclaimMu.RUnlock()
+			if err != nil {
+				return err
+			}
+			emitted = true
+		}
+	}
+	return nil
+}
+
+// Durable replication state: (epoch, position) on its own superblock
+// cacheline, CRC-protected so a torn update (or a pre-replication arena)
+// reads as unset rather than garbage.
+
+var replStateTable = crc32.MakeTable(crc32.Castagnoli)
+
+func replStateSum(epoch, pos uint64) uint64 {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[0:], epoch)
+	binary.LittleEndian.PutUint64(b[8:], pos)
+	return uint64(crc32.Checksum(b[:], replStateTable))
+}
+
+// ReplState reads the persisted (epoch, position). An unset or torn slot
+// reads as (0, 0); a node restarting with real history re-fences through
+// its peers before trusting it.
+func (st *Store) ReplState() (epoch, pos uint64) {
+	e := st.arena.ReadUint64(offRepl)
+	p := st.arena.ReadUint64(offRepl + 8)
+	if st.arena.ReadUint64(offRepl+16) != replStateSum(e, p) {
+		return 0, 0
+	}
+	return e, p
+}
+
+// SetReplState persists (epoch, position). Callers order it after the
+// state it describes is durable (entries applied, promotion decided); a
+// crash between leaves the slot behind, which only causes refetching —
+// duplicate deliveries are version-gated away.
+func (st *Store) SetReplState(epoch, pos uint64) {
+	st.repl.mu.Lock()
+	if st.repl.f == nil {
+		st.repl.f = st.arena.NewFlusher()
+	}
+	f := st.repl.f
+	f.PersistUint64(offRepl, epoch)
+	f.PersistUint64(offRepl+8, pos)
+	f.PersistUint64(offRepl+16, replStateSum(epoch, pos))
+	f.FlushEvents()
+	st.repl.mu.Unlock()
+}

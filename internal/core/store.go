@@ -44,6 +44,11 @@ type Store struct {
 	// across each chunk scan for the same reason.
 	reclaimMu sync.RWMutex
 
+	// repl is the engine half of the replication wiring: the seal hook,
+	// the sealed/completed backlog counters, and the flusher for the
+	// superblock repl slot (see repl.go).
+	repl replCore
+
 	// integMu guards integ, the cumulative storage-integrity counters
 	// (updated by cores, the scrubber, and salvage recovery), and salvage,
 	// the report of the last salvage recovery (nil if none ran).

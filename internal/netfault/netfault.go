@@ -66,13 +66,16 @@ type Config struct {
 }
 
 // Stats counts injected faults; Segments is the number of fault
-// decisions taken (≈ Read/Write calls that saw data).
+// decisions taken (≈ Read/Write calls that saw data). Drops counts
+// segments blackholed by a partition (SetDrop/BlockPeer), which are not
+// Segments — partitions are deterministic, not probabilistic.
 type Stats struct {
 	Segments    uint64
 	Corruptions uint64
 	Resets      uint64
 	Partials    uint64
 	Delays      uint64
+	Drops       uint64
 }
 
 // Injected sums the faults of every kind.
@@ -91,11 +94,22 @@ type Injector struct {
 
 	enabled atomic.Bool
 
+	// Partition state: dropRead/dropWrite blackhole whole directions on
+	// every wrapped conn; blocked blackholes both directions of conns
+	// tagged with a matching peer. Both are independent of enabled, so a
+	// chaos test can hold a partition while the probabilistic faults are
+	// quiesced.
+	dropRead  atomic.Bool
+	dropWrite atomic.Bool
+	blockMu   sync.Mutex
+	blocked   map[string]struct{}
+
 	segments    atomic.Uint64
 	corruptions atomic.Uint64
 	resets      atomic.Uint64
 	partials    atomic.Uint64
 	delays      atomic.Uint64
+	drops       atomic.Uint64
 }
 
 // NewInjector builds an enabled injector for cfg.
@@ -110,7 +124,51 @@ func NewInjector(cfg Config) *Injector {
 
 // SetEnabled turns fault injection on or off; off, every wrapped conn is
 // a transparent passthrough (used by chaos tests to let the dust settle).
+// Partitions (SetDrop, BlockPeer) are independent of this switch.
 func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
+
+// SetDrop installs (or lifts) a partition on every conn wrapped by this
+// injector: with read true, inbound bytes are read off the socket and
+// discarded; with write true, outbound bytes are swallowed while
+// success is reported. Asymmetric combinations model one-way partitions
+// — the peer's traffic vanishes while its own receives keep working.
+// Unlike an injected reset, neither side's connection dies: each just
+// stops hearing the other, which is what a real partition looks like.
+func (in *Injector) SetDrop(read, write bool) {
+	in.dropRead.Store(read)
+	in.dropWrite.Store(write)
+}
+
+// BlockPeer blackholes both directions of every wrapped conn tagged
+// with the given peer address (see WrapPeer; Listener tags accepted
+// conns with the remote address, Proxy with its backend address), so a
+// test can partition one node pair while the rest of the cluster keeps
+// talking.
+func (in *Injector) BlockPeer(peer string) {
+	in.blockMu.Lock()
+	if in.blocked == nil {
+		in.blocked = map[string]struct{}{}
+	}
+	in.blocked[peer] = struct{}{}
+	in.blockMu.Unlock()
+}
+
+// UnblockPeer lifts a BlockPeer partition.
+func (in *Injector) UnblockPeer(peer string) {
+	in.blockMu.Lock()
+	delete(in.blocked, peer)
+	in.blockMu.Unlock()
+}
+
+func (in *Injector) peerBlocked(peer string) bool {
+	if peer == "" {
+		return false
+	}
+	in.blockMu.Lock()
+	_, ok := in.blocked[peer]
+	in.blockMu.Unlock()
+	return ok
+}
 
 // Force schedules a one-shot fault: the next segment on any wrapped conn
 // suffers k regardless of the probabilities. Multiple Forces queue FIFO.
@@ -128,6 +186,7 @@ func (in *Injector) Stats() Stats {
 		Resets:      in.resets.Load(),
 		Partials:    in.partials.Load(),
 		Delays:      in.delays.Load(),
+		Drops:       in.drops.Load(),
 	}
 }
 
@@ -172,14 +231,34 @@ func (in *Injector) decide() (k Kind, stall time.Duration, bit uint64) {
 
 // Conn wraps a net.Conn, injecting faults on both directions. A fault on
 // either direction closes the underlying conn, so the peer observes a
-// reset too.
+// reset too. The optional peer tag subjects the conn to BlockPeer
+// partitions.
 type Conn struct {
 	net.Conn
-	in *Injector
+	in   *Injector
+	peer string
 }
 
 // Wrap attaches an injector to a conn.
 func Wrap(c net.Conn, in *Injector) *Conn { return &Conn{Conn: c, in: in} }
+
+// WrapPeer attaches an injector to a conn and tags it with the peer
+// address BlockPeer matches against.
+func WrapPeer(c net.Conn, in *Injector, peer string) *Conn {
+	return &Conn{Conn: c, in: in, peer: peer}
+}
+
+// dropped reports whether this conn's traffic in the given direction is
+// currently blackholed.
+func (c *Conn) dropped(read bool) bool {
+	if read && c.in.dropRead.Load() {
+		return true
+	}
+	if !read && c.in.dropWrite.Load() {
+		return true
+	}
+	return c.in.peerBlocked(c.peer)
+}
 
 // errReset is returned for injected resets/partials; the conn is closed,
 // so the error surfaces as a normal connection failure.
@@ -190,9 +269,15 @@ func (resetError) Timeout() bool   { return false }
 func (resetError) Temporary() bool { return false }
 
 // Read delivers inbound bytes, possibly delayed, corrupted, truncated,
-// or cut off entirely.
+// or cut off entirely. A read-dropped conn reads and discards instead:
+// the bytes vanish without the connection dying, so the caller blocks
+// exactly as it would across a real partition.
 func (c *Conn) Read(b []byte) (int, error) {
 	n, err := c.Conn.Read(b)
+	for n > 0 && err == nil && c.dropped(true) {
+		c.in.drops.Add(1)
+		n, err = c.Conn.Read(b)
+	}
 	if n == 0 || err != nil {
 		return n, err
 	}
@@ -215,8 +300,14 @@ func (c *Conn) Read(b []byte) (int, error) {
 
 // Write delivers outbound bytes with the same fault model. A partial
 // write reports the short count with an error, per the net.Conn
-// contract.
+// contract. A write-dropped conn swallows the bytes and reports
+// success — the sender believes the data left, the receiver never sees
+// it, and only a higher-level timeout reveals the partition.
 func (c *Conn) Write(b []byte) (int, error) {
+	if len(b) > 0 && c.dropped(false) {
+		c.in.drops.Add(1)
+		return len(b), nil
+	}
 	if len(b) == 0 {
 		return c.Conn.Write(b)
 	}
@@ -256,11 +347,12 @@ func WrapListener(l net.Listener, in *Injector) *Listener {
 	return &Listener{Listener: l, in: in}
 }
 
-// Accept wraps the next conn with the fault injector.
+// Accept wraps the next conn with the fault injector, tagged with the
+// remote address so BlockPeer can partition specific clients.
 func (l *Listener) Accept() (net.Conn, error) {
 	c, err := l.Listener.Accept()
 	if err != nil {
 		return nil, err
 	}
-	return Wrap(c, l.in), nil
+	return WrapPeer(c, l.in, c.RemoteAddr().String()), nil
 }

@@ -1,0 +1,166 @@
+package netfault
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// partitionPair builds a loopback TCP pair with the client side wrapped by
+// the injector (tagged with the server's address, so BlockPeer works).
+func partitionPair(t *testing.T, in *Injector) (faulty net.Conn, peer net.Conn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		done <- c
+	}()
+	cc, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := <-done
+	t.Cleanup(func() { cc.Close(); sc.Close() })
+	return WrapPeer(cc, in, lis.Addr().String()), sc
+}
+
+// TestSetDropWriteSwallows pins the write-partition contract: the sender
+// sees success, the receiver sees nothing, and no connection dies.
+func TestSetDropWriteSwallows(t *testing.T) {
+	in := NewInjector(Config{})
+	fc, peer := partitionPair(t, in)
+	in.SetDrop(false, true)
+	if n, err := fc.Write([]byte("vanishes")); err != nil || n != 8 {
+		t.Fatalf("dropped write: n=%d err=%v (want full success)", n, err)
+	}
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := peer.Read(buf); err == nil {
+		t.Fatalf("peer received %d bytes across a write partition", n)
+	}
+	// Heal: traffic flows again on the same connection.
+	in.SetDrop(false, false)
+	if _, err := fc.Write([]byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := peer.Read(buf)
+	if err != nil || string(buf[:n]) != "alive" {
+		t.Fatalf("after heal: %q, %v", buf[:n], err)
+	}
+	if in.Stats().Drops == 0 {
+		t.Fatal("drops not counted")
+	}
+}
+
+// TestSetDropReadBlackholes pins the read partition: inbound bytes are
+// discarded, the reader just blocks, and healing resumes delivery of
+// NEW traffic (the blackholed bytes are gone for good).
+func TestSetDropReadBlackholes(t *testing.T) {
+	in := NewInjector(Config{})
+	fc, peer := partitionPair(t, in)
+	in.SetDrop(true, false)
+	if _, err := peer.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	fc.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := fc.Read(buf); err == nil {
+		t.Fatalf("read delivered %d bytes across a read partition", n)
+	}
+	in.SetDrop(false, false)
+	if _, err := peer.Write([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	fc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := fc.Read(buf)
+	if err != nil || string(buf[:n]) != "fresh" {
+		t.Fatalf("after heal: %q, %v", buf[:n], err)
+	}
+}
+
+// TestAsymmetricPartition holds one direction open while the other is
+// dark: the one-way failure replication fencing must tolerate.
+func TestAsymmetricPartition(t *testing.T) {
+	in := NewInjector(Config{})
+	fc, peer := partitionPair(t, in)
+	in.SetDrop(true, false) // we hear nothing; the peer hears us fine
+	if _, err := fc.Write([]byte("outbound")); err != nil {
+		t.Fatal(err)
+	}
+	peer.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if n, err := peer.Read(buf); err != nil || string(buf[:n]) != "outbound" {
+		t.Fatalf("outbound leg broken: %q, %v", buf[:n], err)
+	}
+	if _, err := peer.Write([]byte("inbound")); err != nil {
+		t.Fatal(err)
+	}
+	fc.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := fc.Read(buf); err == nil {
+		t.Fatalf("inbound leg delivered %d bytes through the partition", n)
+	}
+}
+
+// TestBlockPeerTargetsTaggedConns partitions only the conns tagged with
+// the blocked peer; an untagged conn on the same injector is untouched.
+func TestBlockPeerTargetsTaggedConns(t *testing.T) {
+	in := NewInjector(Config{})
+	fc, peerA := partitionPair(t, in)
+	blocked := fc.(*Conn).peer
+	in.BlockPeer(blocked)
+
+	if _, err := fc.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	peerA.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if n, err := peerA.Read(buf); err == nil {
+		t.Fatalf("blocked peer received %d bytes", n)
+	}
+
+	// A second pair under the same injector, different peer tag: flows.
+	fc2, peerB := partitionPair(t, in)
+	if _, err := fc2.Write([]byte("flows")); err != nil {
+		t.Fatal(err)
+	}
+	peerB.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := peerB.Read(buf); err != nil || string(buf[:n]) != "flows" {
+		t.Fatalf("unblocked peer starved: %q, %v", buf[:n], err)
+	}
+
+	in.UnblockPeer(blocked)
+	if _, err := fc.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	peerA.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := peerA.Read(buf); err != nil || string(buf[:n]) != "back" {
+		t.Fatalf("after unblock: %q, %v", buf[:n], err)
+	}
+}
+
+// TestDropIndependentOfEnabled pins that partitions survive
+// SetEnabled(false) — chaos tests quiesce the probabilistic faults
+// while holding a partition.
+func TestDropIndependentOfEnabled(t *testing.T) {
+	in := NewInjector(Config{})
+	in.SetEnabled(false)
+	fc, peer := partitionPair(t, in)
+	in.SetDrop(false, true)
+	if n, err := fc.Write([]byte("x")); err != nil || n != 1 {
+		t.Fatalf("drop did not apply with injector disabled: n=%d err=%v", n, err)
+	}
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 4)
+	if n, err := peer.Read(buf); err == nil {
+		t.Fatalf("received %d bytes despite partition", n)
+	}
+}

@@ -103,7 +103,9 @@ func (p *Proxy) forward(cc net.Conn) {
 	defer p.untrack(bc)
 	defer bc.Close()
 
-	fc := Wrap(cc, p.in)
+	// The faulty conn is tagged with the backend address, so BlockPeer
+	// on it partitions everything this proxy fronts.
+	fc := WrapPeer(cc, p.in, p.backend)
 	done := make(chan struct{}, 2)
 	go func() { // client → server (Read faults)
 		io.Copy(bc, fc)

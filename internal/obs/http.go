@@ -108,6 +108,14 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_tcp_frames_coalesced_total", s.Net.FramesCoalesced},
 		{"flatstore_tcp_resp_flushes_total", s.Net.RespFlushes},
 		{"flatstore_tcp_resp_written_total", s.Net.RespWritten},
+		{"flatstore_repl_batches_shipped_total", s.Repl.BatchesShipped},
+		{"flatstore_repl_bytes_shipped_total", s.Repl.BytesShipped},
+		{"flatstore_repl_batches_applied_total", s.Repl.BatchesApplied},
+		{"flatstore_repl_entries_applied_total", s.Repl.EntriesApplied},
+		{"flatstore_repl_snapshots_served_total", s.Repl.SnapshotsServed},
+		{"flatstore_repl_snapshots_loaded_total", s.Repl.SnapshotsLoaded},
+		{"flatstore_repl_sync_timeouts_total", s.Repl.SyncTimeouts},
+		{"flatstore_repl_demotions_total", s.Repl.Demotions},
 		{"flatstore_scrub_runs_total", s.Integrity.ScrubRuns},
 		{"flatstore_scrub_batches_total", s.Integrity.ScrubBatches},
 		{"flatstore_scrub_records_total", s.Integrity.ScrubRecords},
@@ -130,10 +138,18 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_net_inflight", s.Net.InFlight},
 		{"flatstore_net_inflight_peak", s.Net.InFlightPeak},
 		{"flatstore_slow_ops_traced", int64(len(s.SlowOps))},
+		{"flatstore_repl_epoch", int64(s.Repl.Epoch)},
+		{"flatstore_repl_tail_pos", int64(s.Repl.TailPos)},
+		{"flatstore_repl_applied_pos", int64(s.Repl.AppliedPos)},
+		{"flatstore_repl_followers", int64(s.Repl.Followers)},
+		{"flatstore_repl_lag_batches", int64(s.Repl.LagBatches)},
+		{"flatstore_repl_lag_bytes", int64(s.Repl.LagBytes)},
 	}
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
 	}
+	fmt.Fprintf(w, "# TYPE flatstore_repl_role gauge\nflatstore_repl_role{role=%q} %d\n",
+		ReplRoleName(s.Repl.Role), s.Repl.Role)
 
 	fmt.Fprintf(w, "# TYPE flatstore_alloc_class_chunks gauge\n")
 	for _, c := range s.Classes {
@@ -217,8 +233,29 @@ type SnapshotView struct {
 	Groups          []GroupSnap     `json:"hb_groups"`
 	Integrity       stats.Integrity `json:"integrity"`
 	Net             NetSnap         `json:"net"`
+	Repl            ReplView        `json:"repl"`
 	SlowThresholdNs int64           `json:"slow_threshold_ns"`
 	SlowOps         []SlowOp        `json:"slow_ops"`
+}
+
+// ReplView is the JSON shape of the replication block (role named).
+type ReplView struct {
+	Role            string `json:"role"`
+	Epoch           uint64 `json:"epoch"`
+	TailPos         uint64 `json:"tail_pos"`
+	AppliedPos      uint64 `json:"applied_pos"`
+	Followers       uint64 `json:"followers"`
+	LagBatches      uint64 `json:"lag_batches"`
+	LagBytes        uint64 `json:"lag_bytes"`
+	BatchesShipped  uint64 `json:"batches_shipped"`
+	BytesShipped    uint64 `json:"bytes_shipped"`
+	BatchesApplied  uint64 `json:"batches_applied"`
+	EntriesApplied  uint64 `json:"entries_applied"`
+	SnapshotsServed uint64 `json:"snapshots_served"`
+	SnapshotsLoaded uint64 `json:"snapshots_loaded"`
+	SyncTimeouts    uint64 `json:"sync_timeouts"`
+	Demotions       uint64 `json:"demotions"`
+	PrimaryAddr     string `json:"primary_addr,omitempty"`
 }
 
 // View builds the JSON-friendly form of the snapshot.
@@ -233,6 +270,24 @@ func (s *Snapshot) View() SnapshotView {
 		HugeChunks: s.HugeChunks, Classes: s.Classes, Groups: s.Groups,
 		Integrity: s.Integrity, Net: s.Net,
 		SlowThresholdNs: s.SlowThresholdNs, SlowOps: s.SlowOps,
+		Repl: ReplView{
+			Role:            ReplRoleName(s.Repl.Role),
+			Epoch:           s.Repl.Epoch,
+			TailPos:         s.Repl.TailPos,
+			AppliedPos:      s.Repl.AppliedPos,
+			Followers:       s.Repl.Followers,
+			LagBatches:      s.Repl.LagBatches,
+			LagBytes:        s.Repl.LagBytes,
+			BatchesShipped:  s.Repl.BatchesShipped,
+			BytesShipped:    s.Repl.BytesShipped,
+			BatchesApplied:  s.Repl.BatchesApplied,
+			EntriesApplied:  s.Repl.EntriesApplied,
+			SnapshotsServed: s.Repl.SnapshotsServed,
+			SnapshotsLoaded: s.Repl.SnapshotsLoaded,
+			SyncTimeouts:    s.Repl.SyncTimeouts,
+			Demotions:       s.Repl.Demotions,
+			PrimaryAddr:     s.Repl.PrimaryAddr,
+		},
 	}
 	for k := 0; k < NumOps; k++ {
 		v.Ops = append(v.Ops, OpView{

@@ -11,9 +11,10 @@ import (
 // by the magic): the payload of the tcp stats op. Histograms use the
 // sparse stats.AppendBinary encoding, so an idle store's snapshot is a
 // few hundred bytes.
-// OBS2 appended the pipelined-protocol Net counters; an OBS1 peer is
-// rejected rather than mis-decoded (fixed field order, no tags).
-const snapMagic uint32 = 0x4F425332 // "OBS2"
+// OBS2 appended the pipelined-protocol Net counters; OBS3 appended the
+// replication block. An older peer is rejected rather than mis-decoded
+// (fixed field order, no tags).
+const snapMagic uint32 = 0x4F425333 // "OBS3"
 
 // Marshal encodes the snapshot for the stats wire op.
 func (s *Snapshot) Marshal() []byte {
@@ -68,6 +69,17 @@ func (s *Snapshot) Marshal() []byte {
 			b = binary.LittleEndian.AppendUint64(b, uint64(t))
 		}
 	}
+	for _, w := range []uint64{
+		uint64(s.Repl.Role), s.Repl.Epoch, s.Repl.TailPos, s.Repl.AppliedPos,
+		s.Repl.Followers, s.Repl.LagBatches, s.Repl.LagBytes,
+		s.Repl.BatchesShipped, s.Repl.BytesShipped, s.Repl.BatchesApplied,
+		s.Repl.EntriesApplied, s.Repl.SnapshotsServed, s.Repl.SnapshotsLoaded,
+		s.Repl.SyncTimeouts, s.Repl.Demotions,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Repl.PrimaryAddr)))
+	b = append(b, s.Repl.PrimaryAddr...)
 	return b
 }
 
@@ -176,5 +188,24 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 			int64(u64()), int64(u64()), int64(u64()), int64(u64()), int64(u64())
 		s.SlowOps = append(s.SlowOps, so)
 	}
+	if !need(15*8 + 4) {
+		return nil, errShort
+	}
+	s.Repl.Role = uint8(u64())
+	for _, p := range []*uint64{
+		&s.Repl.Epoch, &s.Repl.TailPos, &s.Repl.AppliedPos,
+		&s.Repl.Followers, &s.Repl.LagBatches, &s.Repl.LagBytes,
+		&s.Repl.BatchesShipped, &s.Repl.BytesShipped, &s.Repl.BatchesApplied,
+		&s.Repl.EntriesApplied, &s.Repl.SnapshotsServed, &s.Repl.SnapshotsLoaded,
+		&s.Repl.SyncTimeouts, &s.Repl.Demotions,
+	} {
+		*p = u64()
+	}
+	n = int(u32())
+	if n < 0 || !need(n) {
+		return nil, errShort
+	}
+	s.Repl.PrimaryAddr = string(b[pos : pos+n])
+	pos += n
 	return s, nil
 }

@@ -324,6 +324,49 @@ type NetSnap struct {
 	InFlightPeak    int64
 }
 
+// Replication roles as rendered in snapshots.
+const (
+	ReplRoleNone     = 0 // replication not configured
+	ReplRolePrimary  = 1
+	ReplRoleFollower = 2
+)
+
+// ReplRoleName names a replication role for rendering.
+func ReplRoleName(r uint8) string {
+	switch r {
+	case ReplRolePrimary:
+		return "primary"
+	case ReplRoleFollower:
+		return "follower"
+	}
+	return "none"
+}
+
+// ReplSnap is the replication controller's view: role, epoch, stream
+// positions, and the ship/apply counters. Filled by the repl node when
+// one is attached; zero otherwise.
+type ReplSnap struct {
+	Role       uint8  // ReplRole*
+	Epoch      uint64 // current fencing epoch
+	TailPos    uint64 // newest sealed batch position (primary) / highest seen
+	AppliedPos uint64 // newest batch applied locally (follower) or acked tail
+	Followers  uint64 // connected followers (primary)
+	LagBatches uint64 // tail - slowest connected follower ack (primary), or
+	// tail - applied (follower)
+	LagBytes uint64 // same lag measured in stream bytes (history window)
+
+	BatchesShipped  uint64 // batches entered into the stream (primary)
+	BytesShipped    uint64 // encoded stream bytes entered (primary)
+	BatchesApplied  uint64 // batches applied from the stream (follower)
+	EntriesApplied  uint64 // entries applied from the stream (follower)
+	SnapshotsServed uint64 // bootstrap snapshots served (primary)
+	SnapshotsLoaded uint64 // bootstrap snapshots applied (follower)
+	SyncTimeouts    uint64 // acks released by timeout instead of follower ack
+	Demotions       uint64 // times this node fenced itself (saw a higher epoch)
+
+	PrimaryAddr string // serve address of the known primary ("" if unknown)
+}
+
 // Snapshot is a merged moment-in-time view of the whole registry, plus
 // the store-level state (keys, allocator, integrity, groups, transport)
 // the store fills in. It is plain data and travels over the stats wire
@@ -352,6 +395,7 @@ type Snapshot struct {
 	Groups          []GroupSnap
 	Integrity       stats.Integrity
 	Net             NetSnap
+	Repl            ReplSnap
 	SlowThresholdNs int64
 	SlowOps         []SlowOp // oldest first, merged across cores
 }

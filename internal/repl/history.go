@@ -1,0 +1,60 @@
+package repl
+
+// history is the byte-capped in-memory deque of encoded batch bodies
+// every node keeps: the primary serves follower fetches from it, and a
+// follower keeps one too so that, once promoted, it can serve its peers
+// incrementally instead of forcing snapshots. Positions are contiguous:
+// batches[i] holds position lo+i.
+type history struct {
+	lo       uint64 // position of batches[0] (meaningful when len > 0)
+	batches  [][]byte
+	bytes    int64
+	maxBytes int64
+}
+
+func newHistory(maxBytes int64) *history {
+	return &history{maxBytes: maxBytes}
+}
+
+// push appends the body for pos, which must be the successor of the last
+// pushed position, evicting from the front past the byte cap. At least
+// one batch is always retained, however large.
+func (h *history) push(pos uint64, body []byte) {
+	if len(h.batches) == 0 {
+		h.lo = pos
+	}
+	h.batches = append(h.batches, body)
+	h.bytes += int64(len(body))
+	for len(h.batches) > 1 && h.bytes > h.maxBytes {
+		h.bytes -= int64(len(h.batches[0]))
+		h.batches[0] = nil
+		h.batches = h.batches[1:]
+		h.lo++
+	}
+}
+
+// get returns the body for pos, if still retained.
+func (h *history) get(pos uint64) ([]byte, bool) {
+	if len(h.batches) == 0 || pos < h.lo || pos >= h.lo+uint64(len(h.batches)) {
+		return nil, false
+	}
+	return h.batches[pos-h.lo], true
+}
+
+// has reports whether pos is servable from the buffer.
+func (h *history) has(pos uint64) bool {
+	_, ok := h.get(pos)
+	return ok
+}
+
+// bytesSince sums the bodies with position > ack — the byte lag of a
+// follower acked up to ack.
+func (h *history) bytesSince(ack uint64) uint64 {
+	var sum uint64
+	for i, b := range h.batches {
+		if h.lo+uint64(i) > ack {
+			sum += uint64(len(b))
+		}
+	}
+	return sum
+}

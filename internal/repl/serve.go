@@ -1,0 +1,288 @@
+package repl
+
+import (
+	"bufio"
+	"net"
+	"time"
+
+	"flatstore/internal/obs"
+	"flatstore/internal/tcp"
+)
+
+// Serve-side timeouts: a peer that neither fetches nor reads for these
+// long is reaped. The read bound must comfortably exceed the longest
+// fetch long-poll a follower may ask for.
+const (
+	serveReadTimeout  = 60 * time.Second
+	serveWriteTimeout = 10 * time.Second
+)
+
+// acceptLoop runs the replication listener: every node serves fetches
+// from its history buffer, so a freshly promoted follower can feed its
+// peers without any topology change beyond SetPrimary.
+func (n *Node) acceptLoop(lis net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.wg.Add(1)
+		n.mu.Unlock()
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn speaks the fetch protocol with one follower: hello, then a
+// fetch/respond loop with long-polling, snapshots for empty joiners, and
+// epoch fencing.
+func (n *Node) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	send := func(payload []byte) bool {
+		conn.SetWriteDeadline(time.Now().Add(serveWriteTimeout))
+		if err := tcp.WriteFrame(bw, payload); err != nil {
+			return false
+		}
+		return bw.Flush() == nil
+	}
+
+	conn.SetReadDeadline(time.Now().Add(serveReadTimeout))
+	frame, err := tcp.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	peerEpoch, _, peerAddr, err := decodeHelloFrame(frame)
+	if err != nil {
+		return
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	// Fencing at the front door: a peer from a later epoch proves this
+	// node was deposed while partitioned — step down before answering.
+	if peerEpoch > n.epoch {
+		n.demoteLocked(peerEpoch)
+		epoch := n.epoch
+		n.mu.Unlock()
+		send(appendStale(nil, epoch))
+		return
+	}
+	f := &fetcher{addr: peerAddr}
+	n.fetchers[f] = struct{}{}
+	epoch, tail := n.epoch, n.pos
+	serveAddr := n.cfg.ServeAddr
+	n.bump() // a semi-sync waiter may now have a quorum candidate
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.fetchers, f)
+		n.bump()
+		n.mu.Unlock()
+	}()
+
+	if !send(appendHelloOK(nil, epoch, tail, serveAddr)) {
+		return
+	}
+
+	var enc []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(serveReadTimeout))
+		frame, err := tcp.ReadFrame(br)
+		if err != nil {
+			return
+		}
+		peerEpoch, peerPos, maxWaitMs, err := decodeFetch(frame)
+		if err != nil {
+			return
+		}
+
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		if peerEpoch > n.epoch {
+			n.demoteLocked(peerEpoch)
+			epoch := n.epoch
+			n.mu.Unlock()
+			send(appendStale(nil, epoch))
+			return
+		}
+		// The fetch acks everything ≤ peerPos for semi-sync counting.
+		if peerPos > f.ack {
+			f.ack = peerPos
+			n.bump()
+		}
+		if peerPos > n.pos {
+			// The peer is ahead of this stream: it applied batches this
+			// node never shipped (a divergent fork). Unrecoverable here.
+			n.mu.Unlock()
+			send([]byte{rReset})
+			return
+		}
+		wantSnap := peerPos == 0 && n.pos > 0 && !n.hist.has(1)
+		canServe := peerPos == n.pos || n.hist.has(peerPos+1)
+		epoch = n.epoch
+		n.mu.Unlock()
+
+		switch {
+		case wantSnap:
+			if !n.serveSnapshot(send, epoch) {
+				return
+			}
+		case !canServe:
+			// Fell off the history buffer and is not empty: a snapshot
+			// cannot subtract what the peer saw and we since deleted.
+			send([]byte{rReset})
+			return
+		default:
+			enc = n.serveBatches(send, enc, f, peerPos, maxWaitMs)
+			if enc == nil {
+				return
+			}
+		}
+	}
+}
+
+// serveBatches answers one fetch: it waits up to maxWaitMs for anything
+// past peerPos, then streams what the history holds (bounded per
+// response), or an empty heartbeat. Returns nil when the connection
+// should die (reuses enc as scratch otherwise).
+func (n *Node) serveBatches(send func([]byte) bool, enc []byte, f *fetcher, peerPos uint64, maxWaitMs uint32) []byte {
+	wait := time.Duration(maxWaitMs) * time.Millisecond
+	if wait > serveReadTimeout/2 {
+		wait = serveReadTimeout / 2
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return nil
+		}
+		epoch, tail := n.epoch, n.pos
+		if tail > peerPos {
+			// Batches are ready: collect from peerPos+1 while they fit.
+			count := uint32(0)
+			enc = enc[:0]
+			bodies := 0
+			for p := peerPos + 1; p <= tail; p++ {
+				body, ok := n.hist.get(p)
+				if !ok || (bodies > 0 && len(enc)+len(body) > respSoftBytes) {
+					break
+				}
+				if count == 0 {
+					enc = appendBatchesHeader(enc, epoch, tail, 0)
+				}
+				enc = append(enc, body...)
+				count++
+				bodies += len(body)
+			}
+			n.mu.Unlock()
+			if count == 0 {
+				// Evicted between the has() check and here; peer must
+				// reset (non-empty) — handled on its next fetch.
+				if !send(appendBatchesHeader(enc[:0], epoch, tail, 0)) {
+					return nil
+				}
+				return enc
+			}
+			patchBatchesCount(enc, count)
+			if !send(enc) {
+				return nil
+			}
+			return enc
+		}
+		ch := n.notify
+		n.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			// Heartbeat: nothing new within the poll window.
+			enc = appendBatchesHeader(enc[:0], epoch, tail, 0)
+			if !send(enc) {
+				return nil
+			}
+			return enc
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// serveSnapshot bootstraps an empty follower: quiesce the apply
+// pipeline, fix the snapshot position, and stream every live key. The
+// follower resumes incremental fetching from snapPos.
+func (n *Node) serveSnapshot(send func([]byte) bool, epoch uint64) bool {
+	// Order matters: read the position BEFORE quiescing. Batches sealed
+	// after snapPos may also be reflected in the capture; the follower
+	// refetches them and its version gate drops the duplicates.
+	n.mu.Lock()
+	snapPos := n.pos
+	n.mu.Unlock()
+	if n.Role() == obs.ReplRolePrimary {
+		if err := n.st.ReplQuiesce(n.cfg.QuiesceTimeout); err != nil {
+			return false // overloaded; follower retries
+		}
+	}
+	if !send(appendSnapBegin(nil, epoch, snapPos)) {
+		return false
+	}
+	var se snapEnc
+	ok := true
+	err := n.st.CaptureReplSnapshot(func(key uint64, ver uint32, val []byte) error {
+		se.add(key, ver, val)
+		if se.full() {
+			if !send(se.take()) {
+				ok = false
+				return errShortFrame // any error aborts the capture
+			}
+		}
+		return nil
+	})
+	if err != nil || !ok {
+		return false
+	}
+	if chunk := se.take(); chunk != nil {
+		if !send(chunk) {
+			return false
+		}
+	}
+	if !send([]byte{rSnapEnd}) {
+		return false
+	}
+	n.snapshotsServed.Add(1)
+	return true
+}
+
+// patchBatchesCount rewrites the count field of an rBatches frame.
+func patchBatchesCount(b []byte, count uint32) {
+	b[17] = byte(count)
+	b[18] = byte(count >> 8)
+	b[19] = byte(count >> 16)
+	b[20] = byte(count >> 24)
+}

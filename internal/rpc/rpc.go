@@ -46,6 +46,11 @@ const (
 	// the key may well have existed. A successful Put or Delete of the key
 	// clears the quarantine.
 	StatusCorrupt
+	// StatusNotPrimary redirects a write sent to a read replica: the op
+	// was NOT applied, and the response value carries the serve address
+	// of the current primary (empty if unknown). Clients re-dial and
+	// retry there.
+	StatusNotPrimary
 )
 
 // Request is one client message. Value aliases the client's buffer until

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,18 +30,26 @@ import (
 // keeps its id across attempts and the server dedups (session, id), so a
 // replayed Put/Delete is applied and acknowledged exactly once.
 type Client struct {
-	addr    string
-	opts    Options
-	session uint64 // random identity the server keys write-dedup on
+	opts Options
 
 	rngMu sync.Mutex
 	rng   *rand.Rand // backoff jitter
 
-	mu     sync.Mutex
-	conn   *clientConn // current connection; nil while down
-	cores  int         // from the latest handshake
-	nextID uint64
-	closed bool
+	mu      sync.Mutex
+	addrs   []string // candidate servers; addrIdx is the one dials target
+	addrIdx int
+	// sessions maps server identity (the handshake's serverID) to the
+	// dedup session this client uses against it. One session per
+	// identity, minted on first contact: ids spent against one server
+	// are never replayed under the same session against a different
+	// instance, whose dedup table knows nothing of them (a reused
+	// (session, id) pair there would alias an unrelated op).
+	sessions map[uint64]uint64
+	session  uint64      // session in use on the current connection
+	conn     *clientConn // current connection; nil while down
+	cores    int         // from the latest handshake
+	nextID   uint64
+	closed   bool
 
 	dialMu sync.Mutex // serializes reconnect attempts
 
@@ -82,20 +91,28 @@ func DialOptions(addr string, o Options) (*Client, error) {
 	return DialContext(context.Background(), addr, o)
 }
 
-// DialContext connects to a FlatStore TCP server. The initial connect is
+// DialContext connects to a FlatStore TCP server. addr may be a
+// comma-separated list of candidates (a replicated cluster): the client
+// talks to one at a time, rotating on connect failure and re-pointing
+// when a server redirects it to the primary. The initial connect is
 // retried within o.MaxAttempts (a flaky network may eat the first
 // handshake), each attempt bounded by o.DialTimeout and ctx.
 func DialContext(ctx context.Context, addr string, o Options) (*Client, error) {
-	var sb [8]byte
-	if _, err := crand.Read(sb[:]); err != nil {
-		binary.LittleEndian.PutUint64(sb[:], uint64(time.Now().UnixNano()))
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("tcp: no server address")
 	}
 	c := &Client{
-		addr:    addr,
-		opts:    o.withDefaults(),
-		session: binary.LittleEndian.Uint64(sb[:]),
+		addrs:    addrs,
+		opts:     o.withDefaults(),
+		sessions: map[uint64]uint64{},
 	}
-	c.rng = newRNG(c.session)
+	c.rng = newRNG(mintSession())
 	c.win = make(chan struct{}, c.opts.Window)
 	c.closedCh = make(chan struct{})
 	c.comp = map[*Ticket]struct{}{}
@@ -124,8 +141,80 @@ func (c *Client) Cores() int {
 	return c.cores
 }
 
-// Session returns the client's wire identity (the write-dedup key).
-func (c *Client) Session() uint64 { return c.session }
+// Session returns the wire identity (the write-dedup key) the client
+// used on its most recent handshake. Sessions are scoped per server
+// instance, so the value changes when the client moves to a server it
+// has not met before.
+func (c *Client) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// mintSession draws a random u64 identity.
+func mintSession() uint64 {
+	var sb [8]byte
+	if _, err := crand.Read(sb[:]); err != nil {
+		binary.LittleEndian.PutUint64(sb[:], uint64(time.Now().UnixNano()))
+	}
+	return binary.LittleEndian.Uint64(sb[:])
+}
+
+// sessionFor returns the session to use against the given server
+// identity, minting (and remembering) one on first contact.
+func (c *Client) sessionFor(serverID uint64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.sessions[serverID]; ok {
+		return s
+	}
+	s := mintSession()
+	c.sessions[serverID] = s
+	return s
+}
+
+// currentAddr is the dial target of the moment.
+func (c *Client) currentAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addrs[c.addrIdx]
+}
+
+// addrList renders the candidate set for error messages.
+func (c *Client) addrList() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return strings.Join(c.addrs, ",")
+}
+
+// rotateAddr moves to the next candidate after a connect failure.
+func (c *Client) rotateAddr() {
+	c.mu.Lock()
+	c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+	c.mu.Unlock()
+}
+
+// retarget re-points the client at addr (learned from a NotPrimary
+// redirect), adding it to the candidate set if new. An empty addr means
+// the redirecting server does not know the primary yet; the client just
+// rotates and lets the retry loop probe the other candidates.
+func (c *Client) retarget(addr string) {
+	if addr == "" {
+		c.rotateAddr()
+		return
+	}
+	c.mu.Lock()
+	for i, a := range c.addrs {
+		if a == addr {
+			c.addrIdx = i
+			c.mu.Unlock()
+			return
+		}
+	}
+	c.addrs = append(c.addrs, addr)
+	c.addrIdx = len(c.addrs) - 1
+	c.mu.Unlock()
+}
 
 // Close tears the connection down and joins the background reader;
 // in-flight calls fail with ErrClosed.
@@ -175,6 +264,10 @@ func (c *Client) connection(ctx context.Context) (*clientConn, error) {
 	}
 	cc, cores, err := c.dialConn(ctx)
 	if err != nil {
+		// Move on to the next candidate: a dead or unreachable server
+		// should not absorb the whole retry budget when a peer may be
+		// serving (the failover case).
+		c.rotateAddr()
 		return nil, err
 	}
 	c.mu.Lock()
@@ -212,7 +305,7 @@ func (c *Client) dialConn(ctx context.Context) (*clientConn, int, error) {
 	if c.opts.DialTimeout > 0 {
 		d.Timeout = c.opts.DialTimeout
 	}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	conn, err := d.DialContext(ctx, "tcp", c.currentAddr())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -231,7 +324,7 @@ func (c *Client) dialConn(ctx context.Context) (*clientConn, int, error) {
 	}
 	br := bufio.NewReaderSize(conn, 64<<10)
 	hs, err := readFrame(br)
-	if err != nil || len(hs) != 12 {
+	if err != nil || len(hs) != 20 {
 		conn.Close()
 		return nil, 0, fmt.Errorf("tcp: bad handshake: %v", err)
 	}
@@ -240,8 +333,10 @@ func (c *Client) dialConn(ctx context.Context) (*clientConn, int, error) {
 		return nil, 0, errors.New("tcp: not a FlatStore server (or wire protocol mismatch)")
 	}
 	cores := int(binary.LittleEndian.Uint32(hs[8:]))
+	serverID := binary.LittleEndian.Uint64(hs[12:])
+	session := c.sessionFor(serverID)
 	bw := bufio.NewWriterSize(conn, 64<<10)
-	if err := writeFrame(bw, encodeHello(c.session)); err == nil {
+	if err := writeFrame(bw, encodeHello(session)); err == nil {
 		err = bw.Flush()
 	} else {
 		bw.Flush()
@@ -251,6 +346,9 @@ func (c *Client) dialConn(ctx context.Context) (*clientConn, int, error) {
 		return nil, 0, fmt.Errorf("tcp: hello: %w", err)
 	}
 	conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	c.session = session
+	c.mu.Unlock()
 	cc := &clientConn{
 		c:          conn,
 		bw:         bw,
@@ -421,6 +519,8 @@ const (
 	statusNotFound
 	statusError
 	statusBusy
+	statusCorrupt
+	statusNotPrimary // write sent to a replica; value = primary's address
 )
 
 // route picks the owning core for a key.

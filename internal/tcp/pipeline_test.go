@@ -99,6 +99,7 @@ func stallServer(t *testing.T, release chan struct{}) string {
 		var hs []byte
 		hs = binary.LittleEndian.AppendUint64(hs, wireMagic)
 		hs = binary.LittleEndian.AppendUint32(hs, 1)
+		hs = binary.LittleEndian.AppendUint64(hs, 0xFAFE) // server identity
 		if writeFrame(bw, hs) != nil || bw.Flush() != nil {
 			return
 		}

@@ -39,14 +39,18 @@ import (
 // single-bit and burst-≤32 errors).
 //
 // Handshake (server → client on connect):
-//	u64 magic, u32 cores
+//	u64 magic, u32 cores, u64 serverID
 //
 // Hello (client → server, immediately after the handshake):
 //	u64 magic, u64 session
 //
 // The session id names the client across reconnects: the server keys its
 // write-dedup table on it, so a Put/Delete replayed by the client's retry
-// path after a reconnect is acknowledged exactly once.
+// path after a reconnect is acknowledged exactly once. The serverID names
+// the server *instance*: the client mints a distinct session per server
+// identity it meets, so a (session, id) dedup pair established against
+// one server is never replayed against a different one (whose table knows
+// nothing of it) after a redirect or failover.
 //
 // Request:
 //	u8 op, u32 core, u64 id, u64 key, u64 scanHi, u32 limit,
@@ -65,9 +69,10 @@ import (
 //	u32 npairs, npairs × (u64 key, u32 vlen, vlen bytes)
 //
 // The magic's low bits version the protocol; v1 (…0001) had no frame
-// checksum and no hello, so a v1 peer is rejected at the handshake.
+// checksum and no hello, v2 (…0002) no server identity in the handshake.
+// An older peer is rejected at the handshake.
 const (
-	wireMagic uint64 = 0xF1A7_7C9_0000_0002
+	wireMagic uint64 = 0xF1A7_7C9_0000_0003
 
 	// maxFrame bounds a single frame (a 4 MB value plus headroom).
 	maxFrame = 8 << 20
@@ -158,6 +163,22 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 	}
 	return payload, nil
 }
+
+// WriteFrame frames payload onto w (length prefix + CRC32C trailer) —
+// the exported form for sibling transports (the replication stream) that
+// reuse this framing.
+func WriteFrame(w *bufio.Writer, payload []byte) error {
+	return writeFrame(w, payload)
+}
+
+// ReadFrame reads and verifies one frame from r (see WriteFrame).
+func ReadFrame(r *bufio.Reader) ([]byte, error) {
+	return readFrame(r)
+}
+
+// IsCRCError reports whether err is the frame-checksum failure, after
+// which a stream's framing cannot be trusted.
+func IsCRCError(err error) bool { return errors.Is(err, errCRC) }
 
 // readFrameBuf is readFrame into a pooled buffer: the returned payload is
 // backed by bufpool and the caller owns it — it must go back via

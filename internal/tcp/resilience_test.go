@@ -56,7 +56,7 @@ func dialRaw(t *testing.T, addr string, session uint64) *rawConn {
 	t.Cleanup(func() { c.Close() })
 	r := &rawConn{t: t, c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
 	hs, err := readFrame(r.br)
-	if err != nil || len(hs) != 12 || binary.LittleEndian.Uint64(hs) != wireMagic {
+	if err != nil || len(hs) != 20 || binary.LittleEndian.Uint64(hs) != wireMagic {
 		t.Fatalf("handshake: %v (%d bytes)", err, len(hs))
 	}
 	if err := writeFrame(r.bw, encodeHello(session)); err != nil {

@@ -77,6 +77,10 @@ var ErrTimeout = errors.New("tcp: request timed out")
 // whole retry budget.
 var ErrBusy = errors.New("tcp: server busy")
 
+// ErrNotPrimary reports a write that kept landing on read replicas for
+// the whole retry budget (the cluster had no reachable primary).
+var ErrNotPrimary = errors.New("tcp: no reachable primary")
+
 // backoff returns the sleep before attempt n (n ≥ 1): full jitter over
 // an exponentially growing cap, so a thundering herd of retriers
 // decorrelates instead of re-colliding.
@@ -145,6 +149,21 @@ func (c *Client) call(ctx context.Context, q request) (response, error) {
 				return response{}, err
 			}
 			lastErr = err
+			continue
+		}
+		if rs.status == statusNotPrimary {
+			// Redirect: this server is a read replica and did NOT apply
+			// the op. Re-point at the primary it named (or the next
+			// candidate if it doesn't know one) and replay there — the
+			// id is stable, but the dedup session is per server
+			// identity, so the replay cannot alias state on the old
+			// node.
+			lastErr = ErrNotPrimary
+			c.retarget(string(rs.value))
+			c.dropConn(cc, ErrNotPrimary)
+			if err := ctx.Err(); err != nil {
+				return response{}, fmt.Errorf("tcp: request %d: %w (last error: %v)", q.id, err, lastErr)
+			}
 			continue
 		}
 		if rs.status == statusBusy {

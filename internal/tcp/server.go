@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"bufio"
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"net"
@@ -98,6 +99,20 @@ type ServerStats struct {
 	InFlightPeak    int64  // high-water mark of InFlight (observed pipelining depth)
 }
 
+// ReplGate is the replication hook the server consults on the write
+// path and in Metrics. Implemented by repl.Node; nil means standalone
+// (every write allowed, no replication section in the snapshot).
+type ReplGate interface {
+	// AllowWrite reports whether this node currently accepts writes
+	// (it is the primary, or replication is not configured).
+	AllowWrite() bool
+	// PrimaryAddr is the serve address of the current primary ("" when
+	// unknown), carried in StatusNotPrimary redirects.
+	PrimaryAddr() string
+	// Snap reports the replication state and counters for metrics.
+	Snap() obs.ReplSnap
+}
+
 // Server bridges TCP connections onto a running store's FlatRPC
 // transport: each connection becomes one in-process RPC client, so the
 // engine sees network clients exactly like local ones (same per-core
@@ -105,6 +120,10 @@ type ServerStats struct {
 type Server struct {
 	st   *core.Store
 	opts ServerOptions
+	id   uint64 // instance identity, sent in the handshake
+
+	replMu sync.RWMutex
+	repl   ReplGate
 
 	inflight  atomic.Int64 // global unanswered requests
 	shed      atomic.Uint64
@@ -138,9 +157,37 @@ func NewServerOptions(st *core.Store, o ServerOptions) *Server {
 	return &Server{
 		st:    st,
 		opts:  o,
+		id:    mintServerID(),
 		dedup: newDedupTable(o.MaxSessions, o.DedupWindow),
 		conns: map[net.Conn]struct{}{},
 	}
+}
+
+// mintServerID draws the random identity the handshake advertises. A
+// fresh one per Server is what makes a client's dedup sessions unusable
+// against the wrong instance: the id never repeats across restarts, so
+// a reconnect to a recycled address cannot resume a stale session.
+func mintServerID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		panic("tcp: no entropy for server id: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// SetRepl installs the replication gate. Call before Serve; a nil gate
+// (the default) means standalone operation.
+func (s *Server) SetRepl(g ReplGate) {
+	s.replMu.Lock()
+	s.repl = g
+	s.replMu.Unlock()
+}
+
+func (s *Server) replGate() ReplGate {
+	s.replMu.RLock()
+	g := s.repl
+	s.replMu.RUnlock()
+	return g
 }
 
 // Stats snapshots the server's resilience counters.
@@ -188,6 +235,9 @@ func (s *Server) Metrics() obs.Snapshot {
 	snap.Net.RespFlushes = ts.RespFlushes
 	snap.Net.RespWritten = ts.RespWritten
 	snap.Net.InFlightPeak = ts.InFlightPeak
+	if g := s.replGate(); g != nil {
+		snap.Repl = g.Snap()
+	}
 	return snap
 }
 
@@ -296,13 +346,15 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 
-	// Handshake: magic + core count, so the client can route by key.
-	// Bounded by the handshake deadline, as is the hello the client
-	// must answer with — a mute or byzantine peer is cut off here.
+	// Handshake: magic + core count (so the client can route by key) +
+	// server identity (so the client scopes its dedup session to this
+	// instance). Bounded by the handshake deadline, as is the hello the
+	// client must answer with — a mute or byzantine peer is cut off here.
 	conn.SetDeadline(time.Now().Add(s.opts.HandshakeTimeout))
 	var hs []byte
 	hs = binary.LittleEndian.AppendUint64(hs, wireMagic)
 	hs = binary.LittleEndian.AppendUint32(hs, uint32(s.st.Cores()))
+	hs = binary.LittleEndian.AppendUint64(hs, s.id)
 	if err := writeFrame(bw, hs); err != nil {
 		return
 	}
@@ -478,10 +530,22 @@ func (s *Server) handle(conn net.Conn) {
 			return rpc.Request{}, 0, false
 		}
 
+		isWrite := q.op == opPut || q.op == opDelete
+
+		// Read-replica redirect: a follower refuses writes BEFORE the
+		// dedup begin, so no session state is created for an op this
+		// node will never apply — the client retries it, under the same
+		// id, against the primary the response names.
+		if isWrite {
+			if g := s.replGate(); g != nil && !g.AllowWrite() {
+				lq.push(response{id: q.id, status: statusNotPrimary, value: []byte(g.PrimaryAddr())})
+				return rpc.Request{}, 0, false
+			}
+		}
+
 		// Write replay dedup (exactly-once ack for the retry path) —
 		// batch sub-ops carry individual ids, so a partially applied
 		// multi-op frame replays correctly op by op.
-		isWrite := q.op == opPut || q.op == opDelete
 		if isWrite {
 			status, state := sess.begin(q.id)
 			switch state {
