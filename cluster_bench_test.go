@@ -1,0 +1,209 @@
+// Sharded-cluster throughput benchmarks: N real stores behind real TCP
+// servers with shard gates, driven through the cluster fan-out client's
+// pipelined async API. The tracked metric is the same-run scaling
+// ratio — aggregate Put throughput of 3 shard groups vs 1 — so the gate
+// holds on any host: absolute ops/sec depend on the machine, but the
+// fan-out must buy at least 2x.
+//
+// Run directly:
+//
+//	go test -run '^$' -bench 'ClusterPut' -benchtime=2000x .
+//
+// or emit/check the BENCH_cluster.json snapshot:
+//
+//	FLATSTORE_CLUSTER_JSON=BENCH_cluster.json go test -run TestClusterBenchJSON .
+package flatstore
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"os"
+	"runtime"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/cluster"
+	"flatstore/internal/core"
+	"flatstore/internal/tcp"
+)
+
+// clusterBenchDepth is the per-shard-group pipeline window. Shallow on
+// purpose: the single-shard baseline should be window-limited, so the
+// 3-shard point shows the fan-out scaling the aggregate window (and, on
+// multi-core hosts, the servers running in parallel).
+const clusterBenchDepth = 4
+
+// startBenchShardCluster spins n one-node shard groups sharing one map
+// and returns the cluster spec plus a stop function.
+func startBenchShardCluster(tb testing.TB, n int) (spec string, stop func()) {
+	tb.Helper()
+	type member struct {
+		st  *core.Store
+		srv *tcp.Server
+	}
+	var members []member
+	shards := make([]cluster.Shard, 0, n)
+	stop = func() {
+		for _, m := range members {
+			m.srv.Close()
+			m.st.Stop()
+		}
+	}
+	for i := 0; i < n; i++ {
+		st, err := core.New(core.Config{
+			Cores: 2, Mode: batch.ModePipelinedHB, ArenaChunks: 128,
+		})
+		if err != nil {
+			stop()
+			tb.Fatal(err)
+		}
+		st.Run()
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.Stop()
+			stop()
+			tb.Fatal(err)
+		}
+		srv := tcp.NewServer(st)
+		go srv.Serve(lis)
+		members = append(members, member{st: st, srv: srv})
+		shards = append(shards, cluster.Shard{ID: i, Addrs: []string{lis.Addr().String()}})
+	}
+	m, err := cluster.NewMap(1, shards, 0)
+	if err != nil {
+		stop()
+		tb.Fatal(err)
+	}
+	for i := range members {
+		gate, err := cluster.NewGate(m, i)
+		if err != nil {
+			stop()
+			tb.Fatal(err)
+		}
+		members[i].srv.SetShard(gate)
+	}
+	return m.Spec(), stop
+}
+
+// benchClusterPut measures aggregate pipelined Put throughput over n
+// shard groups at the fixed per-group window.
+func benchClusterPut(b *testing.B, n int) {
+	spec, stop := startBenchShardCluster(b, n)
+	defer stop()
+	cl, err := cluster.Dial(spec, cluster.ClientOptions{TCP: tcp.Options{Window: clusterBenchDepth}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	drain := func() {
+		for _, tk := range cl.Poll(0) {
+			if err := tk.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	submit := func(i int) {
+		if _, err := cl.SubmitPut(ctx, uint64(i%benchHotKeys), benchValue); err != nil {
+			b.Fatal(err)
+		}
+		drain()
+	}
+	for i := 0; i < clusterBenchDepth*4*n; i++ {
+		submit(i)
+	}
+	for cl.InFlight() > 0 {
+		runtime.Gosched()
+	}
+	drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		submit(i)
+	}
+	for cl.InFlight() > 0 {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	drain()
+}
+
+func BenchmarkClusterPut1Shard(b *testing.B) { benchClusterPut(b, 1) }
+func BenchmarkClusterPut3Shard(b *testing.B) { benchClusterPut(b, 3) }
+
+// clusterPoint is one measured shard count in BENCH_cluster.json.
+type clusterPoint struct {
+	Shards    int     `json:"shards"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_1_shard"`
+}
+
+// clusterFile is the BENCH_cluster.json layout (flatstore-bench's
+// `cluster -json` emits the same shape).
+type clusterFile struct {
+	Note     string         `json:"note"`
+	Dist     string         `json:"dist"`
+	Points   []clusterPoint `json:"points"`
+	GateNote string         `json:"gate,omitempty"`
+	Emitted  string         `json:"emitted_by,omitempty"`
+}
+
+// TestClusterBenchJSON measures the sharded aggregate Put throughput
+// and gates the same-run scaling ratio: 3 shard groups must deliver at
+// least 2x the single-shard pipelined Put throughput. With
+// FLATSTORE_CLUSTER_JSON=path it also writes the snapshot there.
+// Skipped without FLATSTORE_BENCH_CHECK or FLATSTORE_CLUSTER_JSON set,
+// so plain `go test ./...` stays fast.
+func TestClusterBenchJSON(t *testing.T) {
+	out := os.Getenv("FLATSTORE_CLUSTER_JSON")
+	if out == "" && os.Getenv("FLATSTORE_BENCH_CHECK") == "" {
+		t.Skip("set FLATSTORE_BENCH_CHECK=1 (gate) or FLATSTORE_CLUSTER_JSON=path (emit) to run")
+	}
+	var points []clusterPoint
+	var base float64
+	for _, cfg := range []struct {
+		shards int
+		fn     func(*testing.B)
+	}{
+		{1, BenchmarkClusterPut1Shard},
+		{3, BenchmarkClusterPut3Shard},
+	} {
+		r := testing.Benchmark(cfg.fn)
+		ns := float64(r.NsPerOp())
+		ops := 1e9 / ns
+		if base == 0 {
+			base = ops
+		}
+		points = append(points, clusterPoint{
+			Shards: cfg.shards, Ops: r.N, OpsPerSec: ops, Speedup: ops / base,
+		})
+		t.Logf("%d shard(s): %10.0f ns/op %12.0f aggregate ops/sec (%.2fx)",
+			cfg.shards, ns, ops, ops/base)
+	}
+	ratio := points[len(points)-1].Speedup
+	if ratio < 2 {
+		t.Errorf("cluster scaling gate: 3-shard aggregate Put throughput is %.2fx single-shard, want >= 2x", ratio)
+	}
+
+	if out != "" {
+		f := clusterFile{
+			Note: "Aggregate pipelined Put throughput through the cluster fan-out client " +
+				"(window 4 per shard group); absolute numbers depend on the host, the " +
+				"same-run scaling ratio is the tracked metric.",
+			Dist:   "uniform",
+			Points: points,
+			GateNote: "3-shard aggregate pipelined Put ops/sec must be >= 2x single-shard, " +
+				"measured in the same run",
+			Emitted: "go test -run TestClusterBenchJSON (FLATSTORE_CLUSTER_JSON)",
+		}
+		enc, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

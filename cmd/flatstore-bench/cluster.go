@@ -1,0 +1,198 @@
+package main
+
+// The cluster experiment drives N in-process shard groups — each a real
+// store behind a real TCP server with a shard gate — through the
+// cluster fan-out client's pipelined async API, and reports aggregate
+// Put throughput per shard count. The point is the scaling shape:
+// routing fans the window out over independent shards whose servers
+// batch independently, so aggregate ops/sec should grow near-linearly
+// until the client machine saturates. With -json the measured points
+// land in a BENCH_cluster.json-shaped file.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/cluster"
+	"flatstore/internal/core"
+	"flatstore/internal/stats"
+	"flatstore/internal/tcp"
+	"flatstore/internal/workload"
+)
+
+// keyFn builds the benchmark key stream over a space of keys: uniform
+// round-robin, or zipfian-ranked draws (-dist zipfian -theta 0.99) so
+// the TCP benches can show hot-key skew behavior. Deterministic under a
+// fixed seed either way.
+func keyFn(space uint64) func(i int) uint64 {
+	if cfg.dist == "zipfian" {
+		z := workload.NewZipf(space, cfg.theta)
+		rng := rand.New(rand.NewSource(1))
+		return func(int) uint64 { return z.Next(rng.Float64()) }
+	}
+	return func(i int) uint64 { return uint64(i) % space }
+}
+
+// clusterShardPoint is one measured shard count in the JSON output.
+type clusterShardPoint struct {
+	Shards    int     `json:"shards"`
+	Ops       int     `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_1_shard"`
+}
+
+// clusterBenchFile is the BENCH_cluster.json layout.
+type clusterBenchFile struct {
+	Note     string              `json:"note"`
+	Dist     string              `json:"dist"`
+	Points   []clusterShardPoint `json:"points"`
+	GateNote string              `json:"gate,omitempty"`
+	Emitted  string              `json:"emitted_by,omitempty"`
+}
+
+func clusterBench() {
+	t := stats.NewTable("Sharded cluster aggregate Put throughput (pipelined fan-out client, real loopback transport)",
+		"shards", "ops", "Kops/s", "speedup vs 1 shard")
+	counts := []int{1}
+	if cfg.shards > 1 {
+		counts = append(counts, cfg.shards)
+	}
+	depth := cfg.cbatch
+	if depth < 8 {
+		depth = 8
+	}
+	var base float64
+	var points []clusterShardPoint
+	for _, n := range counts {
+		ops := cfg.ops
+		kops := runClusterShards(n, depth, ops)
+		if base == 0 {
+			base = kops
+		}
+		t.Row(n, ops, kops, kops/base)
+		points = append(points, clusterShardPoint{
+			Shards: n, Ops: ops, OpsPerSec: kops * 1e3, Speedup: kops / base,
+		})
+	}
+	t.Fprint(os.Stdout)
+	if cfg.clusterJSON != "" {
+		f := clusterBenchFile{
+			Note: "Aggregate pipelined Put throughput through the cluster fan-out client; " +
+				"absolute numbers depend on the host, the scaling ratio is the tracked metric.",
+			Dist:    cfg.dist,
+			Points:  points,
+			Emitted: "flatstore-bench cluster -json",
+		}
+		enc, err := json.MarshalIndent(f, "", "  ")
+		check(err)
+		check(os.WriteFile(cfg.clusterJSON, append(enc, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", cfg.clusterJSON)
+	}
+}
+
+// shardServer is one in-process shard group: a store behind a TCP
+// server with a shard gate (a one-node group — the scaling experiment
+// measures sharding, not replication).
+type shardServer struct {
+	st   *core.Store
+	srv  *tcp.Server
+	addr string
+}
+
+// startShardCluster spins n shard servers sharing one map and returns
+// them plus the cluster spec the fan-out client dials.
+func startShardCluster(n, coresPer int) ([]shardServer, string, error) {
+	servers := make([]shardServer, 0, n)
+	shards := make([]cluster.Shard, 0, n)
+	for i := 0; i < n; i++ {
+		st, err := core.New(core.Config{
+			Cores: coresPer, Mode: batch.ModePipelinedHB, ArenaChunks: 128,
+		})
+		if err != nil {
+			return servers, "", err
+		}
+		st.Run()
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.Stop()
+			return servers, "", err
+		}
+		srv := tcp.NewServer(st)
+		go srv.Serve(lis)
+		servers = append(servers, shardServer{st: st, srv: srv, addr: lis.Addr().String()})
+		shards = append(shards, cluster.Shard{ID: i, Addrs: []string{lis.Addr().String()}})
+	}
+	m, err := cluster.NewMap(1, shards, 0)
+	if err != nil {
+		return servers, "", err
+	}
+	for i := range servers {
+		gate, err := cluster.NewGate(m, i)
+		if err != nil {
+			return servers, "", err
+		}
+		servers[i].srv.SetShard(gate)
+	}
+	return servers, m.Spec(), nil
+}
+
+func stopShardCluster(servers []shardServer) {
+	for _, s := range servers {
+		s.srv.Close()
+		s.st.Stop()
+	}
+}
+
+// runClusterShards measures aggregate pipelined Put throughput over n
+// shard groups and returns Kops/s.
+func runClusterShards(n, depth, ops int) float64 {
+	servers, spec, err := startShardCluster(n, 2)
+	if err != nil {
+		stopShardCluster(servers)
+		check(err)
+	}
+	defer stopShardCluster(servers)
+	cl, err := cluster.Dial(spec, cluster.ClientOptions{TCP: tcp.Options{Window: depth}})
+	check(err)
+	defer cl.Close()
+
+	ctx := context.Background()
+	value := make([]byte, 64)
+	keys := keyFn(100_000)
+	drain := func() {
+		for _, tk := range cl.Poll(0) {
+			check(tk.Err())
+		}
+	}
+	submit := func(i int) {
+		_, err := cl.SubmitPut(ctx, keys(i), value)
+		check(err)
+		drain()
+	}
+	// Warm every shard's pools and fill the windows before timing.
+	for i := 0; i < depth*4*n; i++ {
+		submit(i)
+	}
+	for cl.InFlight() > 0 {
+		runtime.Gosched()
+	}
+	drain()
+
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		submit(i)
+	}
+	for cl.InFlight() > 0 {
+		runtime.Gosched()
+	}
+	drain()
+	el := time.Since(start)
+	return float64(ops) / el.Seconds() / 1e3
+}

@@ -8,7 +8,7 @@
 //	flatstore-bench [flags] <experiment>...
 //	experiments: fig1a fig1b fig1c table1 fig7 fig8 fig9 fig10 fig11
 //	             fig12 fig13 recovery rpc groupsize offload inline
-//	             pipeline all
+//	             pipeline cluster all
 //
 // Absolute numbers depend on the calibrated cost model (see
 // internal/sim); the shapes — who wins, by what factor, where curves
@@ -25,12 +25,16 @@ import (
 )
 
 type benchConfig struct {
-	cores   int
-	clients int
-	cbatch  int
-	ops     int
-	keys    uint64
-	quick   bool
+	cores       int
+	clients     int
+	cbatch      int
+	ops         int
+	keys        uint64
+	quick       bool
+	dist        string
+	theta       float64
+	shards      int
+	clusterJSON string
 }
 
 var cfg benchConfig
@@ -42,10 +46,20 @@ func main() {
 	flag.IntVar(&cfg.ops, "ops", 50_000, "measured requests per configuration point")
 	flag.Uint64Var(&cfg.keys, "keys", 192_000_000, "YCSB key-space size")
 	flag.BoolVar(&cfg.quick, "quick", false, "shrink sweeps for a fast smoke run")
+	flag.StringVar(&cfg.dist, "dist", "uniform", "key popularity for the TCP benches (pipeline, cluster): uniform or zipfian")
+	flag.Float64Var(&cfg.theta, "theta", 0.99, "zipfian skew for -dist zipfian (YCSB default 0.99)")
+	flag.IntVar(&cfg.shards, "shards", 3, "shard-group count for the cluster experiment's multi-shard point")
+	flag.StringVar(&cfg.clusterJSON, "json", "", "write the cluster experiment's aggregate throughput to this JSON file (e.g. BENCH_cluster.json)")
 	flag.Parse()
 
 	if cfg.quick {
 		cfg.ops = 15_000
+	}
+	switch cfg.dist {
+	case "uniform", "zipfian":
+	default:
+		fmt.Fprintf(os.Stderr, "flatstore-bench: unknown -dist %q (want uniform or zipfian)\n", cfg.dist)
+		os.Exit(2)
 	}
 
 	experiments := map[string]func(){
@@ -66,10 +80,11 @@ func main() {
 		"offload":   offload,
 		"inline":    inlineAblation,
 		"pipeline":  pipelineBench,
+		"cluster":   clusterBench,
 	}
 	order := []string{"fig1a", "fig1b", "fig1c", "table1", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "recovery", "rpc", "groupsize", "offload",
-		"inline", "pipeline"}
+		"inline", "pipeline", "cluster"}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -63,6 +63,7 @@ func runPipelineDepth(depth, ops int) float64 {
 
 	ctx := context.Background()
 	value := make([]byte, 64)
+	keys := keyFn(100_000)
 	drain := func() {
 		for _, tk := range cl.Poll(0) {
 			check(tk.Err())
@@ -81,7 +82,7 @@ func runPipelineDepth(depth, ops int) float64 {
 
 	start := time.Now()
 	for i := 0; i < ops; i++ {
-		_, err := cl.SubmitPut(ctx, uint64(i%100_000), value)
+		_, err := cl.SubmitPut(ctx, keys(i), value)
 		check(err)
 		drain()
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"flatstore/internal/batch"
+	"flatstore/internal/cluster"
 	"flatstore/internal/core"
 	"flatstore/internal/obs"
 	"flatstore/internal/pmem"
@@ -58,6 +59,11 @@ func main() {
 	advertise := flag.String("advertise", "", "client-facing address advertised to peers and in redirects (default: -addr)")
 	syncFollowers := flag.Int("sync-followers", 0, "follower acks required before a write is acknowledged (0: async replication)")
 	syncTimeout := flag.Duration("sync-timeout", 0, "semi-sync ack wait bound before degrading to async (0: default 2s)")
+	shardID := flag.Int("shard-id", -1, "this node's shard ID in a sharded cluster (-1: unsharded)")
+	shardCount := flag.Int("shard-count", 0, "total shard count (with -shard-id; ignored when -cluster is set)")
+	clusterSpec := flag.String("cluster", "", "full cluster spec: ';'-separated shard groups, each a comma-separated address list (richer WrongShard hints than -shard-count)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0: default; all parties must agree)")
+	mapVersion := flag.Uint64("shard-map-version", 1, "shard-map membership version advertised in WrongShard hints")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -98,13 +104,47 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flatstore-server: -role follower needs -primary")
 		os.Exit(2)
 	}
-	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *slowOp, *salvage, sopts, rf); err != nil {
+	gate, err := shardGate(*shardID, *shardCount, *clusterSpec, *vnodes, *mapVersion)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *slowOp, *salvage, sopts, rf, gate); err != nil {
 		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery, slowOp time.Duration, salvage bool, sopts tcp.ServerOptions, rf replFlags) error {
+// shardGate resolves the sharding flags into the gate the TCP server
+// enforces (nil when unsharded). With only -shard-id/-shard-count the
+// gate routes over the address-less uniform map — which routes
+// identically to any client's full map over the same IDs — and its
+// WrongShard hints carry no addresses; -cluster supplies the full spec
+// so hints can re-point clients.
+func shardGate(id, count int, spec string, vnodes int, version uint64) (*cluster.Gate, error) {
+	if id < 0 {
+		if count > 0 || spec != "" {
+			return nil, fmt.Errorf("-shard-count/-cluster need -shard-id")
+		}
+		return nil, nil
+	}
+	var m *cluster.Map
+	var err error
+	if spec != "" {
+		m, err = cluster.ParseSpec(spec, version, vnodes)
+	} else {
+		if count <= 0 {
+			return nil, fmt.Errorf("-shard-id needs -shard-count or -cluster")
+		}
+		m, err = cluster.UniformMap(version, count, vnodes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cluster.NewGate(m, id)
+}
+
+func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery, slowOp time.Duration, salvage bool, sopts tcp.ServerOptions, rf replFlags, gate *cluster.Gate) error {
 	idx := core.IndexHash
 	if ordered {
 		idx = core.IndexMasstree
@@ -186,6 +226,11 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 	srv := tcp.NewServerOptions(st, sopts)
 	if node != nil {
 		srv.SetRepl(node)
+	}
+	if gate != nil {
+		srv.SetShard(gate)
+		fmt.Printf("sharding: shard %d of %d (map v%d)\n",
+			gate.ShardID(), gate.NumShards(), gate.MapVersion())
 	}
 	// Observability endpoints ride the pprof mux (-pprof): Prometheus
 	// text at /metrics, the full snapshot as JSON at /metrics.json.

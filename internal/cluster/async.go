@@ -1,0 +1,221 @@
+package cluster
+
+// Pipelined asynchronous API over the sharded cluster — the fan-out
+// analogue of the tcp client's Submit/Poll (tcp/pipeline.go). Each
+// shard group keeps its own in-flight window (Options.Window on the
+// per-group tcp.Client), so a cluster client can hold
+// NumShards × Window requests on the wire: depth per shard is what
+// feeds each server's horizontal batching, and the per-shard windows
+// fill independently — a slow shard back-pressures only submissions
+// routed to it.
+//
+// A cluster Ticket wraps the underlying group submission and adds the
+// WrongShard self-heal: a submission rejected by a server routing on a
+// newer map adopts that map and replays against the new owner before
+// the ticket completes, so the caller sees one completion with the
+// final outcome.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Ticket is one in-flight cluster submission. Reap it with Wait or
+// Poll — each completion is delivered exactly once across both.
+type Ticket struct {
+	c      *Client
+	key    uint64
+	done   chan struct{}
+	val    []byte // Get result
+	ok     bool   // Get: found; Delete: existed
+	err    error
+	reaped atomic.Bool
+}
+
+// Key returns the key the submission targets.
+func (t *Ticket) Key() uint64 { return t.key }
+
+// Done reports completion without reaping the ticket.
+func (t *Ticket) Done() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the submission's outcome, or tcp.ErrInFlight before
+// completion.
+func (t *Ticket) Err() error {
+	if !t.Done() {
+		return errInFlight
+	}
+	return t.err
+}
+
+// errInFlight mirrors tcp.ErrInFlight for the cluster ticket.
+var errInFlight = errors.New("cluster: ticket still in flight")
+
+// Value returns a completed Get's result; ok is false while in flight,
+// on error, or when the key was absent.
+func (t *Ticket) Value() ([]byte, bool) {
+	if !t.Done() || t.err != nil {
+		return nil, false
+	}
+	return t.val, t.ok
+}
+
+// Existed reports whether a completed Delete's key was present.
+func (t *Ticket) Existed() bool {
+	return t.Done() && t.err == nil && t.ok
+}
+
+// reap delivers the completion exactly once (same CAS-under-compMu
+// protocol as the tcp ticket).
+func (t *Ticket) reap() bool {
+	t.c.compMu.Lock()
+	won := t.reaped.CompareAndSwap(false, true)
+	if won {
+		delete(t.c.comp, t)
+	}
+	t.c.compMu.Unlock()
+	return won
+}
+
+// Wait blocks until the ticket completes (reaping it) or ctx fires.
+func (t *Ticket) Wait(ctx context.Context) error {
+	select {
+	case <-t.done:
+		t.reap()
+		return t.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Poll reaps up to max completed tickets (max <= 0: every one that is
+// ready) without blocking.
+func (c *Client) Poll(max int) []*Ticket {
+	c.compMu.Lock()
+	var ready []*Ticket
+	for t := range c.comp {
+		if max > 0 && len(ready) >= max {
+			break
+		}
+		ready = append(ready, t)
+	}
+	c.compMu.Unlock()
+	out := ready[:0]
+	for _, t := range ready {
+		if t.reap() {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// submitKind discriminates the async op types.
+type submitKind uint8
+
+const (
+	kindPut submitKind = iota
+	kindGet
+	kindDelete
+)
+
+// SubmitPut queues an asynchronous durable Put on the owning shard. It
+// blocks while that shard group's window is full. The caller must not
+// modify value until the ticket completes: retries and re-routes
+// re-send it.
+func (c *Client) SubmitPut(ctx context.Context, key uint64, value []byte) (*Ticket, error) {
+	return c.submit(ctx, kindPut, key, value)
+}
+
+// SubmitGet queues an asynchronous Get on the owning shard.
+func (c *Client) SubmitGet(ctx context.Context, key uint64) (*Ticket, error) {
+	return c.submit(ctx, kindGet, key, nil)
+}
+
+// SubmitDelete queues an asynchronous Delete on the owning shard.
+func (c *Client) SubmitDelete(ctx context.Context, key uint64) (*Ticket, error) {
+	return c.submit(ctx, kindDelete, key, nil)
+}
+
+// submit routes the op to its owning group, posts it into that group's
+// pipelined window (blocking there if the window is full — routing
+// happens first, so only the owning shard back-pressures), and follows
+// the completion on a goroutine that absorbs WrongShard redirects.
+func (c *Client) submit(ctx context.Context, kind submitKind, key uint64, value []byte) (*Ticket, error) {
+	c.ops.Add(1)
+	inner, err := c.submitGroup(ctx, kind, key, value)
+	if err != nil {
+		return nil, err
+	}
+	c.inflight.Add(1)
+	t := &Ticket{c: c, key: key, done: make(chan struct{})}
+	go c.follow(ctx, t, inner, kind, key, value)
+	return t, nil
+}
+
+// InFlight reports the cluster submissions posted but not yet
+// completed, summed over every shard group's window.
+func (c *Client) InFlight() int { return int(c.inflight.Load()) }
+
+// innerTicket is the part of tcp.Ticket the follower needs (it is
+// exactly tcp.Ticket; the interface keeps follow testable).
+type innerTicket interface {
+	Wait(ctx context.Context) error
+	Value() ([]byte, bool)
+	Existed() bool
+}
+
+// submitGroup posts one submission into the owning group's window.
+func (c *Client) submitGroup(ctx context.Context, kind submitKind, key uint64, value []byte) (innerTicket, error) {
+	cl, id, err := c.connForKey(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	c.countShard(id, 1)
+	switch kind {
+	case kindPut:
+		return cl.SubmitPut(ctx, key, value)
+	case kindGet:
+		return cl.SubmitGet(ctx, key)
+	default:
+		return cl.SubmitDelete(ctx, key)
+	}
+}
+
+// follow waits for the group submission, chasing WrongShard redirects
+// (adopt the hinted map, resubmit to the new owner) before completing
+// the cluster ticket and publishing it for Poll.
+func (c *Client) follow(ctx context.Context, t *Ticket, inner innerTicket, kind submitKind, key uint64, value []byte) {
+	err := inner.Wait(ctx)
+	for attempt := 0; c.shouldReroute(err, attempt); attempt++ {
+		var next innerTicket
+		next, err = c.submitGroup(ctx, kind, key, value)
+		if err != nil {
+			break
+		}
+		inner = next
+		err = inner.Wait(ctx)
+	}
+	t.err = err
+	if err == nil {
+		switch kind {
+		case kindGet:
+			t.val, t.ok = inner.Value()
+		case kindDelete:
+			t.ok = inner.Existed()
+		}
+	}
+	c.inflight.Add(-1)
+	close(t.done)
+	c.compMu.Lock()
+	if !t.reaped.Load() {
+		c.comp[t] = struct{}{}
+	}
+	c.compMu.Unlock()
+}

@@ -1,0 +1,252 @@
+package cluster
+
+// Sharded failover e2e: three shard groups of two replicated nodes each
+// (primary + semi-sync follower), a mixed write load through the
+// fan-out client, one shard's primary killed mid-load, its follower
+// promoted — and afterwards zero lost acknowledged writes, audited
+// through the cluster client. With FLATSTORE_CLUSTER_SNAPSHOT set to a
+// directory, each surviving group's metrics land there as
+// shard-<id>.prom for the CI artifact.
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+	"flatstore/internal/obs"
+	"flatstore/internal/repl"
+	"flatstore/internal/tcp"
+)
+
+// replMember is one replicated node of a shard group: engine,
+// replication node, client-facing TCP server.
+type replMember struct {
+	st     *core.Store
+	n      *repl.Node
+	srv    *tcp.Server
+	addr   string
+	killed bool
+}
+
+// startReplMember builds one serving group member. primaryRepl == ""
+// makes it the group's primary.
+func startReplMember(t *testing.T, primaryRepl string) *replMember {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	st, err := core.New(core.Config{Cores: 2, Mode: batch.ModePipelinedHB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := repl.Config{
+		Store: st, ListenAddr: "127.0.0.1:0", ServeAddr: addr,
+		PrimaryAddr:   primaryRepl,
+		SyncFollowers: 1, SyncTimeout: 10 * time.Second,
+	}
+	var n *repl.Node
+	if primaryRepl == "" {
+		n, err = repl.NewPrimary(cfg)
+	} else {
+		n, err = repl.NewFollower(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := tcp.NewServer(st)
+	srv.SetRepl(n)
+	go srv.Serve(lis)
+	m := &replMember{st: st, n: n, srv: srv, addr: addr}
+	t.Cleanup(func() { m.kill() })
+	return m
+}
+
+// kill hard-stops the member: client server, replication node, store.
+// Idempotent so the mid-test kill and the cleanup do not collide.
+func (m *replMember) kill() {
+	if m.killed {
+		return
+	}
+	m.killed = true
+	m.srv.Close()
+	m.n.Close()
+	m.st.Stop()
+}
+
+// shardGroup is one replication group owning one shard.
+type shardGroup struct {
+	primary  *replMember
+	follower *replMember
+}
+
+// keysOwnedBy returns the first want keys the map routes to shard id.
+func keysOwnedBy(m *Map, id, want int) []uint64 {
+	var out []uint64
+	for k := uint64(0); len(out) < want; k++ {
+		if m.ShardOf(k) == id {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestClusterFailoverZeroLoss is the sharded acceptance gate: kill one
+// shard group's primary under mixed load across all shards, promote its
+// follower, and audit that no acknowledged write was lost anywhere.
+func TestClusterFailoverZeroLoss(t *testing.T) {
+	const nGroups = 3
+	groups := make([]shardGroup, nGroups)
+	shards := make([]Shard, nGroups)
+	for i := range groups {
+		p := startReplMember(t, "")
+		f := startReplMember(t, p.n.ListenAddr())
+		groups[i] = shardGroup{primary: p, follower: f}
+		// Primary first: the happy path connects without a redirect, and
+		// failover exercises the in-group rotation to the follower.
+		shards[i] = Shard{ID: i, Addrs: []string{p.addr, f.addr}}
+	}
+	m, err := NewMap(1, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		for _, mem := range []*replMember{g.primary, g.follower} {
+			gate, err := NewGate(m, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mem.srv.SetShard(gate)
+		}
+	}
+
+	// One worker per shard, each single-writer on a key that shard owns,
+	// so the audit window [acked, attempted] is exact per key.
+	workers := make([]struct {
+		key            uint64
+		acked, attempt uint64
+	}, nGroups)
+	for i := range workers {
+		workers[i].key = keysOwnedBy(m, i, 1)[0]
+	}
+
+	opts := ClientOptions{TCP: tcp.Options{
+		DialTimeout:    300 * time.Millisecond,
+		RequestTimeout: 300 * time.Millisecond,
+		MaxAttempts:    50,
+	}}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := DialMap(context.Background(), m, opts)
+			if err != nil {
+				t.Errorf("worker %d: dial: %v", i, err)
+				return
+			}
+			defer cl.Close()
+			var vb [8]byte
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				seq := workers[i].attempt + 1
+				workers[i].attempt = seq
+				binary.LittleEndian.PutUint64(vb[:], seq)
+				if err := cl.Put(workers[i].key, vb[:]); err == nil {
+					workers[i].acked = seq
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(800 * time.Millisecond)
+	victim := groups[1]
+	// Semi-sync must be intact on the victim before the kill — that is
+	// what makes zero loss a guarantee rather than luck.
+	if got := victim.primary.n.Snap().SyncTimeouts; got != 0 {
+		t.Fatalf("semi-sync degraded pre-kill (%d timeouts): audit premise broken", got)
+	}
+	victim.primary.kill()
+	time.Sleep(200 * time.Millisecond)
+	if err := victim.follower.n.Promote(); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(800 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Fresh client for the audit: every group is reachable (the killed
+	// primary's address fails over to the promoted follower in-group).
+	audit, err := DialMap(context.Background(), m, ClientOptions{TCP: tcp.Options{MaxAttempts: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer audit.Close()
+	for i := range workers {
+		w := workers[i]
+		if w.attempt == 0 {
+			t.Fatalf("worker %d never ran", i)
+		}
+		v, ok, err := audit.Get(w.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if w.acked > 0 {
+				t.Errorf("shard %d: acked up to seq %d but key %d is gone — lost acked write",
+					i, w.acked, w.key)
+			}
+			continue
+		}
+		seq := binary.LittleEndian.Uint64(v)
+		if seq < w.acked || seq > w.attempt {
+			t.Errorf("shard %d: surviving seq %d outside [acked %d, attempted %d]",
+				i, seq, w.acked, w.attempt)
+		}
+		t.Logf("shard %d: key %d surviving seq %d (acked %d, attempted %d)",
+			i, w.key, seq, w.acked, w.attempt)
+	}
+	if !victim.follower.n.AllowWrite() {
+		t.Error("promoted follower does not accept writes")
+	}
+
+	// CI artifact: per-shard metrics of each group's serving node.
+	if dir := os.Getenv("FLATSTORE_CLUSTER_SNAPSHOT"); dir != "" {
+		for i, g := range groups {
+			mem := g.primary
+			if mem.killed {
+				mem = g.follower
+			}
+			snap := mem.srv.Metrics()
+			path := filepath.Join(dir, fmt.Sprintf("shard-%d.prom", i))
+			fh, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs.WritePrometheus(fh, &snap)
+			if err := fh.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("per-shard metrics snapshots written to %s", dir)
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Gate is the server side of the shard map: the tcp.Server consults it
+// on every keyed op and rejects keys this node does not own with
+// StatusWrongShard plus the encoded map hint, so a client routing on a
+// stale map self-heals instead of silently writing a key to the wrong
+// group (where no scan or re-route would ever find it again).
+//
+// It implements tcp.ShardGate. The map is swappable (SetMap) so an
+// operator can push new membership to a live server; routing stays a
+// pure function of (key, map version) throughout.
+type Gate struct {
+	shardID int
+
+	mu   sync.RWMutex
+	m    *Map
+	hint []byte // cached encoded hint of the current map
+}
+
+// NewGate creates a gate for the shard this server owns. The shard ID
+// must exist in the map.
+func NewGate(m *Map, shardID int) (*Gate, error) {
+	if _, ok := m.ShardByID(shardID); !ok {
+		return nil, fmt.Errorf("cluster: shard id %d not in map (shards: %d)", shardID, m.NumShards())
+	}
+	return &Gate{shardID: shardID, m: m, hint: m.Hint()}, nil
+}
+
+// Owns reports whether this server's shard owns key under the current
+// map.
+func (g *Gate) Owns(key uint64) bool {
+	g.mu.RLock()
+	m := g.m
+	g.mu.RUnlock()
+	return m.ShardOf(key) == g.shardID
+}
+
+// Hint returns the encoded shard-map hint carried in StatusWrongShard
+// redirects. The slice is shared and must not be mutated.
+func (g *Gate) Hint() []byte {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.hint
+}
+
+// ShardID reports the shard this server owns.
+func (g *Gate) ShardID() int { return g.shardID }
+
+// MapVersion reports the current map's version.
+func (g *Gate) MapVersion() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.m.version
+}
+
+// NumShards reports the current map's shard count.
+func (g *Gate) NumShards() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.m.NumShards()
+}
+
+// SetMap swaps in a newer map (ignored unless its version is higher).
+func (g *Gate) SetMap(m *Map) {
+	g.mu.Lock()
+	if m.version > g.m.version {
+		g.m = m
+		g.hint = m.Hint()
+	}
+	g.mu.Unlock()
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testKeys draws a deterministic spread of keys: sequential (the common
+// benchmark shape), random, and the edges.
+func testKeys() []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	keys := []uint64{0, 1, 2, ^uint64(0), ^uint64(0) - 1}
+	for i := 0; i < 2000; i++ {
+		keys = append(keys, uint64(i))
+		keys = append(keys, rng.Uint64())
+	}
+	return keys
+}
+
+// TestRoutingIgnoresMembershipOrder: the ring is a pure function of the
+// shard-ID set, so enumerating the shards in any order must route every
+// key identically.
+func TestRoutingIgnoresMembershipOrder(t *testing.T) {
+	a, err := NewMap(1, []Shard{
+		{ID: 0, Addrs: []string{"h0:1"}},
+		{ID: 1, Addrs: []string{"h1:1"}},
+		{ID: 2, Addrs: []string{"h2:1"}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMap(1, []Shard{
+		{ID: 2, Addrs: []string{"h2:1"}},
+		{ID: 0, Addrs: []string{"h0:1"}},
+		{ID: 1, Addrs: []string{"h1:1"}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys() {
+		if a.ShardOf(k) != b.ShardOf(k) {
+			t.Fatalf("key %d: order-dependent routing (%d vs %d)", k, a.ShardOf(k), b.ShardOf(k))
+		}
+	}
+}
+
+// TestRoutingIgnoresAddressesAndVersion: servers knowing only
+// (shard-id, shard-count) route over the address-less UniformMap; it
+// must agree with every full map over the same IDs, at any version.
+func TestRoutingIgnoresAddressesAndVersion(t *testing.T) {
+	full, err := NewMap(7, []Shard{
+		{ID: 0, Addrs: []string{"h0:1", "h0:2"}},
+		{ID: 1, Addrs: []string{"h1:1"}},
+		{ID: 2, Addrs: []string{"h2:1"}},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := UniformMap(1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys() {
+		if full.ShardOf(k) != uni.ShardOf(k) {
+			t.Fatalf("key %d: full map routes to %d, uniform map to %d",
+				k, full.ShardOf(k), uni.ShardOf(k))
+		}
+	}
+}
+
+// TestRoutingStableAcrossRebuilds: rebuilding the same membership must
+// never move a key.
+func TestRoutingStableAcrossRebuilds(t *testing.T) {
+	keys := testKeys()
+	var want []int
+	for rebuild := 0; rebuild < 5; rebuild++ {
+		m, err := UniformMap(uint64(rebuild+1), 5, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = make([]int, len(keys))
+			for i, k := range keys {
+				want[i] = m.ShardOf(k)
+			}
+			continue
+		}
+		for i, k := range keys {
+			if got := m.ShardOf(k); got != want[i] {
+				t.Fatalf("rebuild %d moved key %d: %d -> %d", rebuild, k, want[i], got)
+			}
+		}
+	}
+}
+
+// TestRingBalance: vnodes must keep the per-shard key share within a
+// loose band of even (the consistent-hashing variance argument).
+func TestRingBalance(t *testing.T) {
+	const shards, samples = 4, 40_000
+	m, err := UniformMap(1, shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < samples; i++ {
+		counts[m.ShardOf(rng.Uint64())]++
+	}
+	even := samples / shards
+	for id, n := range counts {
+		if n < even/2 || n > even*2 {
+			t.Errorf("shard %d owns %d of %d samples (even share %d): ring too lumpy",
+				id, n, samples, even)
+		}
+	}
+}
+
+// TestHintRoundTrip: DecodeHint(Hint()) must reproduce the map —
+// version, vnodes, membership, addresses, and routing.
+func TestHintRoundTrip(t *testing.T) {
+	m, err := NewMap(42, []Shard{
+		{ID: 0, Addrs: []string{"h0:1", "h0:2"}},
+		{ID: 1, Addrs: []string{"h1:1"}},
+		{ID: 2, Addrs: nil}, // address-less shard survives too
+	}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHint(m.Hint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != 42 || got.Vnodes() != 32 || got.NumShards() != 3 {
+		t.Fatalf("round trip lost header: v%d vnodes %d shards %d",
+			got.Version(), got.Vnodes(), got.NumShards())
+	}
+	for i, s := range m.Shards() {
+		g := got.Shards()[i]
+		if g.ID != s.ID || len(g.Addrs) != len(s.Addrs) {
+			t.Fatalf("shard %d: %+v != %+v", i, g, s)
+		}
+		for j := range s.Addrs {
+			if g.Addrs[j] != s.Addrs[j] {
+				t.Fatalf("shard %d addr %d: %q != %q", i, j, g.Addrs[j], s.Addrs[j])
+			}
+		}
+	}
+	for _, k := range testKeys() {
+		if m.ShardOf(k) != got.ShardOf(k) {
+			t.Fatalf("key %d routed differently after hint round trip", k)
+		}
+	}
+	// Corrupted hints must be rejected, not mis-decoded.
+	h := m.Hint()
+	for _, cut := range []int{1, 4, len(h) / 2, len(h) - 1} {
+		if _, err := DecodeHint(h[:cut]); err == nil {
+			t.Errorf("truncated hint (%d bytes) decoded", cut)
+		}
+	}
+	if _, err := DecodeHint(append(append([]byte{}, h...), 0)); err == nil {
+		t.Error("over-long hint decoded")
+	}
+}
+
+// TestSpecRoundTrip: ParseSpec and Spec invert each other.
+func TestSpecRoundTrip(t *testing.T) {
+	spec := "h1:7399,h2:7399;h3:7399;h5:7399,h6:7399"
+	m, err := ParseSpec(spec, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 3 {
+		t.Fatalf("shards = %d", m.NumShards())
+	}
+	if got := m.Spec(); got != spec {
+		t.Fatalf("Spec() = %q, want %q", got, spec)
+	}
+}
+
+// TestMapValidation: the constructors reject maps that would split-brain
+// routing.
+func TestMapValidation(t *testing.T) {
+	if _, err := NewMap(1, []Shard{{ID: 0}, {ID: 0}}, 0); err == nil {
+		t.Error("duplicate shard IDs accepted")
+	}
+	if _, err := NewMap(1, nil, 0); err == nil {
+		t.Error("empty map accepted")
+	}
+	if _, err := ParseSpec("", 1, 0); err == nil {
+		t.Error("empty spec accepted")
+	}
+	m, err := UniformMap(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGate(m, 5); err == nil {
+		t.Error("gate for a shard outside the map accepted")
+	}
+}
+
+// TestGateOwnership: the gate agrees with the map and only swaps to
+// strictly newer versions.
+func TestGateOwnership(t *testing.T) {
+	m, err := UniformMap(2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGate(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys()[:500] {
+		if g.Owns(k) != (m.ShardOf(k) == 1) {
+			t.Fatalf("gate and map disagree on key %d", k)
+		}
+	}
+	older, _ := UniformMap(1, 2, 0)
+	g.SetMap(older)
+	if g.MapVersion() != 2 || g.NumShards() != 3 {
+		t.Fatal("gate regressed to an older map")
+	}
+	newer, _ := UniformMap(3, 4, 0)
+	g.SetMap(newer)
+	if g.MapVersion() != 3 || g.NumShards() != 4 {
+		t.Fatal("gate did not adopt the newer map")
+	}
+}

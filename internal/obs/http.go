@@ -61,26 +61,57 @@ func writeSummary(w io.Writer, name, labels string, h *stats.Histogram, scale fl
 	fmt.Fprintf(w, "%s_count%s %d\n", name, lb(""), h.Count())
 }
 
-// WritePrometheus renders the snapshot in Prometheus text format.
+// WritePrometheus renders the snapshot in Prometheus text format. On a
+// sharded server every series carries a shard="<id>" label, so the
+// scrapes of a whole cluster aggregate side by side in one Prometheus
+// without per-target relabeling.
 func WritePrometheus(w io.Writer, s *Snapshot) {
-	fmt.Fprintf(w, "# TYPE flatstore_uptime_seconds gauge\nflatstore_uptime_seconds %g\n",
-		float64(s.UptimeNs)/1e9)
-	fmt.Fprintf(w, "# TYPE flatstore_cores gauge\nflatstore_cores %d\n", s.Cores)
+	base := ""
+	if s.Shard.Configured {
+		base = fmt.Sprintf("shard=\"%d\"", s.Shard.ID)
+	}
+	// lb merges the shard base label with a series' own labels into a
+	// rendered {...} block ("" when both are empty).
+	lb := func(extra string) string {
+		switch {
+		case base == "" && extra == "":
+			return ""
+		case base == "":
+			return "{" + extra + "}"
+		case extra == "":
+			return "{" + base + "}"
+		}
+		return "{" + base + "," + extra + "}"
+	}
+	merge := func(extra string) string {
+		if base == "" {
+			return extra
+		}
+		if extra == "" {
+			return base
+		}
+		return base + "," + extra
+	}
+	fmt.Fprintf(w, "# TYPE flatstore_uptime_seconds gauge\nflatstore_uptime_seconds%s %g\n",
+		lb(""), float64(s.UptimeNs)/1e9)
+	fmt.Fprintf(w, "# TYPE flatstore_cores gauge\nflatstore_cores%s %d\n", lb(""), s.Cores)
 
 	fmt.Fprintf(w, "# TYPE flatstore_ops_total counter\n")
 	for k := 0; k < NumOps; k++ {
-		fmt.Fprintf(w, "flatstore_ops_total{op=%q} %d\n", KindName(k), s.Ops[k].Count)
+		fmt.Fprintf(w, "flatstore_ops_total%s %d\n",
+			lb(fmt.Sprintf("op=%q", KindName(k))), s.Ops[k].Count)
 	}
 	fmt.Fprintf(w, "# TYPE flatstore_op_errors_total counter\n")
 	for k := 0; k < NumOps; k++ {
-		fmt.Fprintf(w, "flatstore_op_errors_total{op=%q} %d\n", KindName(k), s.Ops[k].Errors)
+		fmt.Fprintf(w, "flatstore_op_errors_total%s %d\n",
+			lb(fmt.Sprintf("op=%q", KindName(k))), s.Ops[k].Errors)
 	}
 	for k := 0; k < NumOps; k++ {
 		writeSummary(w, "flatstore_op_latency_seconds",
-			fmt.Sprintf("op=%q", KindName(k)), s.Ops[k].Latency, 1e9)
+			merge(fmt.Sprintf("op=%q", KindName(k))), s.Ops[k].Latency, 1e9)
 	}
-	writeSummary(w, "flatstore_batch_size", "", s.BatchSize, 1)
-	writeSummary(w, "flatstore_batch_bytes", "", s.BatchBytes, 1)
+	writeSummary(w, "flatstore_batch_size", merge(""), s.BatchSize, 1)
+	writeSummary(w, "flatstore_batch_bytes", merge(""), s.BatchBytes, 1)
 
 	counters := []struct {
 		name string
@@ -108,6 +139,7 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_tcp_frames_coalesced_total", s.Net.FramesCoalesced},
 		{"flatstore_tcp_resp_flushes_total", s.Net.RespFlushes},
 		{"flatstore_tcp_resp_written_total", s.Net.RespWritten},
+		{"flatstore_tcp_wrong_shard_total", s.Shard.WrongShard},
 		{"flatstore_repl_batches_shipped_total", s.Repl.BatchesShipped},
 		{"flatstore_repl_bytes_shipped_total", s.Repl.BytesShipped},
 		{"flatstore_repl_batches_applied_total", s.Repl.BatchesApplied},
@@ -123,7 +155,7 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_quarantine_clears_total", s.Integrity.QuarantineClears},
 	}
 	for _, c := range counters {
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.v)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", c.name, c.name, lb(""), c.v)
 	}
 	gauges := []struct {
 		name string
@@ -145,36 +177,58 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_repl_lag_batches", int64(s.Repl.LagBatches)},
 		{"flatstore_repl_lag_bytes", int64(s.Repl.LagBytes)},
 	}
-	for _, g := range gauges {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.v)
+	if s.Shard.Configured {
+		gauges = append(gauges,
+			struct {
+				name string
+				v    int64
+			}{"flatstore_shard_id", s.Shard.ID},
+			struct {
+				name string
+				v    int64
+			}{"flatstore_shard_count", int64(s.Shard.Count)},
+			struct {
+				name string
+				v    int64
+			}{"flatstore_shard_map_version", int64(s.Shard.MapVersion)},
+		)
 	}
-	fmt.Fprintf(w, "# TYPE flatstore_repl_role gauge\nflatstore_repl_role{role=%q} %d\n",
-		ReplRoleName(s.Repl.Role), s.Repl.Role)
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %d\n", g.name, g.name, lb(""), g.v)
+	}
+	fmt.Fprintf(w, "# TYPE flatstore_repl_role gauge\nflatstore_repl_role%s %d\n",
+		lb(fmt.Sprintf("role=%q", ReplRoleName(s.Repl.Role))), s.Repl.Role)
 
 	fmt.Fprintf(w, "# TYPE flatstore_alloc_class_chunks gauge\n")
 	for _, c := range s.Classes {
-		fmt.Fprintf(w, "flatstore_alloc_class_chunks{class=\"%d\"} %d\n", c.Class, c.Chunks)
+		fmt.Fprintf(w, "flatstore_alloc_class_chunks%s %d\n",
+			lb(fmt.Sprintf("class=\"%d\"", c.Class)), c.Chunks)
 	}
 	fmt.Fprintf(w, "# TYPE flatstore_alloc_class_used_blocks gauge\n")
 	for _, c := range s.Classes {
-		fmt.Fprintf(w, "flatstore_alloc_class_used_blocks{class=\"%d\"} %d\n", c.Class, c.UsedBlocks)
+		fmt.Fprintf(w, "flatstore_alloc_class_used_blocks%s %d\n",
+			lb(fmt.Sprintf("class=\"%d\"", c.Class)), c.UsedBlocks)
 	}
 	fmt.Fprintf(w, "# TYPE flatstore_alloc_class_cap_blocks gauge\n")
 	for _, c := range s.Classes {
-		fmt.Fprintf(w, "flatstore_alloc_class_cap_blocks{class=\"%d\"} %d\n", c.Class, c.CapBlocks)
+		fmt.Fprintf(w, "flatstore_alloc_class_cap_blocks%s %d\n",
+			lb(fmt.Sprintf("class=\"%d\"", c.Class)), c.CapBlocks)
 	}
 
 	fmt.Fprintf(w, "# TYPE flatstore_hb_group_batches_total counter\n")
 	for i, g := range s.Groups {
-		fmt.Fprintf(w, "flatstore_hb_group_batches_total{group=\"%d\"} %d\n", i, g.Batches)
+		fmt.Fprintf(w, "flatstore_hb_group_batches_total%s %d\n",
+			lb(fmt.Sprintf("group=\"%d\"", i)), g.Batches)
 	}
 	fmt.Fprintf(w, "# TYPE flatstore_hb_group_stolen_total counter\n")
 	for i, g := range s.Groups {
-		fmt.Fprintf(w, "flatstore_hb_group_stolen_total{group=\"%d\"} %d\n", i, g.Stolen)
+		fmt.Fprintf(w, "flatstore_hb_group_stolen_total%s %d\n",
+			lb(fmt.Sprintf("group=\"%d\"", i)), g.Stolen)
 	}
 	fmt.Fprintf(w, "# TYPE flatstore_hb_group_leads_total counter\n")
 	for i, g := range s.Groups {
-		fmt.Fprintf(w, "flatstore_hb_group_leads_total{group=\"%d\"} %d\n", i, g.Leads)
+		fmt.Fprintf(w, "flatstore_hb_group_leads_total%s %d\n",
+			lb(fmt.Sprintf("group=\"%d\"", i)), g.Leads)
 	}
 }
 
@@ -234,8 +288,18 @@ type SnapshotView struct {
 	Integrity       stats.Integrity `json:"integrity"`
 	Net             NetSnap         `json:"net"`
 	Repl            ReplView        `json:"repl"`
+	Shard           ShardView       `json:"shard"`
 	SlowThresholdNs int64           `json:"slow_threshold_ns"`
 	SlowOps         []SlowOp        `json:"slow_ops"`
+}
+
+// ShardView is the JSON shape of the shard block.
+type ShardView struct {
+	Configured bool   `json:"configured"`
+	ID         int64  `json:"id"`
+	Count      uint64 `json:"count"`
+	MapVersion uint64 `json:"map_version"`
+	WrongShard uint64 `json:"wrong_shard"`
 }
 
 // ReplView is the JSON shape of the replication block (role named).
@@ -287,6 +351,13 @@ func (s *Snapshot) View() SnapshotView {
 			SyncTimeouts:    s.Repl.SyncTimeouts,
 			Demotions:       s.Repl.Demotions,
 			PrimaryAddr:     s.Repl.PrimaryAddr,
+		},
+		Shard: ShardView{
+			Configured: s.Shard.Configured,
+			ID:         s.Shard.ID,
+			Count:      s.Shard.Count,
+			MapVersion: s.Shard.MapVersion,
+			WrongShard: s.Shard.WrongShard,
 		},
 	}
 	for k := 0; k < NumOps; k++ {

@@ -12,9 +12,9 @@ import (
 // sparse stats.AppendBinary encoding, so an idle store's snapshot is a
 // few hundred bytes.
 // OBS2 appended the pipelined-protocol Net counters; OBS3 appended the
-// replication block. An older peer is rejected rather than mis-decoded
-// (fixed field order, no tags).
-const snapMagic uint32 = 0x4F425333 // "OBS3"
+// replication block; OBS4 appended the shard block. An older peer is
+// rejected rather than mis-decoded (fixed field order, no tags).
+const snapMagic uint32 = 0x4F425334 // "OBS4"
 
 // Marshal encodes the snapshot for the stats wire op.
 func (s *Snapshot) Marshal() []byte {
@@ -80,6 +80,16 @@ func (s *Snapshot) Marshal() []byte {
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Repl.PrimaryAddr)))
 	b = append(b, s.Repl.PrimaryAddr...)
+	var configured uint64
+	if s.Shard.Configured {
+		configured = 1
+	}
+	for _, w := range []uint64{
+		configured, uint64(s.Shard.ID), s.Shard.Count, s.Shard.MapVersion,
+		s.Shard.WrongShard,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
 	return b
 }
 
@@ -207,5 +217,13 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 	}
 	s.Repl.PrimaryAddr = string(b[pos : pos+n])
 	pos += n
+	if !need(5 * 8) {
+		return nil, errShort
+	}
+	s.Shard.Configured = u64() != 0
+	s.Shard.ID = int64(u64())
+	s.Shard.Count = u64()
+	s.Shard.MapVersion = u64()
+	s.Shard.WrongShard = u64()
 	return s, nil
 }

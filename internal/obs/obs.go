@@ -367,6 +367,18 @@ type ReplSnap struct {
 	PrimaryAddr string // serve address of the known primary ("" if unknown)
 }
 
+// ShardSnap describes this node's place in a sharded cluster: which
+// shard it owns, how many shards the map has, the map version routing
+// is keyed on, and how many misrouted ops it bounced. Zero (Configured
+// false) when the server runs unsharded.
+type ShardSnap struct {
+	Configured bool
+	ID         int64  // this node's shard ID
+	Count      uint64 // shards in the map
+	MapVersion uint64 // membership version routing is a pure function of
+	WrongShard uint64 // StatusWrongShard redirects sent (map drift observed)
+}
+
 // Snapshot is a merged moment-in-time view of the whole registry, plus
 // the store-level state (keys, allocator, integrity, groups, transport)
 // the store fills in. It is plain data and travels over the stats wire
@@ -396,6 +408,7 @@ type Snapshot struct {
 	Integrity       stats.Integrity
 	Net             NetSnap
 	Repl            ReplSnap
+	Shard           ShardSnap
 	SlowThresholdNs int64
 	SlowOps         []SlowOp // oldest first, merged across cores
 }

@@ -51,6 +51,13 @@ const (
 	// of the current primary (empty if unknown). Clients re-dial and
 	// retry there.
 	StatusNotPrimary
+	// StatusWrongShard redirects a keyed op sent to a server whose shard
+	// does not own the key: the op was NOT applied, and the response
+	// value carries the server's encoded shard map (internal/cluster
+	// hint form). Cluster-aware clients refresh their map and re-route.
+	// Like StatusNotPrimary it is minted by the TCP front end; the
+	// engine itself never emits it.
+	StatusWrongShard
 )
 
 // Request is one client message. Value aliases the client's buffer until

@@ -195,7 +195,7 @@ func (c *Client) MultiGetCtx(ctx context.Context, keys []uint64) ([]MultiRes, er
 			out[i] = MultiRes{Value: rss[i].value, OK: true}
 		case statusNotFound:
 		default:
-			out[i].Err = fmt.Errorf("tcp: get failed (status %d)", rss[i].status)
+			out[i].Err = statusToErr("get", rss[i].status, rss[i].value)
 		}
 	}
 	return out, nil
@@ -244,6 +244,8 @@ func (c *Client) WriteBatchCtx(ctx context.Context, ops []BatchOp) ([]BatchRes, 
 			out[i].Existed = true
 		case rss[i].status == statusNotFound && ops[i].Delete:
 			// Absent key: a normal delete outcome, not an error.
+		case rss[i].status == statusWrongShard:
+			out[i].Err = &WrongShardError{Hint: rss[i].value}
 		default:
 			out[i].Err = fmt.Errorf("tcp: batch op %d failed (status %d)", i, rss[i].status)
 		}

@@ -112,7 +112,19 @@ func DialContext(ctx context.Context, addr string, o Options) (*Client, error) {
 		opts:     o.withDefaults(),
 		sessions: map[uint64]uint64{},
 	}
-	c.rng = newRNG(mintSession())
+	if o.Seed != 0 {
+		c.rng = rand.New(rand.NewSource(o.Seed))
+	} else {
+		c.rng = newRNG(mintSession())
+	}
+	// Start at a random candidate: when every client in a fleet is handed
+	// the same ordered list, all of them dialling addrs[0] first turns one
+	// server into the connect-time hot spot (and a single slow head of the
+	// list into everyone's first timeout). NotPrimary redirects still
+	// re-point the client wherever the cluster says.
+	if len(addrs) > 1 {
+		c.addrIdx = c.rng.Intn(len(addrs))
+	}
 	c.win = make(chan struct{}, c.opts.Window)
 	c.closedCh = make(chan struct{})
 	c.comp = map[*Ticket]struct{}{}
@@ -521,7 +533,27 @@ const (
 	statusBusy
 	statusCorrupt
 	statusNotPrimary // write sent to a replica; value = primary's address
+	statusWrongShard // key outside this server's shard; value = shard-map hint
 )
+
+// WrongShardError reports an op routed to a server that does not own
+// the key under the cluster's current shard map. Hint carries the
+// rejecting server's encoded map (see internal/cluster): a cluster-
+// aware caller decodes it, refreshes its routing, and replays the op —
+// under the same request id, so the owning server's dedup still
+// acknowledges the write exactly once.
+type WrongShardError struct{ Hint []byte }
+
+func (e *WrongShardError) Error() string { return "tcp: key belongs to another shard" }
+
+// statusToErr maps a non-OK terminal status to the error surfaced for
+// it, or nil for statuses the caller maps itself.
+func statusToErr(op string, status uint8, value []byte) error {
+	if status == statusWrongShard {
+		return &WrongShardError{Hint: value}
+	}
+	return fmt.Errorf("tcp: %s failed (status %d)", op, status)
+}
 
 // route picks the owning core for a key.
 func (c *Client) route(key uint64) uint32 {
@@ -541,7 +573,7 @@ func (c *Client) PutCtx(ctx context.Context, key uint64, value []byte) error {
 		return err
 	}
 	if rs.status != statusOK {
-		return fmt.Errorf("tcp: put failed (status %d)", rs.status)
+		return statusToErr("put", rs.status, rs.value)
 	}
 	return nil
 }
@@ -563,7 +595,7 @@ func (c *Client) GetCtx(ctx context.Context, key uint64) (value []byte, ok bool,
 	case statusNotFound:
 		return nil, false, nil
 	}
-	return nil, false, fmt.Errorf("tcp: get failed (status %d)", rs.status)
+	return nil, false, statusToErr("get", rs.status, rs.value)
 }
 
 // Delete removes a key.
@@ -583,7 +615,7 @@ func (c *Client) DeleteCtx(ctx context.Context, key uint64) (ok bool, err error)
 	case statusNotFound:
 		return false, nil
 	}
-	return false, fmt.Errorf("tcp: delete failed (status %d)", rs.status)
+	return false, statusToErr("delete", rs.status, rs.value)
 }
 
 // Integrity fetches the server's storage-integrity counters (scrubber

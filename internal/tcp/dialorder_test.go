@@ -1,0 +1,91 @@
+package tcp
+
+// Regression test for the thundering-herd dial order: a fleet of
+// clients given the same multi-address list must not all open their
+// first connection against addrs[0]. The starting index is drawn from
+// the client's RNG (Options.Seed pins it for tests).
+
+import (
+	"strings"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+)
+
+func TestDialOrderRandomized(t *testing.T) {
+	cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB}
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		_, _, addr := startServer(t, cfg)
+		addrs = append(addrs, addr)
+	}
+	list := strings.Join(addrs, ",")
+
+	// Same seed: deterministic starting address (and a usable client).
+	start := func(seed int64) string {
+		cl, err := DialOptions(list, Options{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		defer cl.Close()
+		if err := cl.Put(uint64(seed), []byte("x")); err != nil {
+			t.Fatalf("seed %d: put: %v", seed, err)
+		}
+		return cl.currentAddr()
+	}
+	if a, b := start(42), start(42); a != b {
+		t.Fatalf("same seed dialed different start addresses: %s vs %s", a, b)
+	}
+
+	// Across seeds the starting address must vary — if every client
+	// begins at addrs[0], a fleet restart stampedes one server.
+	seen := map[string]bool{}
+	for seed := int64(1); seed <= 16; seed++ {
+		seen[start(seed)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("16 seeds all started at the same address %v — dial order is not randomized", seen)
+	}
+
+	// A single-address client has no choice to make and must still work.
+	if got := start(7); got == "" {
+		t.Fatal("unreachable")
+	}
+	cl, err := DialOptions(addrs[0], Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if got := cl.currentAddr(); got != addrs[0] {
+		t.Fatalf("single-address client starts at %s, want %s", got, addrs[0])
+	}
+}
+
+// TestDialOrderUnseeded: without an explicit seed the client still
+// dials successfully and lands on one of the candidates (the draw comes
+// from the minted session id, so two fleets do not share a pattern).
+func TestDialOrderUnseeded(t *testing.T) {
+	cfg := core.Config{Cores: 2, Mode: batch.ModePipelinedHB}
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		_, _, addr := startServer(t, cfg)
+		addrs = append(addrs, addr)
+	}
+	cl, err := DialOptions(strings.Join(addrs, ","), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got := cl.currentAddr()
+	ok := false
+	for _, a := range addrs {
+		ok = ok || got == a
+	}
+	if !ok {
+		t.Fatalf("start address %s not in candidate list", got)
+	}
+	if err := cl.Put(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}

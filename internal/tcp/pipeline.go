@@ -22,7 +22,6 @@ package tcp
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync/atomic"
 )
 
@@ -183,7 +182,7 @@ func (c *Client) submit(ctx context.Context, q request) (*Ticket, error) {
 			t.err = err
 		case q.op == opPut:
 			if rs.status != statusOK {
-				t.err = fmt.Errorf("tcp: put failed (status %d)", rs.status)
+				t.err = statusToErr("put", rs.status, rs.value)
 			}
 		case q.op == opGet:
 			switch rs.status {
@@ -191,7 +190,7 @@ func (c *Client) submit(ctx context.Context, q request) (*Ticket, error) {
 				t.val, t.ok = rs.value, true
 			case statusNotFound:
 			default:
-				t.err = fmt.Errorf("tcp: get failed (status %d)", rs.status)
+				t.err = statusToErr("get", rs.status, rs.value)
 			}
 		case q.op == opDelete:
 			switch rs.status {
@@ -199,7 +198,7 @@ func (c *Client) submit(ctx context.Context, q request) (*Ticket, error) {
 				t.ok = true
 			case statusNotFound:
 			default:
-				t.err = fmt.Errorf("tcp: delete failed (status %d)", rs.status)
+				t.err = statusToErr("delete", rs.status, rs.value)
 			}
 		}
 		<-c.win // completion frees the window slot; a blocked Submit may proceed

@@ -35,6 +35,12 @@ type Options struct {
 	// Put/Get/Delete/Scan calls are depth-1 by construction and do not
 	// consume window slots. Default 8.
 	Window int
+	// Seed seeds the client's RNG: the randomized starting position in
+	// the candidate address list (so a fleet of clients handed the same
+	// list does not dial the same server first — the connect-time
+	// thundering herd) and the backoff jitter. 0 draws a random seed;
+	// tests set it for determinism.
+	Seed int64
 }
 
 // Default resilience parameters (see Options).

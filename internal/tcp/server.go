@@ -86,10 +86,11 @@ func (o ServerOptions) withDefaults() ServerOptions {
 
 // ServerStats snapshots the resilience and pipelining counters.
 type ServerStats struct {
-	Shed      uint64 // StatusBusy responses (capacity or replay-in-flight)
-	DedupHits uint64 // write replays answered from the dedup table
-	BadFrames uint64 // frames rejected by the CRC check
-	InFlight  int64  // currently queued requests across all connections
+	Shed       uint64 // StatusBusy responses (capacity or replay-in-flight)
+	DedupHits  uint64 // write replays answered from the dedup table
+	BadFrames  uint64 // frames rejected by the CRC check
+	WrongShard uint64 // StatusWrongShard redirects (key outside this shard)
+	InFlight   int64  // currently queued requests across all connections
 
 	BatchFrames     uint64 // multi-op (opBatch) frames decoded
 	BatchOps        uint64 // sub-ops carried by those frames
@@ -97,6 +98,25 @@ type ServerStats struct {
 	RespFlushes     uint64 // response socket flushes
 	RespWritten     uint64 // responses written (RespWritten/RespFlushes = coalescing depth)
 	InFlightPeak    int64  // high-water mark of InFlight (observed pipelining depth)
+}
+
+// ShardGate is the sharding hook the server consults on every keyed
+// op. Implemented by cluster.Gate; nil means unsharded (every key
+// accepted). A key outside this node's range is rejected with
+// StatusWrongShard carrying Hint(), the encoded shard map, so a client
+// routing on stale membership self-heals instead of landing keys on a
+// group where no reader would ever look for them.
+type ShardGate interface {
+	// Owns reports whether this server's shard owns key under the
+	// current map.
+	Owns(key uint64) bool
+	// Hint is the encoded shard-map hint carried in redirects (shared;
+	// not mutated by the server).
+	Hint() []byte
+	// ShardID, NumShards, and MapVersion describe the gate for metrics.
+	ShardID() int
+	NumShards() int
+	MapVersion() uint64
 }
 
 // ReplGate is the replication hook the server consults on the write
@@ -125,11 +145,15 @@ type Server struct {
 	replMu sync.RWMutex
 	repl   ReplGate
 
-	inflight  atomic.Int64 // global unanswered requests
-	shed      atomic.Uint64
-	dedupHits atomic.Uint64
-	badFrames atomic.Uint64
-	dedup     *dedupTable
+	shardMu sync.RWMutex
+	shard   ShardGate
+
+	inflight   atomic.Int64 // global unanswered requests
+	shed       atomic.Uint64
+	dedupHits  atomic.Uint64
+	badFrames  atomic.Uint64
+	wrongShard atomic.Uint64
+	dedup      *dedupTable
 
 	batchFrames     atomic.Uint64
 	batchOps        atomic.Uint64
@@ -190,12 +214,28 @@ func (s *Server) replGate() ReplGate {
 	return g
 }
 
+// SetShard installs the shard gate. Call before Serve; a nil gate (the
+// default) means this server owns the whole key space.
+func (s *Server) SetShard(g ShardGate) {
+	s.shardMu.Lock()
+	s.shard = g
+	s.shardMu.Unlock()
+}
+
+func (s *Server) shardGate() ShardGate {
+	s.shardMu.RLock()
+	g := s.shard
+	s.shardMu.RUnlock()
+	return g
+}
+
 // Stats snapshots the server's resilience counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
 		Shed:            s.shed.Load(),
 		DedupHits:       s.dedupHits.Load(),
 		BadFrames:       s.badFrames.Load(),
+		WrongShard:      s.wrongShard.Load(),
 		InFlight:        s.inflight.Load(),
 		BatchFrames:     s.batchFrames.Load(),
 		BatchOps:        s.batchOps.Load(),
@@ -237,6 +277,15 @@ func (s *Server) Metrics() obs.Snapshot {
 	snap.Net.InFlightPeak = ts.InFlightPeak
 	if g := s.replGate(); g != nil {
 		snap.Repl = g.Snap()
+	}
+	if g := s.shardGate(); g != nil {
+		snap.Shard = obs.ShardSnap{
+			Configured: true,
+			ID:         int64(g.ShardID()),
+			Count:      uint64(g.NumShards()),
+			MapVersion: g.MapVersion(),
+			WrongShard: ts.WrongShard,
+		}
 	}
 	return snap
 }
@@ -531,6 +580,20 @@ func (s *Server) handle(conn net.Conn) {
 		}
 
 		isWrite := q.op == opPut || q.op == opDelete
+
+		// Shard ownership: a keyed op for a key outside this node's
+		// range is bounced with the current shard map, BEFORE any dedup
+		// state is created — the client replays it (same id) against the
+		// owning group, under that server's own per-identity dedup
+		// session. Scans are exempt: the fan-out client queries every
+		// shard and each serves whatever of the range it holds.
+		if q.op == opGet || isWrite {
+			if g := s.shardGate(); g != nil && !g.Owns(q.key) {
+				s.wrongShard.Add(1)
+				lq.push(response{id: q.id, status: statusWrongShard, value: g.Hint()})
+				return rpc.Request{}, 0, false
+			}
+		}
 
 		// Read-replica redirect: a follower refuses writes BEFORE the
 		// dedup begin, so no session state is created for an op this
