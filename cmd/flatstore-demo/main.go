@@ -22,6 +22,7 @@ import (
 
 	"flatstore/internal/batch"
 	"flatstore/internal/core"
+	"flatstore/internal/index"
 	"flatstore/internal/obs"
 	"flatstore/internal/pmem"
 	"flatstore/internal/rpc"
@@ -32,18 +33,20 @@ func main() {
 	cores := flag.Int("cores", 4, "server cores")
 	chunks := flag.Int("chunks", 32, "arena size in 4MB chunks")
 	ordered := flag.Bool("ordered", true, "use FlatStore-M (ordered index with scan support)")
-	fsck := flag.String("fsck", "", "offline integrity check: open this image in salvage mode, scrub it, print a report, and exit (non-zero on corruption)")
+	fsck := flag.String("fsck", "", "offline integrity check: open this image in salvage mode, scrub it, walk any cold-tier segments, print a report, and exit (non-zero on corruption)")
+	tierDir := flag.String("tier-dir", "", "cold-tier segment directory (with -fsck: also verify every segment record)")
 	flag.Parse()
 
 	if *fsck != "" {
-		os.Exit(runFsck(*fsck))
+		os.Exit(runFsck(*fsck, *tierDir))
 	}
 
 	idx := core.IndexHash
 	if *ordered {
 		idx = core.IndexMasstree
 	}
-	cfg := core.Config{Cores: *cores, Mode: batch.ModePipelinedHB, Index: idx, ArenaChunks: *chunks}
+	cfg := core.Config{Cores: *cores, Mode: batch.ModePipelinedHB, Index: idx, ArenaChunks: *chunks,
+		Tier: core.TierConfig{Dir: *tierDir}}
 	st, err := core.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -215,6 +218,11 @@ func main() {
 			for g, gs := range s.Groups {
 				fmt.Printf("HB group %d: %d batches, %d stolen, %d leads\n", g, gs.Batches, gs.Stolen, gs.Leads)
 			}
+			if t := st.Tier(); t != nil {
+				ts := t.Stats()
+				fmt.Printf("cold tier: %d segments, %d records (%d dead), demoted %d, promoted %d, %d reads (%d bloom-filtered)\n",
+					ts.Segments, ts.Records, ts.DeadRecords, ts.Demoted, ts.Promoted, ts.Reads, ts.BloomFiltered)
+			}
 			st.Run()
 		case "metrics":
 			// The live observability snapshot (lock-free per-core merge) in
@@ -247,6 +255,9 @@ func main() {
 			obs.WritePrometheus(os.Stdout, &snap)
 		case "crash":
 			st.Stop()
+			if t := st.Tier(); t != nil {
+				t.Close() // the power cut takes the segment fds with it
+			}
 			crashedArena = st.Arena().Crash()
 			fmt.Println("power failure simulated; 'recover' to replay the OpLog")
 		case "recover":
@@ -258,6 +269,7 @@ func main() {
 			re, err := core.Open(core.Config{
 				Cores: *cores, Mode: batch.ModePipelinedHB, Index: idx,
 				ArenaChunks: *chunks, Arena: crashedArena,
+				Tier: core.TierConfig{Dir: *tierDir},
 			})
 			if err != nil {
 				fmt.Println("recovery failed:", err)
@@ -312,7 +324,11 @@ func main() {
 				continue
 			}
 			st.Stop()
-			re, err := core.Open(core.Config{Mode: batch.ModePipelinedHB, Index: idx, Arena: arena})
+			if t := st.Tier(); t != nil {
+				t.Close()
+			}
+			re, err := core.Open(core.Config{Mode: batch.ModePipelinedHB, Index: idx, Arena: arena,
+				Tier: core.TierConfig{Dir: *tierDir}})
 			if err != nil {
 				fmt.Println("recovery from image failed:", err)
 				st.Run()
@@ -336,10 +352,12 @@ func main() {
 // runFsck is the offline integrity checker: it opens an arena image in
 // salvage mode (so a corrupt image is repaired and reported instead of
 // refusing to open), runs one full scrub pass over the recovered state,
-// and prints what it found. Exit status: 0 clean, 1 corruption found
-// (salvaged — the image is usable but data was lost or quarantined),
-// 2 the image could not be opened at all.
-func runFsck(path string) int {
+// and — when a tier directory is given — walks every cold-tier segment
+// record through the same CRC verification the read path uses. Exit
+// status: 0 clean, 1 corruption found (salvaged — the image is usable
+// but data was lost or quarantined), 2 the image could not be opened at
+// all.
+func runFsck(path, tierDir string) int {
 	fh, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsck:", err)
@@ -352,7 +370,8 @@ func runFsck(path string) int {
 		return 2
 	}
 	start := time.Now()
-	st, err := core.Open(core.Config{Mode: batch.ModePipelinedHB, Arena: arena, Salvage: true})
+	st, err := core.Open(core.Config{Mode: batch.ModePipelinedHB, Arena: arena,
+		Tier: core.TierConfig{Dir: tierDir}, Salvage: true})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fsck: recovery failed even in salvage mode:", err)
 		return 2
@@ -371,6 +390,27 @@ func runFsck(path string) int {
 		dirty = true
 		fmt.Printf("scrub found damage: %d corrupt log regions, %d corrupt records, %d keys quarantined\n",
 			res.CorruptRegions, res.CorruptRecords, res.KeysQuarantined)
+	}
+	if t := st.Tier(); t != nil {
+		records, corrupt := t.VerifyAll(func(ref int64, key uint64, _ uint32, verr error) {
+			if verr != nil {
+				seg, off := index.ColdParts(ref)
+				fmt.Printf("  segment %d offset %d (key %d): %v\n", seg, off, key, verr)
+			}
+		})
+		fmt.Printf("tier: %d segment records verified", records)
+		if q, _ := t.QuarantinedFiles(); len(q) > 0 {
+			dirty = true
+			fmt.Printf(", %d segment files quarantined", len(q))
+			for _, p := range q {
+				fmt.Printf("\n  quarantined: %s", p)
+			}
+		}
+		fmt.Println()
+		if corrupt > 0 {
+			dirty = true
+			fmt.Printf("tier found damage: %d corrupt cold records (reads fail closed until the keys are overwritten)\n", corrupt)
+		}
 	}
 	st.Integrity().Fprint(os.Stdout)
 	if dirty {

@@ -51,6 +51,8 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "slow-client write deadline (0: default, <0: off)")
 	scrubEvery := flag.Duration("scrub-interval", 0, "online scrubber interval: verify log and record checksums in the background (0: off)")
 	salvage := flag.Bool("salvage", false, "repair media corruption on recovery (truncate + quarantine) instead of refusing to start")
+	tierDir := flag.String("tier-dir", "", "cold-tier segment directory: GC demotes cold records to log-structured files here when the arena runs low (empty: tiering off)")
+	tierThreshold := flag.Int("tier-threshold", 0, "free-chunk watermark that triggers demotion to the cold tier (0: default 3; needs -tier-dir)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus /metrics and /metrics.json on this address, e.g. 127.0.0.1:6060 (empty: off)")
 	slowOp := flag.Duration("slow-op", 0, "trace requests at/above this latency into the slow-op ring (0: off)")
 	role := flag.String("role", "solo", "replication role: solo, primary, or follower")
@@ -109,7 +111,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *slowOp, *salvage, sopts, rf, gate); err != nil {
+	if *tierThreshold != 0 && *tierDir == "" {
+		fmt.Fprintln(os.Stderr, "flatstore-server: -tier-threshold needs -tier-dir")
+		os.Exit(2)
+	}
+	tc := core.TierConfig{Dir: *tierDir, DemoteFreeChunks: *tierThreshold}
+	if err := run(*addr, *data, *cores, *chunks, *ordered, *gc, *ckptEvery, *scrubEvery, *slowOp, *salvage, tc, sopts, rf, gate); err != nil {
 		fmt.Fprintln(os.Stderr, "flatstore-server:", err)
 		os.Exit(1)
 	}
@@ -144,14 +151,14 @@ func shardGate(id, count int, spec string, vnodes int, version uint64) (*cluster
 	return cluster.NewGate(m, id)
 }
 
-func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery, slowOp time.Duration, salvage bool, sopts tcp.ServerOptions, rf replFlags, gate *cluster.Gate) error {
+func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scrubEvery, slowOp time.Duration, salvage bool, tc core.TierConfig, sopts tcp.ServerOptions, rf replFlags, gate *cluster.Gate) error {
 	idx := core.IndexHash
 	if ordered {
 		idx = core.IndexMasstree
 	}
 	cfg := core.Config{
 		Cores: cores, Mode: batch.ModePipelinedHB, Index: idx,
-		ArenaChunks: chunks, GC: core.GCConfig{Enabled: gc},
+		ArenaChunks: chunks, GC: core.GCConfig{Enabled: gc}, Tier: tc,
 		Salvage: salvage, ScrubEvery: scrubEvery, SlowOpThreshold: slowOp,
 	}
 
@@ -165,7 +172,7 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 			}
 			start := time.Now()
 			st, rerr = core.Open(core.Config{Mode: cfg.Mode, Index: idx,
-				GC: cfg.GC, Arena: arena,
+				GC: cfg.GC, Arena: arena, Tier: tc,
 				Salvage: salvage, ScrubEvery: scrubEvery,
 				SlowOpThreshold: slowOp})
 			if rerr != nil {
@@ -186,6 +193,10 @@ func run(addr, data string, cores, chunks int, ordered, gc bool, ckptEvery, scru
 		}
 		fmt.Printf("created new store (%d cores, %d MB arena, %s)\n",
 			cores, chunks*4, idx)
+	}
+	if t := st.Tier(); t != nil {
+		ts := t.Stats()
+		fmt.Printf("cold tier: %s (%d segments, %d records)\n", t.Dir(), ts.Segments, ts.Records)
 	}
 
 	// The replication node must exist before Run (the seal hook installs

@@ -49,6 +49,25 @@ type GCConfig struct {
 	MinFreeChunks int
 }
 
+// TierConfig wires the cold disk tier (internal/tier): a log-structured
+// file store GC demotes cold records into when the PM arena runs low,
+// turning the arena into the hot tier of a two-tier system (ROADMAP
+// item 2).
+type TierConfig struct {
+	// Dir roots the segment files. Empty disables tiering entirely —
+	// every other field is then ignored and the engine behaves exactly
+	// as before.
+	Dir string
+	// DemoteFreeChunks is the free-pool threshold below which the
+	// cleaner starts demoting live records from cold (unread) chunks
+	// instead of relocating them. Below GC.MinFreeChunks demotion is
+	// unconditional. Default 3.
+	DemoteFreeChunks int
+	// CompactRatio is the dead-record fraction above which a segment
+	// becomes a tier-compaction victim. Default 0.5.
+	CompactRatio float64
+}
+
 // Config assembles a Store.
 type Config struct {
 	// Cores is the number of server cores (≤ MaxCores).
@@ -77,6 +96,8 @@ type Config struct {
 	MaxPoll int
 	// GC tunes the cleaner.
 	GC GCConfig
+	// Tier wires the cold disk tier; Tier.Dir == "" disables it.
+	Tier TierConfig
 	// Salvage makes recovery repair media corruption instead of failing:
 	// each log is truncated at its first invalid batch, keys whose last
 	// acknowledged value is lost or doubtful are quarantined (reads
@@ -134,6 +155,14 @@ func (c *Config) validate() error {
 	}
 	if c.GC.MinFreeChunks == 0 {
 		c.GC.MinFreeChunks = 2
+	}
+	if c.Tier.Dir != "" {
+		if c.Tier.DemoteFreeChunks == 0 {
+			c.Tier.DemoteFreeChunks = 3
+		}
+		if c.Tier.CompactRatio == 0 {
+			c.Tier.CompactRatio = 0.5
+		}
 	}
 	return nil
 }

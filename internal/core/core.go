@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"flatstore/internal/alloc"
 	"flatstore/internal/batch"
@@ -73,6 +74,46 @@ type Core struct {
 	leadOffs    []int64
 
 	reads uint64 // PM reads (for the simulator's cost model)
+
+	// Deferred frees. CoreAlloc is single-owner (only this core's
+	// goroutine may call Alloc/Free), but GC demotion — which runs on
+	// the group cleaner — releases the PM record blocks of demoted
+	// values. The cleaner enqueues those frees here and the owning core
+	// drains them in DrainCompletedLimit; freeN is the cheap hot-path
+	// "anything queued?" check.
+	freeMu sync.Mutex
+	freeQ  []recFree
+	freeN  atomic.Int32
+}
+
+// recFree is one deferred record-block free (a demoted value's PM copy).
+type recFree struct {
+	ptr  int64
+	size int
+}
+
+// enqueueFree queues a record-block free for the owning core (called by
+// the group cleaner after a successful demotion repoint).
+func (c *Core) enqueueFree(ptr int64, size int) {
+	c.freeMu.Lock()
+	c.freeQ = append(c.freeQ, recFree{ptr, size})
+	c.freeMu.Unlock()
+	c.freeN.Add(1)
+}
+
+// drainFrees releases queued record blocks on the owning core.
+func (c *Core) drainFrees() {
+	c.freeMu.Lock()
+	q := c.freeQ
+	c.freeQ = nil
+	c.freeMu.Unlock()
+	if len(q) == 0 {
+		return
+	}
+	c.freeN.Add(int32(-len(q)))
+	for _, fr := range q {
+		c.ca.Free(fr.ptr, fr.size, c.f)
+	}
 }
 
 // pendingSlot bundles the per-write allocations — the PendingOp, its log
@@ -151,7 +192,7 @@ type deferred struct {
 // in-flight count drains to zero; once anything is parked, later writes
 // park behind it too, preserving arrival order per key.
 type inflight struct {
-	count   int   // unacknowledged puts/deletes
+	count   int    // unacknowledged puts/deletes
 	lastVer uint32 // version handed to the most recent in-flight op
 	waiters []deferred
 }
@@ -362,10 +403,15 @@ func (c *Core) noteDone(kind int, key uint64, status uint8, t0, seal, flush, idx
 	}
 }
 
-// readEntry decodes the log entry at ref and materializes its value.
-// corrupt reports an out-of-place record that failed its CRC: the bytes
-// rotted at rest, and the caller must not treat the key as merely absent.
-func (c *Core) readEntry(ref int64) (val []byte, ok, corrupt bool) {
+// readEntry materializes the value behind ref: a PM log entry, or —
+// when ref carries the tier bit — a cold-tier record. key is the key
+// the caller resolved ref from; the cold path cross-checks it against
+// the record's stored key. corrupt reports bytes that failed their CRC
+// (either tier): the caller must not treat the key as merely absent.
+func (c *Core) readEntry(key uint64, ref int64) (val []byte, ok, corrupt bool) {
+	if index.Cold(ref) {
+		return c.readCold(key, ref)
+	}
 	c.st.reclaimMu.RLock()
 	defer c.st.reclaimMu.RUnlock()
 	mem := c.st.arena.Mem()
@@ -374,6 +420,11 @@ func (c *Core) readEntry(ref int64) (val []byte, ok, corrupt bool) {
 		return nil, false, false
 	}
 	c.reads++
+	if c.st.tier != nil {
+		// Access tracking for demotion: a chunk whose entries are being
+		// read is hot and should be relocated, not demoted.
+		c.st.usage.noteRead(chunkOf(ref))
+	}
 	if e.Inline {
 		out := bufpool.Get(len(e.Value))
 		copy(out, e.Value)
@@ -384,6 +435,29 @@ func (c *Core) readEntry(ref int64) (val []byte, ok, corrupt bool) {
 		return nil, false, true
 	}
 	v := record.View(c.st.arena, e.Ptr)
+	out := bufpool.Get(len(v))
+	copy(out, v)
+	return out, true, false
+}
+
+// readCold reads a tier-resident record. The segment bloom is consulted
+// first so a stale ref (segment compacted away underneath a scan) costs
+// no disk read; the record's CRC and stored key must both check out or
+// the read fails closed as corrupt.
+func (c *Core) readCold(key uint64, ref int64) (val []byte, ok, corrupt bool) {
+	t := c.st.tier
+	if t == nil {
+		// A cold ref with no tier configured is unresolvable: fail
+		// closed rather than invent a miss.
+		return nil, false, true
+	}
+	if !t.SegmentMayContain(ref, key) {
+		return nil, false, false
+	}
+	k, _, v, err := t.Get(ref)
+	if err != nil || k != key {
+		return nil, false, true
+	}
 	out := bufpool.Get(len(v))
 	copy(out, v)
 	return out, true, false
@@ -428,15 +502,26 @@ func (c *Core) quarantineLocked(key uint64, ver uint32) {
 }
 
 func (c *Core) respondGet(req rpc.Request, client int, t0 int64) {
-	c.idxMu.Lock()
-	ref, ver, ok := c.idx.Get(req.Key)
-	_, quarantined := c.quar[req.Key]
-	c.idxMu.Unlock()
 	resp := rpc.Response{ID: req.ID, Status: rpc.StatusNotFound}
-	if quarantined {
-		resp.Status = rpc.StatusCorrupt
-	} else if ok {
-		v, vok, corrupt := c.readEntry(ref)
+	for attempt := 0; attempt < 4; attempt++ {
+		c.idxMu.Lock()
+		ref, ver, ok := c.idx.Get(req.Key)
+		_, quarantined := c.quar[req.Key]
+		c.idxMu.Unlock()
+		if quarantined {
+			resp.Status = rpc.StatusCorrupt
+			break
+		}
+		if !ok {
+			break
+		}
+		v, vok, corrupt := c.readEntry(req.Key, ref)
+		if (corrupt || !vok) && c.refMoved(req.Key, ref) {
+			// The record moved underneath us (GC relocation, demotion,
+			// promotion, or tier compaction repointed the key between
+			// the index lookup and the read): chase the fresh ref.
+			continue
+		}
 		switch {
 		case corrupt:
 			// Detected on the read path (rot since the last scrub):
@@ -445,11 +530,82 @@ func (c *Core) respondGet(req rpc.Request, client int, t0 int64) {
 			c.st.noteChecksumErrors(1)
 			resp.Status = rpc.StatusCorrupt
 		case vok:
+			if index.Cold(ref) {
+				// Transparent promotion: the cold record is being read,
+				// so bring it back to the hot tier (best effort).
+				c.promote(req.Key, ref, ver, v)
+			}
 			resp = rpc.Response{ID: req.ID, Status: rpc.StatusOK, Value: v}
 		}
+		break
 	}
 	c.noteDone(obs.KindGet, req.Key, resp.Status, t0, 0, 0, 0)
 	c.outbox = append(c.outbox, Outgoing{client, resp})
+}
+
+// refMoved reports whether the index no longer maps key to ref — a read
+// that failed against ref should then retry rather than conclude
+// missing/corrupt.
+func (c *Core) refMoved(key uint64, ref int64) bool {
+	c.idxMu.Lock()
+	cur, _, ok := c.idx.Get(key)
+	c.idxMu.Unlock()
+	return ok && cur != ref
+}
+
+// promote re-appends a tier-resident value to this core's PM log under
+// its existing version and repoints the index, so subsequent reads of
+// the key are PM hits again. Best-effort: on any failure the key simply
+// stays cold (the value was already served from the tier). Writing the
+// same (version, value) the tier holds keeps every recovery resolution
+// correct whichever copy it picks.
+func (c *Core) promote(key uint64, coldRef int64, ver uint32, val []byte) {
+	e := oplog.Entry{Op: oplog.OpPut, Version: ver, Key: key}
+	var blk int64 = -1
+	if len(val) == 0 || len(val) > c.st.cfg.InlineMax {
+		b, err := c.ca.Alloc(record.Size(len(val)), c.f)
+		if err != nil {
+			return
+		}
+		record.Persist(c.f, b, val)
+		blk = b
+		e.Ptr = b
+	} else {
+		e.Inline = true
+		e.Value = val
+	}
+	off, err := c.log.Append(c.f, &e)
+	if err != nil {
+		if blk >= 0 {
+			c.ca.Free(blk, record.Size(len(val)), c.f)
+		}
+		return
+	}
+	size := e.EncodedSize()
+	c.accountAppend(off, size)
+	promoted := false
+	c.idxMu.Lock()
+	if c.idx.CompareAndSwapRef(key, coldRef, off) {
+		promoted = true
+	} else {
+		// A concurrent tier compaction moved the cold copy first: the
+		// fresh PM entry is not the index target, i.e. a stale log copy
+		// the registry must account for (recovery recomputes stale as
+		// put-entries-minus-index-target).
+		m := c.reg[key]
+		if m == nil {
+			m = &keyMeta{lastVer: ver}
+			c.reg[key] = m
+		}
+		m.stale++
+	}
+	c.idxMu.Unlock()
+	if promoted {
+		c.st.tier.MarkDead(coldRef)
+		c.st.tier.NotePromoted(1)
+	} else {
+		c.st.usage.markDead(chunkOf(off), size)
+	}
 }
 
 func (c *Core) respondScan(req rpc.Request, client int, t0 int64) {
@@ -473,8 +629,26 @@ func (c *Core) respondScan(req rpc.Request, client int, t0 int64) {
 	// Quarantined keys are absent from the index and therefore silently
 	// skipped by scans; corrupt records discovered mid-scan are skipped
 	// too (the scrubber or a direct Get quarantines them).
+	// The index orders keys across both tiers, so a single index walk
+	// yields a globally ordered, duplicate-free merge: readEntry resolves
+	// each ref to PM bytes or a cold segment read as the tier bit says.
 	ordered.Scan(req.Key, req.ScanHi, func(k uint64, ref int64, _ uint32) bool {
-		if v, vok, _ := c.readEntry(ref); vok {
+		v, vok, _ := c.readEntry(k, ref)
+		for attempt := 0; !vok && attempt < 3; attempt++ {
+			// The record may have moved mid-scan (GC relocation,
+			// demotion, tier compaction): re-resolve under the owning
+			// core's index lock and retry before skipping the key.
+			oc := c.st.cores[c.st.CoreOf(k)]
+			oc.idxMu.Lock()
+			ref2, _, ok2 := oc.idx.Get(k)
+			oc.idxMu.Unlock()
+			if !ok2 || ref2 == ref {
+				break
+			}
+			ref = ref2
+			v, vok, _ = c.readEntry(k, ref)
+		}
+		if vok {
 			pairs = append(pairs, rpc.Pair{Key: k, Value: v})
 		}
 		return len(pairs) < limit
@@ -704,6 +878,9 @@ func (c *Core) DrainCompleted() int {
 // queue advances by head index so the backing array is reused instead of
 // re-grown once drained.
 func (c *Core) DrainCompletedLimit(max int) int {
+	if c.freeN.Load() > 0 {
+		c.drainFrees()
+	}
 	n := 0
 	for n < max && c.pendHead < len(c.pending) && c.pending[c.pendHead].Done() {
 		op := c.pending[c.pendHead]
@@ -765,33 +942,40 @@ func (c *Core) complete(op *batch.PendingOp) {
 		// in version order on the owning core).
 		var oldRef, oldPtr int64 = -1, -1
 		var oldSize, oldLen int
-		rotted := false
+		rotted, oldCold := false, false
 		c.idxMu.Lock()
 		if ref, _, ok := c.idx.Get(ctx.key); ok {
 			oldRef = ref
-			c.st.reclaimMu.RLock()
-			if e, n, err := oplog.Decode(c.st.arena.Mem()[oldRef:]); err == nil && e.Op == oplog.OpPut {
-				oldSize = n
-				if !e.Inline {
-					// Verify before freeing: a rotted length would derive
-					// the wrong size class and corrupt the allocator. A
-					// block whose record rotted is leaked instead (salvage
-					// recovery reclaims it as unreferenced).
-					if record.Verify(c.st.arena, e.Ptr) == nil {
-						oldPtr = e.Ptr
-						oldLen = record.Size(record.Len(c.st.arena, e.Ptr))
-					} else {
-						rotted = true
+			if index.Cold(ref) {
+				// The superseded copy lives in the cold tier: nothing in
+				// the arena to decode or free — mark the segment record
+				// dead after the index update instead.
+				oldCold = true
+			} else {
+				c.st.reclaimMu.RLock()
+				if e, n, err := oplog.Decode(c.st.arena.Mem()[oldRef:]); err == nil && e.Op == oplog.OpPut {
+					oldSize = n
+					if !e.Inline {
+						// Verify before freeing: a rotted length would derive
+						// the wrong size class and corrupt the allocator. A
+						// block whose record rotted is leaked instead (salvage
+						// recovery reclaims it as unreferenced).
+						if record.Verify(c.st.arena, e.Ptr) == nil {
+							oldPtr = e.Ptr
+							oldLen = record.Size(record.Len(c.st.arena, e.Ptr))
+						} else {
+							rotted = true
+						}
 					}
 				}
+				c.st.reclaimMu.RUnlock()
 			}
-			c.st.reclaimMu.RUnlock()
 		}
 		switch ctx.op {
 		case rpc.OpPut:
 			c.idx.Put(ctx.key, off, ctx.version)
 			m := c.reg[ctx.key]
-			if oldRef >= 0 {
+			if oldRef >= 0 && !oldCold {
 				if m == nil {
 					m = &keyMeta{}
 					c.reg[ctx.key] = m
@@ -809,7 +993,7 @@ func (c *Core) complete(op *batch.PendingOp) {
 				m = &keyMeta{}
 				c.reg[ctx.key] = m
 			}
-			if oldRef >= 0 {
+			if oldRef >= 0 && !oldCold {
 				m.stale++
 			}
 			m.lastVer = ctx.version
@@ -831,7 +1015,9 @@ func (c *Core) complete(op *batch.PendingOp) {
 		if rotted {
 			c.st.noteChecksumErrors(1)
 		}
-		if oldRef >= 0 {
+		if oldCold {
+			c.st.tier.MarkDead(oldRef)
+		} else if oldRef >= 0 {
 			c.st.usage.markDead(chunkOf(oldRef), oldSize)
 		}
 		if oldPtr >= 0 {

@@ -46,7 +46,7 @@ func FuzzCheckpointDecode(f *testing.F) {
 		if err := st.resetVolatile(); err != nil {
 			t.Fatal(err)
 		}
-		_ = st.loadCheckpoint(body)
+		_ = st.loadCheckpoint(body, false)
 
 		if err := st.resetVolatile(); err != nil {
 			t.Fatal(err)
@@ -54,6 +54,6 @@ func FuzzCheckpointDecode(f *testing.F) {
 		signed := make([]byte, len(body)+8)
 		copy(signed, body)
 		binary.LittleEndian.PutUint64(signed[len(body):], ckptChecksum(body))
-		_ = st.loadCheckpoint(signed)
+		_ = st.loadCheckpoint(signed, true)
 	})
 }

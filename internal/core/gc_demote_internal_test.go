@@ -1,0 +1,175 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/index"
+	"flatstore/internal/tier"
+)
+
+// coldRefs counts index entries currently pointing at the cold tier.
+func coldRefs(st *Store) int {
+	n := 0
+	for _, c := range st.cores {
+		c.idxMu.Lock()
+		c.idx.Range(func(_ uint64, ref int64, _ uint32) bool {
+			if index.Cold(ref) {
+				n++
+			}
+			return true
+		})
+		c.idxMu.Unlock()
+	}
+	return n
+}
+
+// TestCleanOnceDemotionWriteFailure pins the demotion arm of the
+// cleaner's commit-point contract. A segment write that fails must leave
+// PM exactly as it was: with the chunk pool also empty the whole
+// CleanOnce is a registry-identical no-op, and with space available the
+// cleaner silently falls back to relocation — no cold refs, no stray
+// tmp files, nothing demoted. Only once the tier accepts writes may
+// index entries start pointing at disk, and a crash afterwards must
+// still recover every key to its correct state.
+func TestCleanOnceDemotionWriteFailure(t *testing.T) {
+	cfg := Config{Cores: 1, Mode: batch.ModePipelinedHB, ArenaChunks: 12,
+		GC:   GCConfig{DeadRatio: 0.3},
+		Tier: TierConfig{Dir: t.TempDir(), DemoteFreeChunks: 1 << 10, CompactRatio: 0.5}}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	cl := st.Connect()
+	// Same shape as the relocation idempotency test: churn plus
+	// never-overwritten "keep" keys in every chunk, and late deletes whose
+	// tombstone guards the failed clean must not disturb.
+	filler := make([]byte, 200)
+	unique := uint64(10_000)
+	for r := 0; r < 100; r++ {
+		for k := uint64(0); k < 250; k++ {
+			if err := cl.Put(1000+k, filler); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cl.Put(unique, []byte("keep")); err != nil {
+			t.Fatal(err)
+		}
+		unique++
+	}
+	for k := uint64(1000); k < 1010; k++ {
+		if _, err := cl.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Stop()
+
+	before := regSnapshot(st)
+	if len(before) == 0 {
+		t.Fatal("workload built no tombstone guards; test would assert nothing")
+	}
+
+	// Disk full: every segment write dies before its first byte syncs.
+	st.tier.SetHook(func(p tier.Point) error {
+		if p.Stage == tier.StageTmpWritten {
+			return errors.New("injected: disk full")
+		}
+		return nil
+	})
+
+	// Phase 1: tier failing AND chunk pool empty — the demote set folds
+	// back into the relocate set, relocation cannot allocate a survivor,
+	// and the whole pass must be a no-op.
+	var hoard []int64
+	for {
+		off, err := st.al.AllocRawChunk()
+		if err != nil {
+			break
+		}
+		hoard = append(hoard, off)
+	}
+	cleaner := st.NewCleaner(0)
+	for attempt := 0; attempt < 3; attempt++ {
+		cleaner.CleanOnce()
+		if got := cleaner.Stats(); got != (CleanerStats{}) {
+			t.Fatalf("attempt %d: clean claimed progress with tier and pool both failing: %+v", attempt, got)
+		}
+		if after := regSnapshot(st); !regEqual(before, after) {
+			t.Fatalf("attempt %d: failed CleanOnce mutated the registry (%d -> %d guards)",
+				attempt, len(before), len(after))
+		}
+		if v := st.JournalSlot(0); v != 0 {
+			t.Fatalf("attempt %d: failed CleanOnce left journal slot set: %#x", attempt, v)
+		}
+		if n := coldRefs(st); n != 0 {
+			t.Fatalf("attempt %d: %d index entries point at a tier that never accepted a write", attempt, n)
+		}
+	}
+	if tmp, err := st.tier.TmpFiles(); err != nil || len(tmp) != 0 {
+		t.Fatalf("failed segment writes left tmp files: %v (err %v)", tmp, err)
+	}
+	if s := st.tier.Stats(); s.SegmentsWritten != 0 {
+		t.Fatalf("tier claims %d segments written through a failing hook", s.SegmentsWritten)
+	}
+
+	// Phase 2: space returns but the tier still fails — the cleaner must
+	// make progress via plain relocation, demoting nothing.
+	f := st.arena.NewFlusher()
+	for _, off := range hoard {
+		st.al.FreeRawChunk(off, f)
+	}
+	for i := 0; i < 50 && cleaner.Stats().Cleaned == 0; i++ {
+		cleaner.CleanOnce()
+	}
+	mid := cleaner.Stats()
+	if mid.Cleaned == 0 {
+		t.Fatal("cleaner made no progress after the chunk pool was refilled")
+	}
+	if mid.Demoted != 0 {
+		t.Fatalf("cleaner demoted %d records through a failing tier", mid.Demoted)
+	}
+	if n := coldRefs(st); n != 0 {
+		t.Fatalf("relocate fallback left %d cold refs", n)
+	}
+
+	// Phase 3: the disk heals — demotion proper must now kick in and
+	// repoint index entries at durable cold copies.
+	st.tier.SetHook(nil)
+	for i := 0; i < 50 && cleaner.Stats().Demoted == 0; i++ {
+		if cleaner.CleanOnce() == 0 {
+			break
+		}
+	}
+	if got := cleaner.Stats(); got.Demoted == 0 {
+		t.Fatalf("no demotion after the tier healed: %+v", got)
+	}
+	if n := coldRefs(st); n == 0 {
+		t.Fatal("demotion reported progress but no index entry points at the tier")
+	}
+
+	// Crash: the failed-then-retried-then-demoted history must recover
+	// clean — deleted keys stay dead, keeps stay live (hot or cold).
+	st.tier.Close()
+	cfg2 := cfg
+	cfg2.Arena = st.arena.Crash()
+	re, err := Open(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Run()
+	defer re.Stop()
+	cl2 := re.Connect()
+	for k := uint64(1000); k < 1010; k++ {
+		if _, ok, _ := cl2.Get(k); ok {
+			t.Fatalf("deleted key %d resurrected after failed-then-demoted GC", k)
+		}
+	}
+	for k := uint64(10_000); k < unique; k++ {
+		v, ok, _ := cl2.Get(k)
+		if !ok || string(v) != "keep" {
+			t.Fatalf("live key %d lost after failed-then-demoted GC", k)
+		}
+	}
+}

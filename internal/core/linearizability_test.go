@@ -62,12 +62,6 @@ func decodeVal(b []byte) (uint64, bool) {
 }
 
 func TestLinearizabilityUnderFaults(t *testing.T) {
-	clients, opsPerClient := 6, 200
-	if testing.Short() {
-		clients, opsPerClient = 4, 80
-	}
-	const keys = 8
-
 	st, err := core.New(core.Config{
 		Cores: 4, Mode: batch.ModePipelinedHB, Index: core.IndexMasstree,
 		ArenaChunks: 64,
@@ -83,6 +77,101 @@ func TestLinearizabilityUnderFaults(t *testing.T) {
 	}
 	st.Run()
 	defer st.Stop()
+	runLinearizability(t, st)
+}
+
+// TestLinearizabilityWithTiering reruns the same history checker against
+// a store whose arena is small enough — and whose demotion watermark is
+// high enough — that the background cleaners keep pushing the checked
+// keys to disk while clients race them: every Get/Scan may land on a PM
+// entry, a cold segment record, or a just-promoted copy, and the merged
+// history must still linearize.
+func TestLinearizabilityWithTiering(t *testing.T) {
+	st, err := core.New(core.Config{
+		Cores: 4, Mode: batch.ModePipelinedHB, Index: core.IndexMasstree,
+		ArenaChunks: 16,
+		GC:          core.GCConfig{Enabled: true, DeadRatio: 0.2},
+		Tier: core.TierConfig{
+			Dir: t.TempDir(), DemoteFreeChunks: 1 << 10, CompactRatio: 0.3,
+		},
+		SlowOpThreshold: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Run()
+	defer st.Stop()
+
+	// Prefill churn on a disjoint key range closes chunks on every core so
+	// the always-on demotion pressure has victims from the first moment.
+	pre := st.Connect()
+	filler := make([]byte, 250)
+	rounds := 16
+	if testing.Short() {
+		rounds = 8
+	}
+	for r := 0; r < rounds; r++ {
+		for k := uint64(100_000); k < 104_000; k++ {
+			if err := pre.Put(k, filler); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Tier().Stats().Demoted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background cleaners demoted nothing before the run")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Background churn keeps the cleaners busy for the whole client run,
+	// so demotions keep interleaving with the checked operations.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := pre.Put(100_000+i%4_000, filler); err != nil {
+				t.Errorf("churn: %v", err)
+				return
+			}
+		}
+	}()
+
+	runLinearizability(t, st)
+	close(stop)
+	<-done
+
+	// Quiescent sweep of the churn range: live demoted keys must all read
+	// back through the cold path.
+	for k := uint64(100_000); k < 104_000; k++ {
+		if _, ok, err := pre.Get(k); err != nil || !ok {
+			t.Fatalf("churn key %d after run: ok=%v err=%v", k, ok, err)
+		}
+	}
+	ts := st.Tier().Stats()
+	if ts.Demoted == 0 || ts.Reads == 0 {
+		t.Fatalf("run never touched the tier: %+v", ts)
+	}
+	t.Logf("tier during run: demoted %d, cold reads %d, promoted %d, compactions %d",
+		ts.Demoted, ts.Reads, ts.Promoted, ts.Compactions)
+}
+
+// runLinearizability drives the concurrent clients against an already
+// running store and checks the merged history.
+func runLinearizability(t *testing.T, st *core.Store) {
+	clients, opsPerClient := 6, 200
+	if testing.Short() {
+		clients, opsPerClient = 4, 80
+	}
+	const keys = 8
+
 	srv := tcp.NewServer(st)
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

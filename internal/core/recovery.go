@@ -5,14 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
 	"sync"
 
 	"flatstore/internal/alloc"
+	"flatstore/internal/index"
 	"flatstore/internal/index/masstree"
 	"flatstore/internal/oplog"
 	"flatstore/internal/pmem"
 	"flatstore/internal/record"
 	"flatstore/internal/rpc"
+	"flatstore/internal/tier"
 )
 
 // Open rebuilds a Store from an existing arena (cfg.Arena is required):
@@ -51,6 +54,12 @@ func Open(cfg Config) (*Store, error) {
 			return nil, err
 		}
 		st.cores = append(st.cores, c)
+	}
+	// The cold tier opens before either recovery path: crash replay
+	// rebuilds tier-resident index entries from segment footers, and the
+	// clean path's checkpoint may hold cold refs that must resolve.
+	if err := st.openTier(!cfg.Salvage); err != nil {
+		return nil, err
 	}
 
 	clean := arena.ReadUint64(offFlag) == flagClean
@@ -171,7 +180,12 @@ func (st *Store) openCrash() error {
 		// pointer updates), so bounds-check before slicing and let the
 		// checksum reject mismatched halves.
 		if length > 0 && ptr > 0 && ptr+int64(length) <= int64(arena.Size()) {
-			if err := st.loadCheckpoint(arena.Mem()[ptr : ptr+int64(length)]); err == nil {
+			// Cold index triples are dropped from a crash seed: tier
+			// compaction between the checkpoint and the crash may have
+			// rewritten or removed the segments they name, and unlike PM
+			// refs there is no same-version log copy to repair them. The
+			// footer replay below re-establishes every live cold ref.
+			if err := st.loadCheckpoint(arena.Mem()[ptr:ptr+int64(length)], true); err == nil {
 				seeded = true
 				// The blob's storage must survive as a live allocation:
 				// the descriptor still references it, and the next
@@ -353,12 +367,57 @@ func (st *Store) openCrash() error {
 		st.super.PersistUint64(int(ch), 0)
 	}
 
+	// Cold-tier records replay from segment footers through the same
+	// version-gated path as PM entries. Range walks segments in
+	// ascending ID (= write order), so among equal-version duplicates
+	// left by a crashed compaction the first written wins
+	// deterministically. Tier records never count into putCounts: they
+	// are not PM log entries and must not inflate the stale counts the
+	// tombstone guard relies on.
+	type tierRec struct {
+		ref int64
+		key uint64
+		ver uint32
+	}
+	tshard := make([][]tierRec, ncores)
+	if st.tier != nil {
+		st.tier.Range(func(ref int64, key uint64, ver uint32) bool {
+			owner := st.CoreOf(key)
+			tshard[owner] = append(tshard[owner], tierRec{ref: ref, key: key, ver: ver})
+			return true
+		})
+	}
+
 	for owner := range st.cores {
 		wg.Add(1)
 		go func(owner int) {
 			defer wg.Done()
 			oc := st.cores[owner]
 			counts := putCounts[owner]
+			// Tier records apply first: a demoted key whose PM copies
+			// were all reclaimed exists only in a segment footer. An
+			// equal-version tier record is accepted only when nothing
+			// else claims the key — either version ordering or the PM
+			// apply below (which beats a cold ref at equal version)
+			// settles every crash interleaving of a demotion.
+			for _, t := range tshard[owner] {
+				m := oc.reg[t.key]
+				if m == nil {
+					m = &keyMeta{}
+					oc.reg[t.key] = m
+				}
+				newer := t.ver > m.lastVer
+				if !newer && t.ver == m.lastVer && !m.deleted {
+					if _, _, ok := oc.idx.Get(t.key); !ok {
+						newer = true
+					}
+				}
+				if newer {
+					m.lastVer = t.ver
+					m.deleted = false
+					oc.idx.Put(t.key, t.ref, t.ver)
+				}
+			}
 			apply := func(r recEntry) {
 				m := oc.reg[r.key]
 				if m == nil {
@@ -379,6 +438,16 @@ func (st *Store) openCrash() error {
 					// Same-version copies (GC relocations) refresh the
 					// reference a checkpoint may hold stale.
 					newer = newer || r.ver == m.lastVer
+				}
+				if !newer && r.ver == m.lastVer && !m.deleted {
+					// Equal version against a cold ref: the PM copy wins.
+					// A crash between a demotion's segment write and the
+					// victim unlink leaves both copies; preferring PM
+					// keeps the hot path on the arena and makes the
+					// stranded cold copy plain dead-segment garbage.
+					if ref, _, ok := oc.idx.Get(r.key); ok && index.Cold(ref) {
+						newer = true
+					}
 				}
 				if newer {
 					m.lastVer = r.ver
@@ -480,6 +549,29 @@ func (st *Store) openCrash() error {
 		for _, s := range extraSuspects {
 			quarCand(s.key, s.ver, false)
 		}
+
+		// Quarantined tier segments (footer rot condemned the whole file)
+		// may hide the only copy of demoted keys. Harvest every record
+		// whose CRC still verifies — key and version are then reliable, so
+		// coverage by surviving state clears them like trusted candidates.
+		// Leftover files from earlier salvages are re-harvested on purpose:
+		// quarantine state is volatile, and the re-scan restores it across
+		// restarts until the keys are overwritten and the files removed.
+		if st.tier != nil {
+			qfiles, qerr := st.tier.QuarantinedFiles()
+			if qerr != nil {
+				return qerr
+			}
+			for _, p := range qfiles {
+				b, rerr := os.ReadFile(p)
+				if rerr != nil {
+					return rerr
+				}
+				for _, r := range tier.ScanQuarantined(b) {
+					quarCand(r.Key, r.Ver, true)
+				}
+			}
+		}
 	}
 
 	// Post-pass: re-mark allocator blocks referenced by live entries,
@@ -492,21 +584,67 @@ func (st *Store) openCrash() error {
 		key uint64
 		ver uint32
 	}
+	// tierAlt maps key → the best cold copy (highest version; first
+	// written wins a tie), used to rescue keys whose seeded PM ref
+	// rotted or dangles but whose value was demoted intact.
+	type tierAlt struct {
+		ref int64
+		ver uint32
+	}
+	var tierByKey map[uint64]tierAlt
+	if st.tier != nil {
+		tierByKey = map[uint64]tierAlt{}
+		st.tier.Range(func(ref int64, key uint64, ver uint32) bool {
+			if a, ok := tierByKey[key]; !ok || ver > a.ver {
+				tierByKey[key] = tierAlt{ref: ref, ver: ver}
+			}
+			return true
+		})
+	}
+	type rescue struct {
+		key uint64
+		ref int64
+		ver uint32
+	}
 	var badRefs []badRef
+	var rescues []rescue
+	condemn := func(key uint64, ver uint32) {
+		// Before quarantining, try the cold tier: an exact-version
+		// record that verifies end to end can stand in for the lost PM
+		// copy. The index repoint is deferred — mutating during Range
+		// is not safe.
+		if a, ok := tierByKey[key]; ok && a.ver == ver {
+			if k, v, _, err := st.tier.Get(a.ref); err == nil && k == key && v == ver {
+				rescues = append(rescues, rescue{key: key, ref: a.ref, ver: ver})
+				return
+			}
+		}
+		badRefs = append(badRefs, badRef{key, ver})
+	}
 	markLive := func(key uint64, ref int64, ver uint32) bool {
+		if index.Cold(ref) {
+			// Tier-resident entries verify through the tier's own
+			// CRC-checked read path; they reference no arena blocks and
+			// contribute no log bytes.
+			k, v, _, err := st.tier.Get(ref)
+			if err != nil || k != key || v != ver {
+				badRefs = append(badRefs, badRef{key, ver})
+			}
+			return true
+		}
 		e, n, err := oplog.Decode(arena.Mem()[ref:])
 		if err != nil || e.Op != oplog.OpPut || e.Key != key {
-			badRefs = append(badRefs, badRef{key, ver})
+			condemn(key, ver)
 			return true
 		}
 		if !e.Inline {
 			vlen, ok := record.LenBounded(arena, e.Ptr)
 			if !ok || record.Verify(arena, e.Ptr) != nil {
-				badRefs = append(badRefs, badRef{key, ver})
+				condemn(key, ver)
 				return true
 			}
 			if al.RecoverMark(e.Ptr, record.Size(vlen)) == alloc.MarkDangling {
-				badRefs = append(badRefs, badRef{key, ver})
+				condemn(key, ver)
 				return true
 			}
 		}
@@ -520,6 +658,9 @@ func (st *Store) openCrash() error {
 			c.idx.Range(markLive)
 		}
 	}
+	for _, r := range rescues {
+		st.cores[st.CoreOf(r.key)].idx.Put(r.key, r.ref, r.ver)
+	}
 	if len(badRefs) > 0 {
 		if !salvage {
 			return fmt.Errorf("%w: %d live records failed integrity verification (first key %#x); reopen with Salvage to quarantine and continue", ErrCorruptMedia, len(badRefs), badRefs[0].key)
@@ -531,8 +672,10 @@ func (st *Store) openCrash() error {
 	}
 	for i, c := range st.cores {
 		for key, m := range c.reg {
+			// A key whose index target is a cold ref has no live PM
+			// entry: every surviving PM Put for it is stale.
 			live := 0
-			if _, _, ok := c.idx.Get(key); ok && !m.deleted {
+			if ref, _, ok := c.idx.Get(key); ok && !m.deleted && !index.Cold(ref) {
 				live = 1
 			}
 			m.stale = putCounts[i][key] - int32(live)
@@ -650,7 +793,7 @@ func (st *Store) openClean() error {
 	if ptr <= 0 || length <= 0 || ptr+int64(length) > int64(arena.Size()) {
 		return fmt.Errorf("core: clean shutdown flag set but no usable checkpoint")
 	}
-	if err := st.loadCheckpoint(arena.Mem()[ptr : ptr+int64(length)]); err != nil {
+	if err := st.loadCheckpoint(arena.Mem()[ptr:ptr+int64(length)], false); err != nil {
 		return err
 	}
 	// The checkpoint block is consumed; release it. The blob's content is
@@ -678,6 +821,9 @@ func (st *Store) Close() error {
 			c.TryLead()
 			c.DrainCompleted()
 		}
+		// Release any record blocks still queued by demotions, so the
+		// flushed bitmaps don't carry them as allocated across restart.
+		c.drainFrees()
 		c.flushOutbox()
 		c.f.FlushEvents()
 	}
@@ -694,6 +840,9 @@ func (st *Store) Close() error {
 	st.al.FlushBitmaps(st.super)
 	st.super.PersistUint64(offFlag, flagClean)
 	st.super.FlushEvents()
+	if st.tier != nil {
+		st.tier.Close()
+	}
 	return nil
 }
 
@@ -772,7 +921,7 @@ func (st *Store) buildCheckpoint() []byte {
 	return buf
 }
 
-func (st *Store) loadCheckpoint(blob []byte) error {
+func (st *Store) loadCheckpoint(blob []byte, dropCold bool) error {
 	pos := 0
 	r := func() (uint64, bool) {
 		if pos+8 > len(blob) {
@@ -807,6 +956,9 @@ func (st *Store) loadCheckpoint(blob []byte) error {
 		ver, ok := r()
 		if !ok {
 			return bad
+		}
+		if dropCold && index.Cold(int64(ref)) {
+			continue
 		}
 		st.cores[st.CoreOf(key)].idx.Put(key, int64(ref), uint32(ver))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"flatstore/internal/index"
 	"flatstore/internal/oplog"
 	"flatstore/internal/pmem"
 	"flatstore/internal/record"
@@ -13,17 +14,22 @@ type ScrubResult struct {
 	Batches, Entries int
 	// Records counts out-of-place records whose CRC was re-verified.
 	Records int
+	// TierRecords counts live cold-tier records whose CRC was re-verified.
+	TierRecords int
 	// CorruptRegions counts log regions that failed batch verification.
 	CorruptRegions int
 	// CorruptRecords counts live records that failed their CRC.
 	CorruptRecords int
+	// CorruptTierRecords counts live cold records that failed verification.
+	CorruptTierRecords int
 	// KeysQuarantined counts keys this pass quarantined.
 	KeysQuarantined int
 }
 
 // Clean reports whether the pass found no corruption.
 func (r ScrubResult) Clean() bool {
-	return r.CorruptRegions == 0 && r.CorruptRecords == 0 && r.KeysQuarantined == 0
+	return r.CorruptRegions == 0 && r.CorruptRecords == 0 &&
+		r.CorruptTierRecords == 0 && r.KeysQuarantined == 0
 }
 
 // scrubRegion is a log region that failed batch verification, pending
@@ -108,9 +114,16 @@ func (st *Store) ScrubOnce() ScrubResult {
 		ver uint32
 	}
 	var refs []liveRef
+	var coldRefs []liveRef
 	st.lockAllIdx()
 	collect := func(key uint64, ref int64, ver uint32) bool {
-		refs = append(refs, liveRef{key, ref, ver})
+		// Cold refs name segment records, not arena bytes: they verify
+		// in pass 4 through the tier's read path, never against mem.
+		if index.Cold(ref) {
+			coldRefs = append(coldRefs, liveRef{key, ref, ver})
+		} else {
+			refs = append(refs, liveRef{key, ref, ver})
+		}
 		return true
 	}
 	if st.tree != nil {
@@ -160,11 +173,30 @@ func (st *Store) ScrubOnce() ScrubResult {
 		st.unlockAllIdx()
 	}
 
+	// Pass 4: re-verify live cold-tier records via the tier's CRC-checked
+	// read path. No index lock is held across the disk pread; the verdict
+	// only sticks if the ref is still current when re-checked.
+	for _, lr := range coldRefs {
+		k, v, _, err := st.tier.Get(lr.ref)
+		res.TierRecords++
+		if err == nil && k == lr.key && v == lr.ver {
+			continue
+		}
+		oc := st.cores[st.CoreOf(lr.key)]
+		oc.idxMu.Lock()
+		if cur, ver, ok := oc.idx.Get(lr.key); ok && cur == lr.ref && ver == lr.ver {
+			res.CorruptTierRecords++
+			oc.quarantineLocked(lr.key, lr.ver)
+			res.KeysQuarantined++
+		}
+		oc.idxMu.Unlock()
+	}
+
 	st.integMu.Lock()
 	st.integ.ScrubRuns++
 	st.integ.ScrubBatches += uint64(res.Batches)
-	st.integ.ScrubRecords += uint64(res.Records)
-	st.integ.ChecksumErrors += uint64(res.CorruptRegions + res.CorruptRecords)
+	st.integ.ScrubRecords += uint64(res.Records + res.TierRecords)
+	st.integ.ChecksumErrors += uint64(res.CorruptRegions + res.CorruptRecords + res.CorruptTierRecords)
 	st.integMu.Unlock()
 	return res
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flatstore/internal/alloc"
@@ -14,6 +16,7 @@ import (
 	"flatstore/internal/pmem"
 	"flatstore/internal/rpc"
 	"flatstore/internal/stats"
+	"flatstore/internal/tier"
 )
 
 // Store is one FlatStore node.
@@ -25,8 +28,13 @@ type Store struct {
 
 	cores  []*Core
 	groups []*batch.Group
-	tree   *masstree.Tree // shared index for FlatStore-M, else nil
+	tree   *masstree.Tree   // shared index for FlatStore-M, else nil
 	ckptCa *alloc.CoreAlloc // reserved allocation context for checkpoints
+
+	// tier is the cold disk tier (nil unless cfg.Tier.Dir is set): GC
+	// demotes cold records into it, Get promotes on access, and index
+	// refs with index.TierBit set resolve through it.
+	tier *tier.Store
 
 	usage usageTable
 
@@ -103,9 +111,71 @@ func New(cfg Config) (*Store, error) {
 		c.log = log
 		st.cores = append(st.cores, c)
 	}
+	if err := st.openTier(false); err != nil {
+		return nil, err
+	}
 	st.super.FlushEvents()
 	st.AttachTransport(rpc.NewServer(cfg.Cores, 0))
 	return st, nil
+}
+
+// openTier opens the cold store when configured. Shared by New and Open;
+// leftover tmp files are removed and unreadable segments quarantined,
+// with the quarantine count surfaced through the integrity counters.
+// With strict set (a non-salvage Open), a fresh quarantine is media rot
+// that may hide the only copy of demoted keys, so the open fails loudly
+// instead of losing them silently — mirroring the PM-side ErrCorruptMedia
+// contract. A salvage open harvests the quarantined files instead.
+func (st *Store) openTier(strict bool) error {
+	if st.cfg.Tier.Dir == "" {
+		return nil
+	}
+	t, rep, err := tier.Open(st.cfg.Tier.Dir)
+	if err != nil {
+		return err
+	}
+	st.tier = t
+	if rep.Quarantined > 0 {
+		st.noteChecksumErrors(uint64(rep.Quarantined))
+		if strict {
+			return fmt.Errorf("%w: %d cold segment files failed validation and were quarantined; reopen with Salvage to quarantine their keys and continue",
+				ErrCorruptMedia, rep.Quarantined)
+		}
+	}
+	return nil
+}
+
+// Tier exposes the cold store (nil when tiering is disabled).
+func (st *Store) Tier() *tier.Store { return st.tier }
+
+// TierCompactOnce runs one cold-tier compaction pass: the dirtiest
+// segment at or above Tier.CompactRatio dead fraction is rewritten
+// without its dead records and the index repointed. Returns whether a
+// segment was compacted.
+func (st *Store) TierCompactOnce() (bool, error) {
+	if st.tier == nil {
+		return false, nil
+	}
+	return st.tier.CompactOnce(st.cfg.Tier.CompactRatio, st.tierIsLive, st.tierRepoint)
+}
+
+// tierIsLive answers compaction's liveness query: a cold record is live
+// iff it is still the exact index target for its key.
+func (st *Store) tierIsLive(key uint64, ver uint32, ref int64) bool {
+	c := st.cores[st.CoreOf(key)]
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	r, _, ok := c.idx.Get(key)
+	return ok && r == ref
+}
+
+// tierRepoint CASes the index from a record's old cold ref to its
+// rewritten location, under the owning core's index lock.
+func (st *Store) tierRepoint(key uint64, old, new int64) bool {
+	c := st.cores[st.CoreOf(key)]
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	return c.idx.CompareAndSwapRef(key, old, new)
 }
 
 func (st *Store) buildGroups() {
@@ -270,6 +340,22 @@ func (st *Store) Run() {
 			}(g)
 		}
 	}
+	if st.tier != nil && st.cfg.GC.Enabled {
+		st.stopped.Add(1)
+		go func() {
+			defer st.stopped.Done()
+			t := time.NewTicker(10 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-st.stop:
+					return
+				case <-t.C:
+					st.TierCompactOnce()
+				}
+			}
+		}()
+	}
 	if st.cfg.ScrubEvery > 0 {
 		st.stopped.Add(1)
 		go func() {
@@ -363,6 +449,24 @@ func (st *Store) Metrics() obs.Snapshot {
 		s.Groups = append(s.Groups, obs.GroupSnap{Batches: gs.Batches, Stolen: gs.Stolen, Leads: gs.Leads})
 	}
 	s.Integrity = st.Integrity()
+	if st.tier != nil {
+		ts := st.tier.Stats()
+		s.Tier = obs.TierSnap{
+			Enabled:         true,
+			Segments:        uint64(ts.Segments),
+			Records:         uint64(ts.Records),
+			DeadRecords:     uint64(ts.DeadRecords),
+			Bytes:           uint64(ts.Bytes),
+			Reads:           ts.Reads,
+			BloomFiltered:   ts.BloomFiltered,
+			SegmentsWritten: ts.SegmentsWritten,
+			Compactions:     ts.Compactions,
+			Demoted:         ts.Demoted,
+			Promoted:        ts.Promoted,
+			CorruptReads:    ts.CorruptReads,
+			Quarantined:     ts.Quarantined,
+		}
+	}
 	if st.rpc != nil {
 		rs := st.rpc.Stats()
 		s.Net.QueuePairs = uint64(rs.QueuePairs)
@@ -454,6 +558,10 @@ type chunkUsage struct {
 	mu    sync.Mutex
 	total int64
 	dead  int64
+	// reads counts readEntry hits against the chunk (maintained only
+	// while tiering is enabled) — the access signal demotion uses to
+	// prefer never-read chunks.
+	reads atomic.Int64
 }
 
 func (u *usageTable) account(chunk int64, log *oplog.Log, owner int, size int) {
@@ -479,6 +587,15 @@ func (u *usageTable) markDead(chunk int64, size int) {
 	cu.mu.Lock()
 	cu.dead += int64(size)
 	cu.mu.Unlock()
+}
+
+func (u *usageTable) noteRead(chunk int64) {
+	u.mu.Lock()
+	cu := u.m[chunk]
+	u.mu.Unlock()
+	if cu != nil {
+		cu.reads.Add(1)
+	}
 }
 
 func (u *usageTable) drop(chunk int64) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flatstore/internal/core"
+	"flatstore/internal/index"
 	"flatstore/internal/oplog"
 	"flatstore/internal/record"
 )
@@ -98,6 +99,9 @@ func Check(st *core.Store, model map[uint64][]byte, pending *Op) (map[uint64][]b
 	arena := st.Arena()
 	expected := map[int64]bool{}
 	for k, ref := range recovered {
+		if index.Cold(ref) {
+			continue // tier records own no arena blocks
+		}
 		e, _, err := oplog.Decode(arena.Mem()[ref:])
 		if err != nil || e.Op != oplog.OpPut {
 			return nil, fmt.Errorf("fault: key %#x: index points at undecodable entry %#x", k, ref)
@@ -158,6 +162,42 @@ func Check(st *core.Store, model map[uint64][]byte, pending *Op) (map[uint64][]b
 			return nil, fmt.Errorf("fault: cleaner journal slot %d still set (%#x) after recovery", g, v)
 		}
 	}
+
+	// (6) Cold-tier integrity: every cold index ref must resolve through
+	// the tier's CRC-checked read path to its own key, its segment's
+	// bloom must admit the key (false-negative-freedom is what lets a
+	// miss skip the disk), and no half-written .tmp segment survives
+	// recovery.
+	if t := st.Tier(); t != nil {
+		for k, ref := range recovered {
+			if !index.Cold(ref) {
+				continue
+			}
+			key, _, _, err := t.Get(ref)
+			if err != nil {
+				return nil, fmt.Errorf("fault: key %#x: cold ref %#x unreadable after recovery: %w", k, ref, err)
+			}
+			if key != k {
+				return nil, fmt.Errorf("fault: key %#x: cold ref %#x stores key %#x", k, ref, key)
+			}
+			if !t.SegmentMayContain(ref, k) {
+				return nil, fmt.Errorf("fault: key %#x: segment bloom denies a live cold key (false negative)", k)
+			}
+		}
+		tmps, err := t.TmpFiles()
+		if err != nil {
+			return nil, err
+		}
+		if len(tmps) > 0 {
+			return nil, fmt.Errorf("fault: %d .tmp segment files survived recovery: %v", len(tmps), tmps)
+		}
+	} else {
+		for k, ref := range recovered {
+			if index.Cold(ref) {
+				return nil, fmt.Errorf("fault: key %#x has cold ref %#x but the store has no tier", k, ref)
+			}
+		}
+	}
 	return resolved, nil
 }
 
@@ -168,6 +208,20 @@ func lookupValue(st *core.Store, key uint64) ([]byte, bool, error) {
 	ref, _, ok := c.Index().Get(key)
 	if !ok {
 		return nil, false, nil
+	}
+	if index.Cold(ref) {
+		t := st.Tier()
+		if t == nil {
+			return nil, false, fmt.Errorf("fault: key %#x: cold ref without a tier", key)
+		}
+		k, _, val, err := t.Get(ref)
+		if err != nil {
+			return nil, false, fmt.Errorf("fault: key %#x: cold read failed: %w", key, err)
+		}
+		if k != key {
+			return nil, false, fmt.Errorf("fault: key %#x: cold ref resolves to key %#x", key, k)
+		}
+		return val, true, nil
 	}
 	e, _, err := oplog.Decode(st.Arena().Mem()[ref:])
 	if err != nil {

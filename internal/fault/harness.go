@@ -3,10 +3,13 @@ package fault
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"flatstore/internal/core"
 	"flatstore/internal/pmem"
 	"flatstore/internal/rpc"
+	"flatstore/internal/tier"
 )
 
 // OpKind identifies a scripted workload step.
@@ -21,6 +24,11 @@ const (
 	KGC
 	// KCheckpoint persists a runtime checkpoint.
 	KCheckpoint
+	// KGet reads Key through the request path (promoting a cold hit) and
+	// asserts the value matches the acknowledged model.
+	KGet
+	// KTierCompact runs one cold-tier compaction pass.
+	KTierCompact
 )
 
 func (k OpKind) String() string {
@@ -33,6 +41,10 @@ func (k OpKind) String() string {
 		return "gc"
 	case KCheckpoint:
 		return "checkpoint"
+	case KGet:
+		return "get"
+	case KTierCompact:
+		return "tier-compact"
 	}
 	return "unknown"
 }
@@ -56,10 +68,22 @@ func GC() Op { return Op{Kind: KGC} }
 // Checkpoint builds a KCheckpoint step.
 func Checkpoint() Op { return Op{Kind: KCheckpoint} }
 
+// Get builds a KGet step.
+func Get(key uint64) Op { return Op{Kind: KGet, Key: key} }
+
+// TierCompact builds a KTierCompact step.
+func TierCompact() Op { return Op{Kind: KTierCompact} }
+
 // Harness sweeps a scripted workload over every crash point. The optional
 // prelude runs ONCE, uninstrumented, and is closed cleanly into an arena
 // image; every trial then reopens that image, so a trial's cost is the
 // (short) script rather than the bulk fill that created GC-worthy chunks.
+// When cfg.Tier.Dir is set it is treated as a base directory: the
+// prelude runs in <dir>/prelude and every trial gets its own
+// <dir>/trial-N populated with a byte-exact copy of the prelude's
+// segment files, so trials cannot contaminate each other through the
+// disk tier. The injected crash counts the tier's disk persist points
+// alongside the PM ones.
 type Harness struct {
 	cfg     core.Config
 	prelude []Op
@@ -67,6 +91,8 @@ type Harness struct {
 
 	img       []byte            // clean media image after the prelude
 	baseModel map[uint64][]byte // acknowledged state after the prelude
+	tierImg   map[string][]byte // segment files after the prelude
+	trialN    int
 }
 
 // NewHarness builds a harness for cfg. prelude may be nil.
@@ -111,6 +137,32 @@ func (tr *trial) exec(op Op) error {
 		// Out of space is an acceptable outcome; the crash points inside
 		// a failed attempt still count.
 		_ = tr.st.Checkpoint()
+		return nil
+	case KTierCompact:
+		if _, err := tr.st.TierCompactOnce(); err != nil {
+			return fmt.Errorf("fault: tier compaction: %w", err)
+		}
+		return nil
+	case KGet:
+		tr.nextID++
+		req := rpc.Request{ID: tr.nextID, Op: rpc.OpGet, Key: op.Key}
+		tc := tr.st.Core(tr.st.CoreOf(op.Key))
+		tc.Submit(req, 0)
+		resp, err := tr.drive(tc, req.ID)
+		if err != nil {
+			return err
+		}
+		// A Get changes no acknowledged state (promotion is internal),
+		// so it is never pending — but its answer must already honor
+		// the model.
+		want, live := tr.model[op.Key]
+		switch {
+		case live && resp.Status == rpc.StatusOK && bytes.Equal(resp.Value, want):
+		case !live && resp.Status == rpc.StatusNotFound:
+		default:
+			return fmt.Errorf("fault: get key %#x: status %d, %d bytes; model live=%v",
+				op.Key, resp.Status, len(resp.Value), live)
+		}
 		return nil
 	}
 
@@ -179,6 +231,9 @@ func (h *Harness) init() error {
 	cfg := h.cfg
 	arena := pmem.New(cfg.ArenaChunks * pmem.ChunkSize)
 	cfg.Arena = arena
+	if h.cfg.Tier.Dir != "" {
+		cfg.Tier.Dir = filepath.Join(h.cfg.Tier.Dir, "prelude")
+	}
 	st, err := core.New(cfg)
 	if err != nil {
 		return fmt.Errorf("fault: prelude store: %w", err)
@@ -196,20 +251,49 @@ func (h *Harness) init() error {
 	}
 	h.img = buf.Bytes()
 	h.baseModel = tr.model
+	if cfg.Tier.Dir != "" {
+		h.tierImg = map[string][]byte{}
+		segs, err := filepath.Glob(filepath.Join(cfg.Tier.Dir, "*.seg"))
+		if err != nil {
+			return err
+		}
+		for _, p := range segs {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			h.tierImg[filepath.Base(p)] = b
+		}
+	}
 	return nil
 }
 
 // newTrial builds a fresh store at the workload's start state: a clean
-// reopen of the prelude image, or a brand-new store without one.
-func (h *Harness) newTrial() (*trial, *pmem.Arena, error) {
+// reopen of the prelude image, or a brand-new store without one. The
+// returned config is what the trial actually ran with (its Tier.Dir is
+// the per-trial directory) — crash recovery must reopen with it.
+func (h *Harness) newTrial() (*trial, *pmem.Arena, core.Config, error) {
 	cfg := h.cfg
+	if h.cfg.Tier.Dir != "" {
+		h.trialN++
+		dir := filepath.Join(h.cfg.Tier.Dir, fmt.Sprintf("trial-%d", h.trialN))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, nil, cfg, err
+		}
+		for name, b := range h.tierImg {
+			if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+				return nil, nil, cfg, err
+			}
+		}
+		cfg.Tier.Dir = dir
+	}
 	var arena *pmem.Arena
 	var st *core.Store
 	var err error
 	if h.img != nil {
 		arena, err = pmem.ReadArena(bytes.NewReader(h.img))
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, cfg, err
 		}
 		cfg.Arena = arena
 		st, err = core.Open(cfg)
@@ -219,13 +303,13 @@ func (h *Harness) newTrial() (*trial, *pmem.Arena, error) {
 		st, err = core.New(cfg)
 	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("fault: trial store: %w", err)
+		return nil, nil, cfg, fmt.Errorf("fault: trial store: %w", err)
 	}
 	model := make(map[uint64][]byte, len(h.baseModel))
 	for k, v := range h.baseModel {
 		model[k] = v
 	}
-	return newTrialOn(st, model), arena, nil
+	return newTrialOn(st, model), arena, cfg, nil
 }
 
 // CountPoints runs the script once uninstrumented-but-counted and
@@ -234,11 +318,12 @@ func (h *Harness) CountPoints() (uint64, []PointInfo, error) {
 	if err := h.init(); err != nil {
 		return 0, nil, err
 	}
-	tr, arena, err := h.newTrial()
+	tr, arena, _, err := h.newTrial()
 	if err != nil {
 		return 0, nil, err
 	}
 	in := Attach(arena)
+	in.AttachTier(tr.st.Tier())
 	in.Record()
 	var execErr error
 	crashed := in.Run(func() { execErr = tr.execAll(h.script) })
@@ -267,11 +352,12 @@ func (h *Harness) RunPoint(n uint64, tearKeep int) (bool, error) {
 	if err := h.init(); err != nil {
 		return false, err
 	}
-	tr, arena, err := h.newTrial()
+	tr, arena, tcfg, err := h.newTrial()
 	if err != nil {
 		return false, err
 	}
 	in := Attach(arena)
+	in.AttachTier(tr.st.Tier())
 	if tearKeep >= 0 {
 		in.TearAt(n, tearKeep)
 	} else {
@@ -290,8 +376,14 @@ func (h *Harness) RunPoint(n uint64, tearKeep int) (bool, error) {
 		tr.pending = nil
 	}
 
-	// Power failure: only the media view survives.
-	cfg := h.cfg
+	// Power failure: only the media view survives — and the disk tier,
+	// whose files are real and are reopened in place by recovery. The
+	// abandoned store's segment handles are closed first (closing fds
+	// mutates nothing on disk, so this is crash-faithful).
+	if t := tr.st.Tier(); t != nil {
+		t.Close()
+	}
+	cfg := tcfg
 	cfg.Arena = arena.Crash()
 	re, err := core.Open(cfg)
 	if err != nil {
@@ -315,8 +407,12 @@ func (h *Harness) RunPoint(n uint64, tearKeep int) (bool, error) {
 	}
 
 	// Second crash: recovery's own persists (journal clears, descriptor
-	// repairs) must themselves be durable and consistent.
-	cfg2 := h.cfg
+	// repairs, segment quarantines) must themselves be durable and
+	// consistent.
+	cfg2 := tcfg
+	if t := re.Tier(); t != nil {
+		t.Close()
+	}
 	cfg2.Arena = re.Arena().Crash()
 	re2, err := core.Open(cfg2)
 	if err != nil {
@@ -359,7 +455,8 @@ func (h *Harness) Sweep(tear bool) (SweepStats, error) {
 	}
 	if tear {
 		for i, pi := range points {
-			if pi.Kind != pmem.PointFlush || pi.N <= 8 {
+			tornTmp := pi.Kind == PointTier && pi.Stage == tier.StageTmpWritten
+			if (pi.Kind != pmem.PointFlush && !tornTmp) || pi.N <= 8 {
 				continue
 			}
 			n := uint64(i + 1)

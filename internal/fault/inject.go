@@ -10,19 +10,35 @@
 // and checks the recovery invariants, for every N a workload generates.
 package fault
 
-import "flatstore/internal/pmem"
+import (
+	"os"
+
+	"flatstore/internal/pmem"
+	"flatstore/internal/tier"
+)
+
+// PointTier is the PointKind the injector reports for cold-tier disk
+// persist points (segment tmp-write/fsync/rename/dir-sync/remove). The
+// pmem emulator's own kinds are small iota values; 255 cannot collide.
+const PointTier pmem.PointKind = 255
 
 // PointInfo describes one persist-ordering point observed while counting.
 type PointInfo struct {
 	Kind pmem.PointKind
 	N    int // bytes in flight for PointFlush, else 0
+
+	// Stage and Path identify the disk persist point when Kind is
+	// PointTier.
+	Stage tier.Stage
+	Path  string
 }
 
-// Injector drives crash-point fault injection on one arena. It is not
-// safe for concurrent use: attach it only to stores driven from a single
-// goroutine.
+// Injector drives crash-point fault injection on one arena and,
+// optionally, a cold-tier store. It is not safe for concurrent use:
+// attach it only to stores driven from a single goroutine.
 type Injector struct {
 	a       *pmem.Arena
+	t       *tier.Store
 	points  uint64
 	crashAt uint64 // 0 = never
 	tear    int    // media bytes of the in-flight flush to keep, -1 = none
@@ -39,8 +55,24 @@ func Attach(a *pmem.Arena) *Injector {
 	return in
 }
 
-// Detach removes the hook.
-func (in *Injector) Detach() { in.a.SetHook(nil) }
+// AttachTier additionally counts the cold tier's disk persist points
+// through the same crash-point counter, so a sweep covers PM and disk
+// ordering points in one numbering.
+func (in *Injector) AttachTier(t *tier.Store) {
+	in.t = t
+	if t != nil {
+		t.SetHook(in.tierPoint)
+	}
+}
+
+// Detach removes the hooks.
+func (in *Injector) Detach() {
+	in.a.SetHook(nil)
+	if in.t != nil {
+		in.t.SetHook(nil)
+		in.t = nil
+	}
+}
 
 // Points returns how many persist-ordering points have fired.
 func (in *Injector) Points() uint64 { return in.points }
@@ -81,6 +113,31 @@ func (in *Injector) point(kind pmem.PointKind, off, n int) {
 		if keep > 0 {
 			in.a.CopyToMedia(off, keep)
 		}
+	}
+	panic(crashSignal{})
+}
+
+// tierPoint is the disk-side twin of point. A crash armed on a
+// StageTmpWritten point with tear ≥ 0 first truncates the tmp file to
+// that many bytes — the torn segment write a real power cut can leave —
+// then panics; recovery must remove the remnant and lose nothing (the
+// PM copies are still referenced until the demote CAS).
+func (in *Injector) tierPoint(p tier.Point) error {
+	in.points++
+	if in.record {
+		pi := PointInfo{Kind: PointTier, Stage: p.Stage, Path: p.Path}
+		if p.Stage == tier.StageTmpWritten {
+			if fi, err := os.Stat(p.Path); err == nil {
+				pi.N = int(fi.Size())
+			}
+		}
+		in.seen = append(in.seen, pi)
+	}
+	if in.crashAt == 0 || in.points != in.crashAt {
+		return nil
+	}
+	if in.tear >= 0 && p.Stage == tier.StageTmpWritten {
+		_ = os.Truncate(p.Path, int64(in.tear))
 	}
 	panic(crashSignal{})
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"flatstore/internal/core"
+	"flatstore/internal/index"
 	"flatstore/internal/oplog"
 	"flatstore/internal/pmem"
 	"flatstore/internal/record"
@@ -169,6 +170,17 @@ func checkHistory(st *core.Store, model map[uint64][]byte, hist History, strict 
 // unverified bytes, or the checker itself would launder garbage.
 func lookupVerified(st *core.Store, key uint64, ref int64) ([]byte, bool, error) {
 	arena := st.Arena()
+	if index.Cold(ref) {
+		t := st.Tier()
+		if t == nil {
+			return nil, false, fmt.Errorf("fault: key %#x: cold ref without a tier", key)
+		}
+		k, _, val, err := t.Get(ref)
+		if err != nil || k != key {
+			return nil, false, nil // read path fails closed (StatusCorrupt)
+		}
+		return val, true, nil
+	}
 	if ref < 0 || ref+8 > int64(arena.Size()) {
 		return nil, false, fmt.Errorf("fault: key %#x: index ref %#x out of bounds", key, ref)
 	}

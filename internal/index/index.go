@@ -7,7 +7,10 @@
 package index
 
 // Ref is a reference to a log entry: the absolute arena offset of the
-// entry in some core's OpLog.
+// entry in some core's OpLog. Refs with TierBit set instead name a
+// cold-tier record (see tier.go); implementations must store every Ref
+// bit-for-bit — the tier split is interpreted only by the engine's read
+// path, never by an index.
 type Ref = int64
 
 // Index is the volatile index contract. Implementations used per-core

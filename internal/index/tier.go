@@ -1,0 +1,31 @@
+package index
+
+// Tier bit. A Ref is normally a byte offset into the PM arena (well below
+// 2^40 — PackPtr is 40-bit). Refs with TierBit set instead name a record in
+// the cold disk tier: segment ID in bits [32,62) and the record's byte
+// offset inside that segment file in bits [0,32). Bit 62 keeps cold refs
+// positive, so every index implementation (hashidx, masstree, the pindex
+// family) stores them unchanged — only the core's read path interprets the
+// split.
+const TierBit Ref = 1 << 62
+
+const (
+	tierSegShift = 32
+	tierOffMask  = (1 << tierSegShift) - 1
+	// MaxTierSeg is the first segment ID that no longer fits in a cold
+	// ref (30 bits: bit 62 is the tier bit, bit 63 must stay clear).
+	MaxTierSeg = uint32(1) << 30
+)
+
+// Cold reports whether ref names a cold-tier record.
+func Cold(ref Ref) bool { return ref&TierBit != 0 }
+
+// ColdRef packs a segment ID and in-segment byte offset into a Ref.
+func ColdRef(seg uint32, off uint32) Ref {
+	return TierBit | Ref(seg)<<tierSegShift | Ref(off)
+}
+
+// ColdParts splits a cold ref back into (segment ID, byte offset).
+func ColdParts(ref Ref) (seg uint32, off uint32) {
+	return uint32((ref &^ TierBit) >> tierSegShift), uint32(ref & tierOffMask)
+}

@@ -1,0 +1,93 @@
+package index_test
+
+import (
+	"testing"
+
+	"flatstore/internal/index"
+	"flatstore/internal/index/hashidx"
+	"flatstore/internal/index/masstree"
+)
+
+func TestColdRefRoundTrip(t *testing.T) {
+	cases := []struct {
+		seg uint32
+		off uint32
+	}{
+		{0, 0},
+		{1, 32},
+		{7, 1 << 20},
+		{index.MaxTierSeg - 1, ^uint32(0)},
+	}
+	for _, c := range cases {
+		ref := index.ColdRef(c.seg, c.off)
+		if ref < 0 {
+			t.Fatalf("ColdRef(%d,%d) = %#x is negative", c.seg, c.off, ref)
+		}
+		if !index.Cold(ref) {
+			t.Fatalf("ColdRef(%d,%d) not Cold", c.seg, c.off)
+		}
+		seg, off := index.ColdParts(ref)
+		if seg != c.seg || off != c.off {
+			t.Fatalf("ColdParts(ColdRef(%d,%d)) = (%d,%d)", c.seg, c.off, seg, off)
+		}
+	}
+	if index.Cold(0) || index.Cold(1<<40) {
+		t.Fatal("PM refs misreported as cold")
+	}
+}
+
+// TestIndexesStoreColdRefsVerbatim drives both shipped index
+// implementations through the full Ref lifecycle (Put, Get, CAS in both
+// directions, Range) with cold refs, asserting the tier bit and both
+// packed fields survive bit-for-bit — the contract the demotion and
+// promotion repoints rely on.
+func TestIndexesStoreColdRefsVerbatim(t *testing.T) {
+	impls := []struct {
+		name string
+		idx  index.Index
+	}{
+		{"hashidx", hashidx.New()},
+		{"masstree", masstree.New()},
+	}
+	for _, im := range impls {
+		t.Run(im.name, func(t *testing.T) {
+			idx := im.idx
+			hot := index.Ref(0x12340)
+			cold := index.ColdRef(3, 4096)
+			cold2 := index.ColdRef(9, 64)
+
+			idx.Put(77, hot, 5)
+			if !idx.CompareAndSwapRef(77, hot, cold) {
+				t.Fatal("CAS hot→cold failed")
+			}
+			ref, ver, ok := idx.Get(77)
+			if !ok || ref != cold || ver != 5 {
+				t.Fatalf("Get after demote = (%#x,%d,%v), want (%#x,5,true)", ref, ver, ok, cold)
+			}
+			if !index.Cold(ref) {
+				t.Fatal("tier bit lost in storage")
+			}
+			if seg, off := index.ColdParts(ref); seg != 3 || off != 4096 {
+				t.Fatalf("packed fields mangled: (%d,%d)", seg, off)
+			}
+			if idx.CompareAndSwapRef(77, hot, cold2) {
+				t.Fatal("CAS with stale old ref succeeded")
+			}
+			if !idx.CompareAndSwapRef(77, cold, cold2) {
+				t.Fatal("CAS cold→cold (compaction repoint) failed")
+			}
+			if !idx.CompareAndSwapRef(77, cold2, hot) {
+				t.Fatal("CAS cold→hot (promotion) failed")
+			}
+			idx.Put(78, cold, 9)
+			seen := map[uint64]index.Ref{}
+			idx.Range(func(key uint64, ref index.Ref, _ uint32) bool {
+				seen[key] = ref
+				return true
+			})
+			if seen[77] != hot || seen[78] != cold {
+				t.Fatalf("Range returned %#x/%#x, want %#x/%#x", seen[77], seen[78], hot, cold)
+			}
+		})
+	}
+}

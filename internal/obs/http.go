@@ -148,6 +148,14 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_repl_snapshots_loaded_total", s.Repl.SnapshotsLoaded},
 		{"flatstore_repl_sync_timeouts_total", s.Repl.SyncTimeouts},
 		{"flatstore_repl_demotions_total", s.Repl.Demotions},
+		{"flatstore_tier_reads_total", s.Tier.Reads},
+		{"flatstore_tier_bloom_filtered_total", s.Tier.BloomFiltered},
+		{"flatstore_tier_segments_written_total", s.Tier.SegmentsWritten},
+		{"flatstore_tier_compactions_total", s.Tier.Compactions},
+		{"flatstore_tier_demoted_total", s.Tier.Demoted},
+		{"flatstore_tier_promoted_total", s.Tier.Promoted},
+		{"flatstore_tier_corrupt_reads_total", s.Tier.CorruptReads},
+		{"flatstore_tier_segments_quarantined_total", s.Tier.Quarantined},
 		{"flatstore_scrub_runs_total", s.Integrity.ScrubRuns},
 		{"flatstore_scrub_batches_total", s.Integrity.ScrubBatches},
 		{"flatstore_scrub_records_total", s.Integrity.ScrubRecords},
@@ -176,6 +184,26 @@ func WritePrometheus(w io.Writer, s *Snapshot) {
 		{"flatstore_repl_followers", int64(s.Repl.Followers)},
 		{"flatstore_repl_lag_batches", int64(s.Repl.LagBatches)},
 		{"flatstore_repl_lag_bytes", int64(s.Repl.LagBytes)},
+	}
+	if s.Tier.Enabled {
+		gauges = append(gauges,
+			struct {
+				name string
+				v    int64
+			}{"flatstore_tier_segments", int64(s.Tier.Segments)},
+			struct {
+				name string
+				v    int64
+			}{"flatstore_tier_records", int64(s.Tier.Records)},
+			struct {
+				name string
+				v    int64
+			}{"flatstore_tier_dead_records", int64(s.Tier.DeadRecords)},
+			struct {
+				name string
+				v    int64
+			}{"flatstore_tier_bytes", int64(s.Tier.Bytes)},
+		)
 	}
 	if s.Shard.Configured {
 		gauges = append(gauges,
@@ -289,6 +317,7 @@ type SnapshotView struct {
 	Net             NetSnap         `json:"net"`
 	Repl            ReplView        `json:"repl"`
 	Shard           ShardView       `json:"shard"`
+	Tier            TierSnap        `json:"tier"`
 	SlowThresholdNs int64           `json:"slow_threshold_ns"`
 	SlowOps         []SlowOp        `json:"slow_ops"`
 }
@@ -359,6 +388,7 @@ func (s *Snapshot) View() SnapshotView {
 			MapVersion: s.Shard.MapVersion,
 			WrongShard: s.Shard.WrongShard,
 		},
+		Tier: s.Tier,
 	}
 	for k := 0; k < NumOps; k++ {
 		v.Ops = append(v.Ops, OpView{

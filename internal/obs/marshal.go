@@ -12,9 +12,10 @@ import (
 // sparse stats.AppendBinary encoding, so an idle store's snapshot is a
 // few hundred bytes.
 // OBS2 appended the pipelined-protocol Net counters; OBS3 appended the
-// replication block; OBS4 appended the shard block. An older peer is
-// rejected rather than mis-decoded (fixed field order, no tags).
-const snapMagic uint32 = 0x4F425334 // "OBS4"
+// replication block; OBS4 appended the shard block; OBS5 appended the
+// cold-tier block. An older peer is rejected rather than mis-decoded
+// (fixed field order, no tags).
+const snapMagic uint32 = 0x4F425335 // "OBS5"
 
 // Marshal encodes the snapshot for the stats wire op.
 func (s *Snapshot) Marshal() []byte {
@@ -87,6 +88,18 @@ func (s *Snapshot) Marshal() []byte {
 	for _, w := range []uint64{
 		configured, uint64(s.Shard.ID), s.Shard.Count, s.Shard.MapVersion,
 		s.Shard.WrongShard,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	var tierEnabled uint64
+	if s.Tier.Enabled {
+		tierEnabled = 1
+	}
+	for _, w := range []uint64{
+		tierEnabled, s.Tier.Segments, s.Tier.Records, s.Tier.DeadRecords,
+		s.Tier.Bytes, s.Tier.Reads, s.Tier.BloomFiltered,
+		s.Tier.SegmentsWritten, s.Tier.Compactions, s.Tier.Demoted,
+		s.Tier.Promoted, s.Tier.CorruptReads, s.Tier.Quarantined,
 	} {
 		b = binary.LittleEndian.AppendUint64(b, w)
 	}
@@ -225,5 +238,17 @@ func UnmarshalSnapshot(b []byte) (*Snapshot, error) {
 	s.Shard.Count = u64()
 	s.Shard.MapVersion = u64()
 	s.Shard.WrongShard = u64()
+	if !need(13 * 8) {
+		return nil, errShort
+	}
+	s.Tier.Enabled = u64() != 0
+	for _, p := range []*uint64{
+		&s.Tier.Segments, &s.Tier.Records, &s.Tier.DeadRecords,
+		&s.Tier.Bytes, &s.Tier.Reads, &s.Tier.BloomFiltered,
+		&s.Tier.SegmentsWritten, &s.Tier.Compactions, &s.Tier.Demoted,
+		&s.Tier.Promoted, &s.Tier.CorruptReads, &s.Tier.Quarantined,
+	} {
+		*p = u64()
+	}
 	return s, nil
 }

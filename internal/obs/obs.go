@@ -379,6 +379,25 @@ type ShardSnap struct {
 	WrongShard uint64 // StatusWrongShard redirects sent (map drift observed)
 }
 
+// TierSnap is the cold-tier view: segment/record occupancy plus the
+// demotion/promotion and bloom-filter counters. Zero (Enabled false)
+// when the store runs without a tier directory.
+type TierSnap struct {
+	Enabled         bool
+	Segments        uint64 // live segment files
+	Records         uint64 // records across live segments
+	DeadRecords     uint64 // records marked dead (compaction fuel)
+	Bytes           uint64 // bytes across live segment files
+	Reads           uint64 // record preads served
+	BloomFiltered   uint64 // lookups answered "absent" without touching disk
+	SegmentsWritten uint64 // segments ever written (demotion + compaction)
+	Compactions     uint64 // compaction passes completed
+	Demoted         uint64 // records demoted PM → tier
+	Promoted        uint64 // records promoted tier → PM on access
+	CorruptReads    uint64 // cold reads that failed closed (CRC/decode)
+	Quarantined     uint64 // segments quarantined at open
+}
+
 // Snapshot is a merged moment-in-time view of the whole registry, plus
 // the store-level state (keys, allocator, integrity, groups, transport)
 // the store fills in. It is plain data and travels over the stats wire
@@ -409,6 +428,7 @@ type Snapshot struct {
 	Net             NetSnap
 	Repl            ReplSnap
 	Shard           ShardSnap
+	Tier            TierSnap
 	SlowThresholdNs int64
 	SlowOps         []SlowOp // oldest first, merged across cores
 }

@@ -19,6 +19,12 @@ import (
 // KV is a persistent key-value baseline with fixed 8-byte keys.
 // Implementations are not safe for concurrent use; the evaluation harness
 // serializes access exactly like the paper's per-core partitioning.
+//
+// Pointer-width contract: the pointers these baselines persist are arena
+// byte offsets, well below 2^40 (the allocator's reach). Bits 62 and 63
+// of any stored pointer word are reserved — the engine's volatile index
+// uses bit 62 as the cold-tier tag (package index) — so a baseline that
+// wants tag bits must not pick those.
 type KV interface {
 	// Name identifies the scheme in reports ("CCEH", "Level-Hashing", …).
 	Name() string

@@ -1,0 +1,257 @@
+// Tiering cost benchmarks and their same-run regression gate. The
+// tiered engine's contract is asymmetric: the hot path must not pay for
+// the cold tier's existence (same allocs, same latency as an untiered
+// store — the tier check is one nil test), while a cold Get is allowed
+// exactly one segment read, found via the per-segment bloom filters.
+// Both halves are measured in the same run and gated against each other,
+// so the gate holds on any host:
+//
+//	FLATSTORE_BENCH_CHECK=1 go test -run TestTierBenchJSON -count=1 .
+//	FLATSTORE_TIER_JSON=BENCH_tier.json go test -run TestTierBenchJSON .
+package flatstore
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"flatstore/internal/batch"
+	"flatstore/internal/core"
+	"flatstore/internal/index"
+	"flatstore/internal/rpc"
+)
+
+// newTierBenchStore builds a store, tiered or not; everything else
+// matches newBenchStore so the two sides differ only in Tier.Dir.
+func newTierBenchStore(b *testing.B, tierDir string) *core.Store {
+	b.Helper()
+	st, err := core.New(core.Config{
+		Cores: 2, Mode: batch.ModePipelinedHB, Index: core.IndexHash,
+		ArenaChunks: 192,
+		Tier:        core.TierConfig{Dir: tierDir},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// benchTierCorePut is BenchmarkHotpathCorePut parameterized by tiering.
+func benchTierCorePut(b *testing.B, tierDir string) {
+	st := newTierBenchStore(b, tierDir)
+	c := st.Core(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: uint64(i % benchHotKeys), Value: benchValue}, 0)
+		c.TryLead()
+		c.DrainCompleted()
+		c.TakeResponses()
+	}
+	b.StopTimer()
+	c.Flusher().FlushEvents()
+}
+
+// benchTierCoreGet is BenchmarkHotpathCoreGet parameterized by tiering;
+// the working set stays hot, so the tiered side must never touch disk.
+func benchTierCoreGet(b *testing.B, tierDir string) {
+	st := newTierBenchStore(b, tierDir)
+	c := st.Core(0)
+	for k := uint64(0); k < 4_096; k++ {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: k, Value: benchValue}, 0)
+		c.TryLead()
+		c.DrainCompleted()
+		c.TakeResponses()
+	}
+	c.Flusher().FlushEvents()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpGet, Key: uint64(i % 4_096)}, 0)
+		if out := c.TakeResponses(); len(out) != 1 || out[0].Resp.Status != rpc.StatusOK {
+			b.Fatal("get miss")
+		}
+	}
+	b.StopTimer()
+	if tierDir != "" {
+		if s := st.Tier().Stats(); s.Reads != 0 || s.Demoted != 0 {
+			b.Fatalf("hot-path benchmark touched the tier: %+v", s)
+		}
+	}
+}
+
+func BenchmarkTierHotPutUntiered(b *testing.B) { benchTierCorePut(b, "") }
+func BenchmarkTierHotPutTiered(b *testing.B)   { benchTierCorePut(b, b.TempDir()) }
+func BenchmarkTierHotGetUntiered(b *testing.B) { benchTierCoreGet(b, "") }
+func BenchmarkTierHotGetTiered(b *testing.B)   { benchTierCoreGet(b, b.TempDir()) }
+
+// coldGetProfile builds a tiered store under demotion pressure, then
+// reads every cold key exactly once and every absent key once, counting
+// segment reads. The bloom contract in numbers: absent keys cost zero
+// disk reads, cold keys cost at most one each.
+type coldGetProfile struct {
+	ColdKeys          int     `json:"cold_keys"`
+	SegReadsPerCold   float64 `json:"segment_reads_per_cold_get"`
+	SegReadsPerAbsent float64 `json:"segment_reads_per_absent_get"`
+	ColdNsOp          float64 `json:"cold_get_ns_op"`
+}
+
+func measureColdGets(t *testing.T) coldGetProfile {
+	t.Helper()
+	st, err := core.New(core.Config{
+		Cores: 1, Mode: batch.ModeNone, ArenaChunks: 9,
+		GC:   core.GCConfig{DeadRatio: 0.5},
+		Tier: core.TierConfig{Dir: t.TempDir(), DemoteFreeChunks: 1 << 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.Core(0)
+	put := func(k uint64, v []byte) {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpPut, Key: k, Value: v}, 0)
+		if out := c.TakeResponses(); len(out) != 1 || out[0].Resp.Status != rpc.StatusOK {
+			t.Fatalf("put %d failed", k)
+		}
+	}
+	big := make([]byte, 250)
+	for k := uint64(1); k <= 2_000; k++ {
+		put(k, big)
+	}
+	for r := 0; r < 120; r++ { // churn closes chunks: demotion victims
+		for k := uint64(100_000); k < 100_200; k++ {
+			put(k, big)
+		}
+	}
+	cleaner := st.NewCleaner(0)
+	for i := 0; i < 10 && st.Tier().Stats().Demoted == 0; i++ {
+		cleaner.CleanOnce()
+	}
+	var cold []uint64
+	c.Index().Range(func(k uint64, ref int64, _ uint32) bool {
+		if index.Cold(ref) {
+			cold = append(cold, k)
+		}
+		return true
+	})
+	if len(cold) < 100 {
+		t.Fatalf("only %d cold keys after forced demotion", len(cold))
+	}
+
+	get := func(k uint64) uint8 {
+		c.Submit(rpc.Request{ID: 1, Op: rpc.OpGet, Key: k}, 0)
+		out := c.TakeResponses()
+		if len(out) != 1 {
+			t.Fatalf("get %d: %d responses", k, len(out))
+		}
+		return out[0].Resp.Status
+	}
+
+	s0 := st.Tier().Stats()
+	t0 := time.Now()
+	for _, k := range cold {
+		if got := get(k); got != rpc.StatusOK {
+			t.Fatalf("cold key %d: status %d", k, got)
+		}
+	}
+	coldNs := float64(time.Since(t0).Nanoseconds()) / float64(len(cold))
+	s1 := st.Tier().Stats()
+
+	const absents = 2_000
+	for i := uint64(0); i < absents; i++ {
+		if got := get(1<<41 + i*7919); got != rpc.StatusNotFound {
+			t.Fatalf("absent key: status %d", got)
+		}
+	}
+	s2 := st.Tier().Stats()
+
+	return coldGetProfile{
+		ColdKeys:          len(cold),
+		SegReadsPerCold:   float64(s1.Reads-s0.Reads) / float64(len(cold)),
+		SegReadsPerAbsent: float64(s2.Reads-s1.Reads) / float64(absents),
+		ColdNsOp:          coldNs,
+	}
+}
+
+// tierFile is the BENCH_tier.json layout.
+type tierFile struct {
+	Note     string               `json:"note"`
+	Hot      map[string]benchJSON `json:"hot"`
+	Cold     coldGetProfile       `json:"cold"`
+	Emitted  string               `json:"emitted_by,omitempty"`
+	GateNote string               `json:"gate,omitempty"`
+}
+
+// TestTierBenchJSON measures the tiered and untiered hot paths plus the
+// cold-read profile, and gates them against each other in the same run:
+// enabling tiering may not change hot Put/Get allocations or cost more
+// than 1.5x latency, a cold Get costs at most one segment read, and an
+// absent-key Get costs none. With FLATSTORE_TIER_JSON=path it also
+// writes the snapshot. Skipped without FLATSTORE_BENCH_CHECK or
+// FLATSTORE_TIER_JSON, so plain `go test ./...` stays fast.
+func TestTierBenchJSON(t *testing.T) {
+	out := os.Getenv("FLATSTORE_TIER_JSON")
+	if out == "" && os.Getenv("FLATSTORE_BENCH_CHECK") == "" {
+		t.Skip("set FLATSTORE_BENCH_CHECK=1 (gate) or FLATSTORE_TIER_JSON=path (emit) to run")
+	}
+	hot := map[string]benchJSON{}
+	for name, fn := range map[string]func(*testing.B){
+		"put_untiered": BenchmarkTierHotPutUntiered,
+		"put_tiered":   BenchmarkTierHotPutTiered,
+		"get_untiered": BenchmarkTierHotGetUntiered,
+		"get_tiered":   BenchmarkTierHotGetTiered,
+	} {
+		r := testing.Benchmark(fn)
+		hot[name] = benchJSON{
+			NsOp:     float64(r.NsPerOp()),
+			AllocsOp: float64(r.AllocsPerOp()),
+			BytesOp:  float64(r.AllocedBytesPerOp()),
+		}
+		t.Logf("%-14s %10.0f ns/op %8.1f allocs/op %8.0f B/op",
+			name, hot[name].NsOp, hot[name].AllocsOp, hot[name].BytesOp)
+	}
+
+	// Same-run hot-path gate: tiering must be free when data is hot.
+	for _, op := range []string{"put", "get"} {
+		base, tiered := hot[op+"_untiered"], hot[op+"_tiered"]
+		if tiered.AllocsOp > base.AllocsOp {
+			t.Errorf("hot %s gate: tiering added allocations (%.1f -> %.1f allocs/op)",
+				op, base.AllocsOp, tiered.AllocsOp)
+		}
+		// Allocations are the tracked metric (deterministic); latency gets
+		// 2x headroom so shared-runner jitter cannot fail CI.
+		if ratio := tiered.NsOp / base.NsOp; ratio > 2 {
+			t.Errorf("hot %s gate: tiering cost %.2fx latency (%.0f -> %.0f ns/op), want <= 2x",
+				op, ratio, base.NsOp, tiered.NsOp)
+		}
+	}
+
+	cold := measureColdGets(t)
+	t.Logf("cold: %d keys, %.3f segment reads per cold get, %.4f per absent get, %.0f ns/op",
+		cold.ColdKeys, cold.SegReadsPerCold, cold.SegReadsPerAbsent, cold.ColdNsOp)
+	if cold.SegReadsPerCold > 1 {
+		t.Errorf("cold gate: %.3f segment reads per cold Get, want <= 1 (bloom should pin the segment)",
+			cold.SegReadsPerCold)
+	}
+	if cold.SegReadsPerAbsent != 0 {
+		t.Errorf("cold gate: absent-key Gets cost %.4f segment reads each, want 0", cold.SegReadsPerAbsent)
+	}
+
+	if out != "" {
+		f := tierFile{
+			Note:    "Tiering cost profile; gates compare tiered vs untiered measured in the same run (host-independent).",
+			Hot:     hot,
+			Cold:    cold,
+			Emitted: "go test -run TestTierBenchJSON (FLATSTORE_TIER_JSON)",
+			GateNote: "hot put/get: tiered allocs/op <= untiered, tiered ns/op <= 2x untiered (jitter headroom); " +
+				"cold get <= 1 segment read; absent get = 0 segment reads",
+		}
+		enc, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(enc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
